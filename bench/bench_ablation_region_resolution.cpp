@@ -1,0 +1,61 @@
+// Ablation (DESIGN.md §5.2): the region-sampling resolution. CBG's feasible
+// region is sampled on a two-level polar grid; this bench sweeps the grid
+// and the refinement depth against accuracy and runtime.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/million_scale.h"
+#include "eval/metrics.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Ablation: region sampling resolution",
+      "CBG accuracy and runtime vs polar-grid resolution and refinement",
+      "the default (12 rings x 24 sectors, 1 refinement) is at the knee");
+
+  const auto& s = bench::bench_scenario();
+  const core::MillionScale ms(s);
+  std::vector<std::size_t> rows(s.vps().size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+
+  struct Setting {
+    const char* name;
+    int rings, sectors, refine;
+  };
+  const Setting settings[] = {
+      {"coarse (6x12, no refine)", 6, 12, 0},
+      {"coarse + refine", 6, 12, 1},
+      {"default (12x24, refine 1)", 12, 24, 1},
+      {"fine (20x36, refine 1)", 20, 36, 1},
+      {"fine + refine 2", 20, 36, 2},
+  };
+
+  util::TextTable t{"region resolution sweep (all VPs)"};
+  t.header({"Setting", "median error (km)", "<=40 km", "ms per target"});
+  for (const Setting& set : settings) {
+    core::CbgConfig cfg;
+    cfg.region.rings = set.rings;
+    cfg.region.sectors = set.sectors;
+    cfg.region.refine_levels = set.refine;
+    std::vector<double> errors;
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t col = 0; col < s.targets().size(); ++col) {
+      const auto r = ms.geolocate(rows, col, cfg);
+      if (r.ok) errors.push_back(ms.error_km(r.estimate, col));
+    }
+    const double elapsed_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count() /
+        static_cast<double>(s.targets().size());
+    t.row({set.name, util::TextTable::num(util::median(errors), 1),
+           util::TextTable::pct(eval::city_level_fraction(errors)),
+           util::TextTable::num(elapsed_ms, 2)});
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Appendix B of the IMC'23 paper: how (un)reliable is the street-level
+// paper's D1/D2 computation? The paper shows that without reverse-path
+// information, D1 can only be estimated by RTT subtraction under a
+// last-link-symmetry assumption. The simulator knows the ground truth
+// (the actual landmark<->router base RTT), so this bench quantifies the
+// estimator directly:
+//   D1_true = base_rtt(R1, L) / 2            (symmetric split)
+//   D1_est  = (RTT(vp, L) - RTT(vp, R1)) / 2 (the paper's only option)
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/street_level.h"
+#include "sim/traceroute.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Appendix B", "error of the traceroute D1 estimator vs ground truth",
+      "the subtraction estimator is dominated by ICMP-generation and "
+      "reverse-path noise: large spread, frequent negatives");
+
+  const auto& s = bench::bench_scenario();
+  const sim::TracerouteEngine tracer(s.world(), s.latency());
+  auto gen = s.world().rng().fork("appendix-b").gen();
+
+  std::vector<double> true_d1, est_d1, errors;
+  int negatives = 0, samples = 0;
+
+  // Sample (VP, landmark-server) pairs: VPs are anchors, destinations are
+  // passing websites' servers — the tier-2 measurement population.
+  const auto& eco = s.web();
+  std::vector<sim::HostId> servers;
+  for (const auto& w : eco.websites()) {
+    if (w.passes_tests) servers.push_back(w.server);
+    if (servers.size() >= 400) break;
+  }
+  for (int i = 0; i < 2'000 && !servers.empty(); ++i) {
+    const sim::HostId vp =
+        s.targets()[gen.index(s.targets().size())];
+    const sim::HostId dst = servers[gen.index(servers.size())];
+    const sim::Traceroute tr = tracer.run(vp, dst, gen);
+    if (!tr.reached || tr.hops.size() < 2) continue;
+    // R1 = last router hop before the destination.
+    const sim::TraceHop* r1 = nullptr;
+    for (std::size_t h = tr.hops.size() - 1; h-- > 0;) {
+      if (tr.hops[h].responded) {
+        r1 = &tr.hops[h];
+        break;
+      }
+    }
+    if (!r1) continue;
+    const double d1_true = s.latency().base_rtt_ms(r1->host, dst) / 2.0;
+    const double d1_est = (*tr.destination_rtt_ms() - r1->rtt_ms) / 2.0;
+    true_d1.push_back(d1_true);
+    est_d1.push_back(d1_est);
+    errors.push_back(d1_est - d1_true);
+    negatives += d1_est < 0.0;
+    ++samples;
+  }
+
+  util::TextTable t{"D1 estimator vs ground truth (" +
+                    std::to_string(samples) + " VP/landmark pairs)"};
+  t.header({"Quantity", "p10", "median", "p90"});
+  t.row({"true D1 (ms)", util::TextTable::num(util::percentile(true_d1, 10), 2),
+         util::TextTable::num(util::median(true_d1), 2),
+         util::TextTable::num(util::percentile(true_d1, 90), 2)});
+  t.row({"estimated D1 (ms)",
+         util::TextTable::num(util::percentile(est_d1, 10), 2),
+         util::TextTable::num(util::median(est_d1), 2),
+         util::TextTable::num(util::percentile(est_d1, 90), 2)});
+  t.row({"estimator error (ms)",
+         util::TextTable::num(util::percentile(errors, 10), 2),
+         util::TextTable::num(util::median(errors), 2),
+         util::TextTable::num(util::percentile(errors, 90), 2)});
+  std::printf("%s\n", t.render().c_str());
+  std::printf("negative estimates: %.0f%% of pairs (each negative estimate "
+              "is an unusable distance bound)\n",
+              100.0 * negatives / std::max(samples, 1));
+  std::printf("pearson(true, estimated) = %.3f — the estimator carries "
+              "almost no signal about the true last-mile delay,\nwhich is "
+              "why Section 5.2.3 finds no distance-order preservation\n\n",
+              util::pearson(true_d1, est_d1));
+
+  util::ChartOptions opt;
+  opt.log_x = false;
+  opt.x_label = "D1 estimator error (ms)";
+  std::printf("%s\n",
+              util::render_cdf_chart({{"estimator error", errors}}, opt)
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Campaign planning (paper Section 4.1.1): the study burned "hundreds of
+// millions of credits" and needed an upgraded account. This bench plans the
+// reproduction's measurement campaigns against the platform's credit policy
+// and probing budgets and prints the bill.
+#include <cstdio>
+
+#include "atlas/scheduler.h"
+#include "bench_common.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Campaign cost", "credits and duration of the study's campaigns",
+      "the tier-1 mesh plus representatives cost ~10^8 credits — the reason "
+      "the study needed an upgraded Atlas account");
+
+  const auto& s = bench::bench_scenario();
+  atlas::Platform platform(s.world(), s.latency());
+  const atlas::MeasurementScheduler scheduler(platform);
+
+  util::TextTable t{"planned campaigns"};
+  t.header({"Campaign", "measurements", "credits", "rounds", "days"});
+  auto emit = [&](const char* name, const atlas::CampaignPlan& p) {
+    t.row({name, std::to_string(p.measurements),
+           util::TextTable::num(static_cast<double>(p.credits) / 1e6, 1) + "M",
+           std::to_string(p.rounds),
+           util::TextTable::num(p.duration_days(), 2)});
+  };
+
+  // Tier-1: every VP pings every target.
+  emit("tier-1 mesh (VPs x targets)",
+       scheduler.plan_full_mesh(s.vps(), s.targets()));
+
+  // Representatives: every VP pings the 3 representatives of every target.
+  {
+    std::vector<atlas::MeasurementRequest> reqs;
+    reqs.reserve(s.vps().size() * s.targets().size() * 3);
+    for (sim::HostId vp : s.vps()) {
+      for (sim::HostId target : s.targets()) {
+        for (const auto& rep : s.hitlist().for_target(target).reps) {
+          reqs.push_back({vp, rep.host, atlas::MeasurementKind::Ping, 3});
+        }
+      }
+    }
+    emit("representative campaign (x3)", scheduler.plan(reqs));
+  }
+
+  // Street-level traceroutes: 10 VPs x (landmarks + target) per target,
+  // using the paper's ~111-landmark median as the volume estimate.
+  {
+    std::vector<atlas::MeasurementRequest> reqs;
+    for (sim::HostId target : s.targets()) {
+      for (std::size_t v = 0; v < 10; ++v) {
+        for (int l = 0; l < 112; ++l) {
+          reqs.push_back({s.vps()[v], target,
+                          atlas::MeasurementKind::Traceroute, 0});
+        }
+      }
+    }
+    emit("street-level traceroutes", scheduler.plan(reqs));
+  }
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

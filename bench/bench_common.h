@@ -1,0 +1,71 @@
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every binary prints: a header naming the paper artefact it regenerates,
+// the measured rows/series, and (where the paper uses a plot) an ASCII
+// rendering of the figure. Numbers are expected to match the paper's
+// *shape* — orderings, ratios, crossovers — not its absolute values (the
+// substrate here is a simulator; see DESIGN.md and EXPERIMENTS.md).
+//
+// Environment knobs:
+//   GEOLOC_SMALL=1      run on the miniature scenario (quick smoke)
+//   GEOLOC_TRIALS=N     trial count for the randomized sweeps
+//   GEOLOC_CACHE_DIR=…  where the RTT-matrix / campaign caches live
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "scenario/presets.h"
+#include "scenario/scenario.h"
+#include "util/ascii_chart.h"
+#include "util/csv.h"
+
+namespace geoloc::bench {
+
+inline bool small_mode() {
+  const char* env = std::getenv("GEOLOC_SMALL");
+  return env != nullptr && env[0] == '1';
+}
+
+/// The scenario every bench shares (paper scale unless GEOLOC_SMALL=1).
+inline const scenario::Scenario& bench_scenario() {
+  static const scenario::Scenario s = [] {
+    auto cfg =
+        small_mode() ? scenario::small_config() : scenario::paper_config();
+    if (cfg.cache_dir.empty()) cfg.cache_dir = "geoloc_cache";
+    return scenario::Scenario(cfg);
+  }();
+  return s;
+}
+
+inline void print_header(const char* artefact, const char* description,
+                         const char* paper_shape) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artefact, description);
+  std::printf("Paper shape to reproduce: %s\n", paper_shape);
+  if (small_mode()) {
+    std::printf("[GEOLOC_SMALL=1: miniature scenario — numbers are a smoke "
+                "run, not the reproduction]\n");
+  }
+  std::printf("==============================================================\n");
+}
+
+/// Export a figure's raw CDF series as "<GEOLOC_EXPORT_DIR>/<name>.csv"
+/// (columns: series,value). No-op unless GEOLOC_EXPORT_DIR is set.
+inline void export_cdf(const std::string& name,
+                       const std::vector<util::CdfSeries>& series) {
+  auto csv = util::maybe_csv(name);
+  if (!csv) return;
+  csv->row({"series", "value"});
+  for (const auto& s : series) {
+    for (double v : s.samples) {
+      csv->row({s.label, std::to_string(v)});
+    }
+  }
+  std::printf("[exported %zu rows to $GEOLOC_EXPORT_DIR/%s.csv]\n",
+              csv->rows_written() - 1, name.c_str());
+}
+
+}  // namespace geoloc::bench

@@ -1,0 +1,62 @@
+// Figure 2a of the IMC'23 paper: median CBG geolocation error versus the
+// number of (randomly chosen) vantage points — 100 trials per subset size
+// in the paper; configurable here via GEOLOC_TRIALS (default sized for a
+// single-core run).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/experiments.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 2a", "number of VPs vs geolocation error (random subsets)",
+      "error keeps falling past 1000 VPs; ~8 km median at 10k (2012 paper "
+      "plateaued at a few hundred km beyond 60 VPs)");
+
+  const auto& s = bench::bench_scenario();
+  const int trials = eval::trials_from_env(bench::small_mode() ? 5 : 20);
+
+  std::vector<int> sizes{10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000};
+  while (!sizes.empty() &&
+         static_cast<std::size_t>(sizes.back()) > s.vps().size()) {
+    sizes.pop_back();
+  }
+  if (sizes.empty() ||
+      static_cast<std::size_t>(sizes.back()) != s.vps().size()) {
+    sizes.push_back(static_cast<int>(s.vps().size()));
+  }
+
+  const auto sweep = eval::run_subset_size_sweep(s, sizes, trials);
+
+  util::TextTable t{"median-of-median error per subset size (" +
+                    std::to_string(trials) + " trials)"};
+  t.header({"VPs", "min", "p25", "median", "p75", "max"});
+  for (const auto& st : sweep) {
+    const auto& m = st.trial_median_errors_km;
+    t.row({std::to_string(st.subset_size), util::TextTable::num(util::min_of(m), 1),
+           util::TextTable::num(util::percentile(m, 25), 1),
+           util::TextTable::num(util::median(m), 1),
+           util::TextTable::num(util::percentile(m, 75), 1),
+           util::TextTable::num(util::max_of(m), 1)});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // The figure itself: error bars collapse to a scatter of trial medians.
+  util::ScatterSeries series{"trial medians", {}, {}};
+  for (const auto& st : sweep) {
+    for (double m : st.trial_median_errors_km) {
+      series.xs.push_back(st.subset_size);
+      series.ys.push_back(m);
+    }
+  }
+  util::ScatterOptions opt;
+  opt.x_label = "number of VPs";
+  opt.y_label = "geolocation error (km)";
+  std::printf("%s\n", util::render_scatter_chart({series}, opt).c_str());
+  return 0;
+}

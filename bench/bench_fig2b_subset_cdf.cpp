@@ -1,0 +1,49 @@
+// Figure 2b of the IMC'23 paper: CDF of the median error across random VP
+// subsets of fixed sizes (100 / 500 / 1000 / 2000). The paper's point: the
+// 2023 distributions vary far less across subsets than the 2012 ones did.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/experiments.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 2b", "CDF of the median error for fixed subset sizes",
+      "distributions are narrow: e.g. 100-VP medians span ~191-366 km, not "
+      "hundreds-to-a-thousand as in 2012");
+
+  const auto& s = bench::bench_scenario();
+  const int trials = eval::trials_from_env(bench::small_mode() ? 6 : 30);
+
+  std::vector<int> sizes{100, 500, 1000, 2000};
+  for (int& size : sizes) {
+    size = std::min(size, static_cast<int>(s.vps().size()));
+  }
+  const auto sweep = eval::run_subset_size_sweep(s, sizes, trials);
+
+  util::TextTable t{"spread of trial medians (" + std::to_string(trials) +
+                    " trials per size)"};
+  t.header({"VPs", "min", "median", "max", "max/min"});
+  std::vector<util::CdfSeries> series;
+  for (const auto& st : sweep) {
+    const auto& m = st.trial_median_errors_km;
+    t.row({std::to_string(st.subset_size),
+           util::TextTable::num(util::min_of(m), 1),
+           util::TextTable::num(util::median(m), 1),
+           util::TextTable::num(util::max_of(m), 1),
+           util::TextTable::num(util::max_of(m) / util::min_of(m), 2)});
+    series.push_back({std::to_string(st.subset_size) + " VPs", m});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  bench::export_cdf("fig2b_subset_cdf", series);
+
+  util::ChartOptions opt;
+  opt.x_label = "median geolocation error (km)";
+  std::printf("%s\n", util::render_cdf_chart(series, opt).c_str());
+  return 0;
+}

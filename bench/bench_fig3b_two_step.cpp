@@ -1,0 +1,52 @@
+// Figure 3b of the IMC'23 paper: accuracy of the two-step VP-selection
+// extension for different first-step subset sizes — the paper's point being
+// that even a 10-VP first step does not degrade accuracy.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 3b", "two-step VP selection accuracy vs first-step size",
+      "accuracy is flat across first-step sizes and matches all-VP CBG");
+
+  const auto& s = bench::bench_scenario();
+  std::vector<int> sizes{10, 100, 300, 500, 1000};
+  for (int& v : sizes) v = std::min(v, static_cast<int>(s.vps().size()));
+  const auto sweep = eval::run_two_step_sweep(s, sizes);
+  const auto& all_vp = eval::all_vp_errors(s);
+  std::vector<double> all_clean;
+  for (double e : all_vp) {
+    if (e >= 0) all_clean.push_back(e);
+  }
+
+  util::TextTable t{"two-step accuracy per first-step size"};
+  t.header({"First step", "targets", "median (km)", "<=40 km", "failed"});
+  std::vector<util::CdfSeries> series{{"All VPs", all_clean}};
+  for (const auto& sw : sweep) {
+    t.row({std::to_string(sw.first_step_size),
+           std::to_string(sw.errors_km.size()),
+           util::TextTable::num(util::median(sw.errors_km), 1),
+           util::TextTable::pct(eval::city_level_fraction(sw.errors_km)),
+           std::to_string(sw.failed_targets)});
+    series.push_back(
+        {std::to_string(sw.first_step_size) + " VPs", sw.errors_km});
+  }
+  t.row({"All VPs (CBG)", std::to_string(all_clean.size()),
+         util::TextTable::num(util::median(all_clean), 1),
+         util::TextTable::pct(eval::city_level_fraction(all_clean)), "-"});
+  std::printf("%s\n", t.render().c_str());
+
+  bench::export_cdf("fig3b_two_step", series);
+
+  util::ChartOptions opt;
+  opt.x_label = "geolocation error (km)";
+  std::printf("%s\n", util::render_cdf_chart(series, opt).c_str());
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Figure 3c of the IMC'23 paper: measurement overhead of the two-step VP
+// selection per first-step size, against the original algorithm's
+// all-VPs-probe-every-representative cost (21.7M pings in the paper; the
+// best two-step point used 13.2% of that).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "core/million_scale.h"
+#include "eval/experiments.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 3c", "measurement overhead of the two-step selection",
+      "U-shaped cost with the sweet spot in the few-hundred-VP range at "
+      "~13% of the original 21.7M pings");
+
+  const auto& s = bench::bench_scenario();
+  std::vector<int> sizes{10, 100, 300, 500, 1000};
+  for (int& v : sizes) v = std::min(v, static_cast<int>(s.vps().size()));
+  const auto sweep = eval::run_two_step_sweep(s, sizes);
+  const auto original = core::original_algorithm_pings(s);
+
+  util::TextTable t{"ping measurements per first-step size"};
+  t.header({"VPs in the first step", "Measurements", "vs original"});
+  for (const auto& sw : sweep) {
+    t.row({std::to_string(sw.first_step_size),
+           util::TextTable::num(static_cast<double>(sw.total_pings) / 1e6, 2) +
+               "M",
+           util::TextTable::pct(static_cast<double>(sw.total_pings) /
+                                static_cast<double>(original))});
+  }
+  t.row({"All (original algorithm)",
+         util::TextTable::num(static_cast<double>(original) / 1e6, 1) + "M",
+         "100.0%"});
+  std::printf("%s\n", t.render().c_str());
+  return 0;
+}

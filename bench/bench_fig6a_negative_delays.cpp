@@ -1,0 +1,37 @@
+// Figure 6a of the IMC'23 paper: CDF over targets of the fraction of
+// landmarks whose D1+D2 delay estimate is negative (and therefore unusable
+// as a distance bound) — the evidence that the traceroute-subtraction
+// method is untrustworthy without reverse-path information (Appendix B).
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/street_campaign.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 6a", "fraction of landmarks with unusable (negative) D1+D2",
+      "for half the targets at least ~28% of landmarks are unusable");
+
+  const auto& s = bench::bench_scenario();
+  const auto& camp = eval::street_campaign(s);
+
+  std::vector<double> fractions;
+  for (const auto& r : camp.records) {
+    if (r.negative_fraction >= 0) fractions.push_back(r.negative_fraction);
+  }
+  std::printf("targets with measured landmarks: %zu\n", fractions.size());
+  std::printf("median fraction of unusable landmarks: %.2f (paper: 0.28)\n",
+              util::median(fractions));
+  std::printf("p90: %.2f  max: %.2f\n\n", util::percentile(fractions, 90),
+              util::max_of(fractions));
+
+  util::ChartOptions opt;
+  opt.log_x = false;
+  opt.x_label = "fraction of landmarks with D1+D2 < 0";
+  std::printf("%s\n",
+              util::render_cdf_chart({{"targets", fractions}}, opt).c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 6b of the IMC'23 paper: street-level error versus population
+// density at the target, with a least-squares fit. The paper (contradicting
+// the 2011 street-level paper) finds no relationship.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "eval/street_campaign.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 6b", "error distance vs population density",
+      "no dependence: denser areas are not geolocated better");
+
+  const auto& s = bench::bench_scenario();
+  const auto& camp = eval::street_campaign(s);
+  const auto& grid = s.population();
+
+  util::ScatterSeries sc{"targets", {}, {}};
+  std::vector<double> log_err, log_density;
+  for (std::size_t col = 0; col < camp.records.size(); ++col) {
+    const double err = std::max<double>(camp.records[col].street_error_km, 0.1);
+    const double density = grid.density_per_km2(
+        s.world().host(s.targets()[col]).true_location);
+    sc.xs.push_back(err);
+    sc.ys.push_back(density);
+    log_err.push_back(std::log10(err));
+    log_density.push_back(std::log10(std::max(density, 0.1)));
+  }
+
+  util::ScatterOptions opt;
+  opt.x_label = "error distance (km)";
+  opt.y_label = "population density (people/km^2)";
+  std::printf("%s\n", util::render_scatter_chart({sc}, opt).c_str());
+
+  const util::LinearFit fit = util::linear_fit(log_density, log_err);
+  std::printf("log-log fit: log10(error) = %.3f * log10(density) + %.2f "
+              "(r^2 = %.3f)\n",
+              fit.slope, fit.intercept, fit.r2);
+  std::printf("pearson(log density, log error) = %.3f — |r| near 0 means no "
+              "relationship, as the paper found\n",
+              util::pearson(log_density, log_err));
+  return 0;
+}

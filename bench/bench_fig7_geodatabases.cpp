@@ -1,0 +1,87 @@
+// Figure 7 of the IMC'23 paper: all-VP CBG versus the commercial
+// geolocation databases — IPinfo beats CBG beats MaxMind free at city
+// level (89% / 73% / 55%), and the IPinfo entries are explainable by
+// source (latency + DNS/WHOIS/geofeed hints).
+#include <cstdio>
+#include <map>
+
+#include "bench_common.h"
+#include "core/geodb.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "geo/geodesy.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 7", "CBG (all VPs) vs geolocation databases",
+      "city-level: IPinfo ~89% > CBG ~73% > MaxMind free ~55%");
+
+  const auto& s = bench::bench_scenario();
+
+  std::vector<double> cbg;
+  for (double e : eval::all_vp_errors(s)) {
+    if (e >= 0) cbg.push_back(e);
+  }
+
+  auto db_errors = [&](core::GeoDbProfile profile) {
+    const auto db = core::GeoDatabase::build(s, profile);
+    std::vector<double> errors;
+    for (sim::HostId t : s.targets()) {
+      const auto entry = db.lookup(s.world().host(t).addr);
+      if (!entry) continue;
+      errors.push_back(geo::distance_km(entry->location,
+                                        s.world().host(t).true_location));
+    }
+    return errors;
+  };
+  const auto maxmind = db_errors(core::GeoDbProfile::MaxMindFree);
+  const auto ipinfo = db_errors(core::GeoDbProfile::IPinfo);
+
+  util::TextTable t{"error comparison"};
+  t.header({"Source", "median (km)", "<=40 km", "<=137 km"});
+  auto emit = [&](const char* name, const std::vector<double>& e) {
+    t.row({name, util::TextTable::num(util::median(e), 1),
+           util::TextTable::pct(eval::city_level_fraction(e)),
+           util::TextTable::pct(util::fraction_below(e, 137.0))});
+  };
+  emit("All VPs (CBG)", cbg);
+  emit("MaxMind (Free)", maxmind);
+  emit("IPinfo", ipinfo);
+  std::printf("%s\n", t.render().c_str());
+
+  bench::export_cdf("fig7_geodatabases",
+                    {{"cbg", cbg}, {"maxmind", maxmind}, {"ipinfo", ipinfo}});
+
+  util::ChartOptions opt;
+  opt.x_label = "geolocation error (km)";
+  std::printf("%s\n", util::render_cdf_chart({{"All VPs", cbg},
+                                              {"Maxmind (Free)", maxmind},
+                                              {"IPinfo", ipinfo}},
+                                             opt)
+                          .c_str());
+
+  // Explainability: the per-source breakdown of the IPinfo-like database —
+  // the paper's Section 6 conversation in table form.
+  const auto db = core::GeoDatabase::build(s, core::GeoDbProfile::IPinfo);
+  std::map<std::string_view, std::pair<int, std::vector<double>>> by_source;
+  for (sim::HostId t : s.targets()) {
+    const auto entry = db.lookup(s.world().host(t).addr);
+    if (!entry) continue;
+    auto& slot = by_source[entry->source];
+    slot.first++;
+    slot.second.push_back(geo::distance_km(entry->location,
+                                           s.world().host(t).true_location));
+  }
+  util::TextTable src{"IPinfo-like entries by source (explainability)"};
+  src.header({"Source", "targets", "median error (km)"});
+  for (auto& [source, slot] : by_source) {
+    src.row({std::string(source), std::to_string(slot.first),
+             util::TextTable::num(util::median(slot.second), 1)});
+  }
+  std::printf("%s\n", src.render().c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 8 (Appendix C) of the IMC'23 paper: CDF of the population density
+// at the targets — evidence that the target set spans rural and urban areas.
+#include <cstdio>
+
+#include "bench_common.h"
+#include "util/ascii_chart.h"
+#include "util/stats.h"
+
+int main() {
+  using namespace geoloc;
+  bench::print_header(
+      "Figure 8 (Appendix C)", "population density of the target dataset",
+      "targets cover both rural (<100 people/km^2) and dense urban areas");
+
+  const auto& s = bench::bench_scenario();
+  const auto& grid = s.population();
+
+  std::vector<double> density;
+  for (sim::HostId t : s.targets()) {
+    density.push_back(
+        grid.density_per_km2(s.world().host(t).true_location));
+  }
+
+  std::printf("density at targets: median %.0f people/km^2, p10 %.0f, "
+              "p90 %.0f\n",
+              util::median(density), util::percentile(density, 10),
+              util::percentile(density, 90));
+  std::printf("rural share (<100 people/km^2): %.0f%%\n\n",
+              100.0 * util::fraction_below(density, 100.0));
+
+  util::ChartOptions opt;
+  opt.x_label = "population density (people/km^2)";
+  std::printf("%s\n",
+              util::render_cdf_chart({{"targets", density}}, opt).c_str());
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Micro-benchmarks (google-benchmark) of the hot kernels: geodesy, RTT
+// synthesis, constraint pruning, region intersection, prefix-table lookups
+// and the concrete CBG pipeline. These are the kernels behind the ~720k
+// CBG evaluations of Figure 2a.
+#include <benchmark/benchmark.h>
+
+#include "core/cbg.h"
+#include "geo/geodesy.h"
+#include "geo/region.h"
+#include "net/prefix_table.h"
+#include "scenario/presets.h"
+#include "sim/latency_model.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace geoloc;
+
+void BM_Haversine(benchmark::State& state) {
+  auto gen = util::Pcg32{1};
+  const geo::GeoPoint a{48.85, 2.35};
+  geo::GeoPoint b{40.7, -74.0};
+  for (auto _ : state) {
+    b.lon_deg = gen.uniform(-180.0, 179.0);
+    benchmark::DoNotOptimize(geo::distance_km(a, b));
+  }
+}
+BENCHMARK(BM_Haversine);
+
+void BM_Destination(benchmark::State& state) {
+  auto gen = util::Pcg32{2};
+  const geo::GeoPoint a{48.85, 2.35};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        geo::destination(a, gen.uniform(0.0, 360.0), 250.0));
+  }
+}
+BENCHMARK(BM_Destination);
+
+std::vector<geo::Disk> make_disks(int n, std::uint64_t seed) {
+  auto gen = util::Pcg32{seed};
+  const geo::GeoPoint truth{47.0, 5.0};
+  std::vector<geo::Disk> disks;
+  for (int i = 0; i < n; ++i) {
+    const double d = gen.uniform(5.0, 2'000.0);
+    const geo::GeoPoint vp =
+        geo::destination(truth, gen.uniform(0.0, 360.0), d);
+    disks.push_back(geo::Disk{vp, d * gen.uniform(1.05, 1.6) + 30.0});
+  }
+  return disks;
+}
+
+void BM_PruneDominated(benchmark::State& state) {
+  const auto disks = make_disks(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::prune_dominated(disks));
+  }
+}
+BENCHMARK(BM_PruneDominated)->Arg(8)->Arg(24)->Arg(64);
+
+void BM_IntersectDisks(benchmark::State& state) {
+  const auto disks = make_disks(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(geo::intersect_disks(disks));
+  }
+}
+BENCHMARK(BM_IntersectDisks)->Arg(4)->Arg(12)->Arg(24);
+
+void BM_CbgGeolocate(benchmark::State& state) {
+  auto gen = util::Pcg32{5};
+  const geo::GeoPoint truth{47.0, 5.0};
+  std::vector<core::VpObservation> obs;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    const double d = gen.uniform(5.0, 3'000.0);
+    const geo::GeoPoint vp =
+        geo::destination(truth, gen.uniform(0.0, 360.0), d);
+    obs.push_back({vp, geo::distance_to_min_rtt_ms(d) * 1.2 + 1.0});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cbg_geolocate(obs));
+  }
+}
+BENCHMARK(BM_CbgGeolocate)->Arg(10)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_PrefixTableLookup(benchmark::State& state) {
+  net::PrefixTable<int> table;
+  auto gen = util::Pcg32{6};
+  for (int i = 0; i < 10'000; ++i) {
+    table.insert(net::Prefix{net::IPv4Address{gen()}, 24}, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.lookup(net::IPv4Address{gen()}));
+  }
+}
+BENCHMARK(BM_PrefixTableLookup);
+
+void BM_LatencyModelBaseRtt(benchmark::State& state) {
+  static const scenario::Scenario* s = [] {
+    auto cfg = scenario::small_config();
+    cfg.cache_dir = "";
+    return new scenario::Scenario(cfg);
+  }();
+  auto gen = util::Pcg32{7};
+  const auto& vps = s->vps();
+  for (auto _ : state) {
+    const auto a = vps[gen.index(vps.size())];
+    const auto b = vps[gen.index(vps.size())];
+    benchmark::DoNotOptimize(s->latency().base_rtt_ms(a, b));
+  }
+}
+BENCHMARK(BM_LatencyModelBaseRtt);
+
+void BM_MinRtt3Packets(benchmark::State& state) {
+  static const scenario::Scenario* s = [] {
+    auto cfg = scenario::small_config(/*seed=*/17);
+    cfg.cache_dir = "";
+    return new scenario::Scenario(cfg);
+  }();
+  auto gen = util::Pcg32{8};
+  const auto& vps = s->vps();
+  const auto& targets = s->targets();
+  for (auto _ : state) {
+    const auto a = vps[gen.index(vps.size())];
+    const auto b = targets[gen.index(targets.size())];
+    benchmark::DoNotOptimize(s->latency().min_rtt_ms(a, b, 3, gen));
+  }
+}
+BENCHMARK(BM_MinRtt3Packets);
+
+}  // namespace
+
+BENCHMARK_MAIN();

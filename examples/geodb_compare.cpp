@@ -1,0 +1,79 @@
+// Compare the simulated commercial geolocation databases (paper Section 6)
+// against ground truth and latency-based techniques for a handful of
+// targets, showing the per-entry provenance that makes a database
+// "explainable" — the property the paper asks vendors for.
+//
+//   $ ./build/examples/geodb_compare
+#include <cstdio>
+
+#include "core/geodb.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "geo/geodesy.h"
+#include "scenario/presets.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main() {
+  using namespace geoloc;
+
+  auto config = scenario::small_config();
+  config.cache_dir = "";
+  const scenario::Scenario scenario(config);
+
+  const auto ipinfo =
+      core::GeoDatabase::build(scenario, core::GeoDbProfile::IPinfo);
+  const auto maxmind =
+      core::GeoDatabase::build(scenario, core::GeoDbProfile::MaxMindFree);
+
+  // Per-target view for the first few targets.
+  util::TextTable t{"per-target lookups"};
+  t.header({"Target", "truth", "IPinfo (err km, source)",
+            "MaxMind free (err km)"});
+  for (std::size_t col = 0; col < 8; ++col) {
+    const sim::Host& h =
+        scenario.world().host(scenario.targets()[col]);
+    const auto ip = ipinfo.lookup(h.addr);
+    const auto mm = maxmind.lookup(h.addr);
+    t.row({h.addr.to_string(), geo::to_string(h.true_location),
+           ip ? util::TextTable::num(
+                    geo::distance_km(ip->location, h.true_location), 1) +
+                    " (" + std::string(ip->source) + ")"
+              : "miss",
+           mm ? util::TextTable::num(
+                    geo::distance_km(mm->location, h.true_location), 1)
+              : "miss"});
+  }
+  std::printf("%s\n", t.render().c_str());
+
+  // Aggregate, next to CBG — the Figure 7 comparison in miniature.
+  auto errors_of = [&](const core::GeoDatabase& db) {
+    std::vector<double> errors;
+    for (sim::HostId target : scenario.targets()) {
+      const auto entry = db.lookup(scenario.world().host(target).addr);
+      if (!entry) continue;
+      errors.push_back(geo::distance_km(
+          entry->location, scenario.world().host(target).true_location));
+    }
+    return errors;
+  };
+  std::vector<double> cbg;
+  for (double e : eval::all_vp_errors(scenario)) {
+    if (e >= 0) cbg.push_back(e);
+  }
+
+  util::TextTable agg{"city-level accuracy (Figure 7 in miniature)"};
+  agg.header({"Source", "median (km)", "<=40 km"});
+  auto emit = [&](const char* name, const std::vector<double>& e) {
+    agg.row({name, util::TextTable::num(util::median(e), 1),
+             util::TextTable::pct(eval::city_level_fraction(e))});
+  };
+  emit("CBG, all VPs", cbg);
+  emit("IPinfo (simulated)", errors_of(ipinfo));
+  emit("MaxMind free (simulated)", errors_of(maxmind));
+  std::printf("%s", agg.render().c_str());
+  std::printf("\nIPinfo-like entries are explainable: each lookup names its "
+              "source (latency / dns / whois / geofeed),\nwhich is exactly "
+              "what the paper argues commercial databases should expose.\n");
+  return 0;
+}

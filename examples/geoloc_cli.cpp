@@ -1,0 +1,251 @@
+// A small command-line front end over the library — the fifth example and
+// the closest thing to a day-to-day tool:
+//
+//   geoloc_cli world                       scenario summary
+//   geoloc_cli sanitize                    Section 4.3 report
+//   geoloc_cli geolocate <idx> [technique] one target, one technique
+//   geoloc_cli lookup <ipv4>               simulated geo-database lookups
+//   geoloc_cli export-targets <file.csv>   ground truth as CSV
+//
+// Techniques: cbg (default), shortest-ping, single-radius, two-step, street.
+// Add --paper to run at paper scale (723 targets; slower, uses the cache).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/geodb.h"
+#include "core/million_scale.h"
+#include "core/shortest_ping.h"
+#include "core/single_radius.h"
+#include "core/street_level.h"
+#include "eval/metrics.h"
+#include "geo/geodesy.h"
+#include "scenario/presets.h"
+#include "util/csv.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace geoloc;
+
+int cmd_world(const scenario::Scenario& s) {
+  util::TextTable t{"scenario"};
+  t.header({"Quantity", "Value"});
+  t.row({"places", std::to_string(s.world().places().size())});
+  t.row({"hosts", std::to_string(s.world().host_count())});
+  t.row({"targets (sanitised anchors)", std::to_string(s.targets().size())});
+  t.row({"VPs (anchors + probes)", std::to_string(s.vps().size())});
+  t.row({"websites", s.has_web() ? std::to_string(s.web().total_count())
+                                 : std::string("(not built)")});
+  t.row({"passing landmarks",
+         s.has_web() ? std::to_string(s.web().passing_count())
+                     : std::string("(not built)")});
+  t.row({"poorly connected cities",
+         std::to_string(s.world().poorly_connected_cities().size())});
+  std::printf("%s", t.render().c_str());
+  return 0;
+}
+
+int cmd_sanitize(const scenario::Scenario& s) {
+  const auto& a = s.anchor_sanitisation();
+  const auto& p = s.probe_sanitisation();
+  std::printf("anchors: %zu generated, %zu removed (%llu violating pairs)\n",
+              s.catalog().anchors.size(), a.removed.size(),
+              static_cast<unsigned long long>(a.violating_pairs));
+  std::printf("probes:  %zu generated, %zu removed (%llu violating pairs)\n",
+              s.catalog().probes.size(), p.removed.size(),
+              static_cast<unsigned long long>(p.violating_pairs));
+  for (sim::HostId id : a.removed) {
+    const auto& h = s.world().host(id);
+    std::printf("  removed anchor %s: reported %s, actually %s (%.0f km "
+                "off)\n",
+                h.addr.to_string().c_str(),
+                geo::to_string(h.reported_location).c_str(),
+                geo::to_string(h.true_location).c_str(),
+                geo::distance_km(h.reported_location, h.true_location));
+  }
+  return 0;
+}
+
+int cmd_geolocate(const scenario::Scenario& s, std::size_t idx,
+                  const std::string& technique) {
+  if (idx >= s.targets().size()) {
+    std::fprintf(stderr, "target index out of range (have %zu)\n",
+                 s.targets().size());
+    return 1;
+  }
+  const core::MillionScale tools(s);
+  const sim::Host& target = s.world().host(s.targets()[idx]);
+  std::printf("target #%zu %s in %s, truth %s\n", idx,
+              target.addr.to_string().c_str(),
+              s.world().place(target.place).name.c_str(),
+              geo::to_string(target.true_location).c_str());
+
+  geo::GeoPoint estimate;
+  bool have = false;
+  if (technique == "cbg" || technique == "shortest-ping" ||
+      technique == "single-radius") {
+    std::vector<std::size_t> rows(s.vps().size());
+    for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+    const auto obs = tools.observations(rows, idx);
+    if (technique == "cbg") {
+      const auto r = core::cbg_geolocate(obs);
+      have = r.ok;
+      estimate = r.estimate;
+    } else if (technique == "shortest-ping") {
+      const auto r = core::shortest_ping(obs);
+      have = r.has_value();
+      if (r) estimate = r->estimate;
+    } else {
+      const auto r = core::single_radius(obs);
+      have = r.has_value();
+      if (r) {
+        estimate = r->estimate;
+      } else {
+        std::printf("single-radius abstains (no VP under the RTT budget)\n");
+        return 0;
+      }
+    }
+  } else if (technique == "two-step") {
+    const core::TwoStepSelector selector(
+        s, core::greedy_coverage_rows(s, 100));
+    const auto o = selector.run(idx);
+    have = o.ok;
+    estimate = o.estimate;
+    if (o.ok) {
+      std::printf("two-step: %llu pings (step1 %llu, step2 %llu)\n",
+                  static_cast<unsigned long long>(
+                      o.step1_pings + o.step2_pings + o.final_pings),
+                  static_cast<unsigned long long>(o.step1_pings),
+                  static_cast<unsigned long long>(o.step2_pings));
+    }
+  } else if (technique == "street") {
+    if (!s.has_web()) {
+      std::fprintf(stderr, "street-level needs the web ecosystem\n");
+      return 1;
+    }
+    const core::StreetLevel street(s);
+    const auto r = street.geolocate(idx);
+    have = r.ok;
+    estimate = r.estimate;
+    if (r.ok) {
+      std::printf("street level: tier %d, %llu traceroutes, %.0f simulated "
+                  "seconds%s\n",
+                  r.tier_reached,
+                  static_cast<unsigned long long>(r.traceroutes),
+                  r.elapsed_seconds,
+                  r.fell_back_to_cbg ? " (CBG fallback)" : "");
+    }
+  } else {
+    std::fprintf(stderr,
+                 "unknown technique '%s' (cbg | shortest-ping | "
+                 "single-radius | two-step | street)\n",
+                 technique.c_str());
+    return 1;
+  }
+
+  if (!have) {
+    std::printf("%s produced no estimate\n", technique.c_str());
+    return 0;
+  }
+  std::printf("%s -> %s (error %.1f km)\n", technique.c_str(),
+              geo::to_string(estimate).c_str(),
+              eval::error_km(s, idx, estimate));
+  return 0;
+}
+
+int cmd_lookup(const scenario::Scenario& s, const std::string& text) {
+  const auto addr = net::IPv4Address::parse(text);
+  if (!addr) {
+    std::fprintf(stderr, "not an IPv4 address: %s\n", text.c_str());
+    return 1;
+  }
+  for (const auto profile :
+       {core::GeoDbProfile::IPinfo, core::GeoDbProfile::MaxMindFree}) {
+    const auto db = core::GeoDatabase::build(s, profile);
+    const auto entry = db.lookup(*addr);
+    if (entry) {
+      std::printf("%-14s -> %s (source: %s)\n",
+                  std::string(to_string(profile)).c_str(),
+                  geo::to_string(entry->location).c_str(),
+                  std::string(entry->source).c_str());
+    } else {
+      std::printf("%-14s -> no entry\n",
+                  std::string(to_string(profile)).c_str());
+    }
+  }
+  if (const auto origin = s.world().bgp_lookup(*addr)) {
+    std::printf("BGP origin     -> AS%u via %s\n", origin->second.value,
+                origin->first.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_export_targets(const scenario::Scenario& s, const std::string& path) {
+  util::CsvWriter w(path);
+  if (!w.ok()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  w.row({"address", "lat", "lon", "city", "country", "continent", "asn"});
+  for (sim::HostId id : s.targets()) {
+    const auto& h = s.world().host(id);
+    const auto& place = s.world().place(h.place);
+    w.row({h.addr.to_string(), std::to_string(h.true_location.lat_deg),
+           std::to_string(h.true_location.lon_deg), place.name, place.country,
+           std::string(sim::to_string(place.continent)),
+           std::to_string(h.asn.value)});
+  }
+  std::printf("wrote %zu rows to %s\n", w.rows_written(), path.c_str());
+  return 0;
+}
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: geoloc_cli [--paper] <command>\n"
+      "  world                         scenario summary\n"
+      "  sanitize                      Section 4.3 sanitisation report\n"
+      "  geolocate <idx> [technique]   cbg | shortest-ping | single-radius "
+      "| two-step | street\n"
+      "  lookup <ipv4>                 simulated geo-database lookups\n"
+      "  export-targets <file.csv>     ground truth as CSV\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  bool paper = false;
+  for (auto it = args.begin(); it != args.end();) {
+    if (*it == "--paper") {
+      paper = true;
+      it = args.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (args.empty()) {
+    usage();
+    return 2;
+  }
+
+  auto config = paper ? scenario::paper_config() : scenario::small_config();
+  if (!paper) config.cache_dir = "";
+  const scenario::Scenario s(config);
+
+  const std::string& cmd = args[0];
+  if (cmd == "world") return cmd_world(s);
+  if (cmd == "sanitize") return cmd_sanitize(s);
+  if (cmd == "geolocate" && args.size() >= 2) {
+    return cmd_geolocate(s, static_cast<std::size_t>(std::stoul(args[1])),
+                         args.size() >= 3 ? args[2] : "cbg");
+  }
+  if (cmd == "lookup" && args.size() >= 2) return cmd_lookup(s, args[1]);
+  if (cmd == "export-targets" && args.size() >= 2) {
+    return cmd_export_targets(s, args[1]);
+  }
+  usage();
+  return 2;
+}

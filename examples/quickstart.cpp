@@ -1,0 +1,83 @@
+// Quickstart: build a (miniature) simulated Internet, run the two classic
+// latency-based geolocation techniques against one target, and compare
+// their answers with the ground truth.
+//
+//   $ ./build/examples/quickstart
+//
+// Everything is deterministic: re-running prints the same numbers.
+#include <cstdio>
+
+#include "core/cbg.h"
+#include "core/million_scale.h"
+#include "core/shortest_ping.h"
+#include "eval/metrics.h"
+#include "geo/geodesy.h"
+#include "scenario/presets.h"
+
+int main() {
+  using namespace geoloc;
+
+  // 1. Assemble the world: cities, ASes, anchors (targets), probes (VPs),
+  //    a hitlist of /24 representatives, and the sanitisation pass that
+  //    removes hosts with bogus coordinates (paper Section 4.3).
+  auto config = scenario::small_config();
+  config.cache_dir = "";  // quickstart: skip the on-disk measurement cache
+  const scenario::Scenario scenario(config);
+  std::printf("world: %zu places, %zu hosts, %zu targets, %zu VPs\n",
+              scenario.world().places().size(), scenario.world().host_count(),
+              scenario.targets().size(), scenario.vps().size());
+
+  // 2. Pick a target and gather the measurement campaign against it. The
+  //    scenario exposes the all-VPs-to-all-targets min-RTT matrix that both
+  //    replicated papers start from.
+  const std::size_t target_col = 0;
+  const sim::Host& target =
+      scenario.world().host(scenario.targets()[target_col]);
+  std::printf("\ntarget: %s in %s (%s) — true location %s\n",
+              target.addr.to_string().c_str(),
+              scenario.world().place(target.place).name.c_str(),
+              std::string(sim::to_string(
+                              scenario.world().place(target.place).continent))
+                  .c_str(),
+              geo::to_string(target.true_location).c_str());
+
+  const core::MillionScale tools(scenario);
+  std::vector<std::size_t> all_rows(scenario.vps().size());
+  for (std::size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+  const auto observations = tools.observations(all_rows, target_col);
+  std::printf("observations: %zu VPs measured the target\n",
+              observations.size());
+
+  // 3. Shortest Ping: the target is wherever the lowest-RTT VP is.
+  const auto sp = core::shortest_ping(observations);
+  if (sp) {
+    std::printf("\nShortest Ping -> %s (min RTT %.2f ms, error %.1f km)\n",
+                geo::to_string(sp->estimate).c_str(), sp->min_rtt_ms,
+                geo::distance_km(sp->estimate, target.true_location));
+  }
+
+  // 4. CBG: intersect the speed-of-Internet constraint disks and take the
+  //    centroid of the feasible region.
+  const core::CbgResult cbg = core::cbg_geolocate(observations);
+  if (cbg.ok) {
+    std::printf("CBG           -> %s (region radius %.0f km, error %.1f km)\n",
+                geo::to_string(cbg.estimate).c_str(), cbg.region.radius_km,
+                geo::distance_km(cbg.estimate, target.true_location));
+  }
+
+  // 5. The million-scale VP selection: use only the 10 VPs closest (by
+  //    RTT) to the representatives of the target's /24.
+  const auto selected = tools.select_vps_by_representatives(target_col, 10);
+  const core::CbgResult small = tools.geolocate(selected, target_col);
+  if (small.ok) {
+    std::printf("CBG, 10 selected VPs -> error %.1f km (%.4f%% of the "
+                "measurements)\n",
+                tools.error_km(small.estimate, target_col),
+                100.0 * 10.0 / static_cast<double>(scenario.vps().size()));
+  }
+
+  std::printf("\nNext: examples/street_level_walkthrough for the three-tier "
+              "landmark pipeline,\n      examples/vp_selection_planner for "
+              "the paper's two-step extension.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// The measurement-budget planner: compares the original million-scale VP
+// selection against the IMC'23 two-step extension for a whole target set,
+// reporting accuracy and the ping budget each approach needs — the
+// trade-off behind the paper's Figures 3b/3c and its "round-based
+// geolocation" recommendation (Section 7.2.3).
+//
+//   $ ./build/examples/vp_selection_planner [first-step-size]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/million_scale.h"
+#include "eval/metrics.h"
+#include "scenario/presets.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace geoloc;
+
+  auto config = scenario::small_config();
+  config.cache_dir = "";
+  const scenario::Scenario scenario(config);
+  const core::MillionScale tools(scenario);
+
+  int first_step = argc > 1 ? std::atoi(argv[1]) : 50;
+  first_step = std::clamp(first_step, 5,
+                          static_cast<int>(scenario.vps().size()));
+
+  // Plan A: the original algorithm — every VP probes every target's
+  // representatives, then the 10 best probe the target.
+  std::vector<double> original_errors;
+  std::uint64_t original_pings = core::original_algorithm_pings(scenario);
+  for (std::size_t col = 0; col < scenario.targets().size(); ++col) {
+    const auto rows = tools.select_vps_by_representatives(col, 10);
+    const auto r = tools.geolocate(rows, col);
+    if (r.ok) original_errors.push_back(tools.error_km(r.estimate, col));
+  }
+
+  // Plan B: the two-step extension with a greedily chosen earth-covering
+  // first-step subset.
+  const auto coverage = core::greedy_coverage_rows(
+      scenario, static_cast<std::size_t>(first_step));
+  const core::TwoStepSelector selector(scenario, coverage);
+  std::vector<double> two_step_errors;
+  std::uint64_t two_step_pings = 0;
+  std::size_t failures = 0;
+  for (std::size_t col = 0; col < scenario.targets().size(); ++col) {
+    const auto o = selector.run(col);
+    two_step_pings += o.step1_pings + o.step2_pings + o.final_pings;
+    if (!o.ok) {
+      ++failures;
+      continue;
+    }
+    two_step_errors.push_back(tools.error_km(o.estimate, col));
+  }
+
+  util::TextTable t{"measurement plan comparison (" +
+                    std::to_string(scenario.targets().size()) + " targets)"};
+  t.header({"Plan", "median error (km)", "city level", "ping measurements"});
+  t.row({"original (all VPs probe reps)",
+         util::TextTable::num(util::median(original_errors), 1),
+         util::TextTable::pct(eval::city_level_fraction(original_errors)),
+         std::to_string(original_pings)});
+  t.row({"two-step (first step = " + std::to_string(first_step) + ")",
+         util::TextTable::num(util::median(two_step_errors), 1),
+         util::TextTable::pct(eval::city_level_fraction(two_step_errors)),
+         std::to_string(two_step_pings)});
+  std::printf("%s", t.render().c_str());
+  std::printf("two-step budget: %.1f%% of the original; %zu targets failed "
+              "selection\n\n",
+              100.0 * static_cast<double>(two_step_pings) /
+                  static_cast<double>(original_pings),
+              failures);
+
+  std::printf("the first-step subset greedily maximises summed log distance "
+              "— its first 10 picks:\n");
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, coverage.size());
+       ++i) {
+    const sim::Host& h =
+        scenario.world().host(scenario.vps()[coverage[i]]);
+    std::printf("  %2zu. %s (%s)\n", i + 1,
+                scenario.world().place(h.place).name.c_str(),
+                std::string(sim::to_string(
+                                scenario.world().place(h.place).continent))
+                    .c_str());
+  }
+  return 0;
+}

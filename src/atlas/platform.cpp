@@ -1,0 +1,67 @@
+#include "atlas/platform.h"
+
+namespace geoloc::atlas {
+
+Platform::Platform(const sim::World& world, const sim::LatencyModel& latency,
+                   const PlatformConfig& config)
+    : world_(&world),
+      latency_(&latency),
+      tracer_(world, latency),
+      config_(config),
+      gen_(world.rng().fork("platform").gen()) {}
+
+PingMeasurement Platform::ping(sim::HostId vp, sim::HostId target) {
+  return ping(vp, target, config_.ping_packets);
+}
+
+PingMeasurement Platform::ping(sim::HostId vp, sim::HostId target,
+                               int packets) {
+  PingMeasurement m;
+  m.vp = vp;
+  m.target = target;
+  m.packets_sent = packets;
+  m.min_rtt_ms = latency_->min_rtt_ms(vp, target, packets, gen_);
+  ++usage_.pings;
+  usage_.ping_packets += static_cast<std::uint64_t>(packets);
+  usage_.credits +=
+      config_.credits.per_ping_packet * static_cast<std::uint64_t>(packets);
+  return m;
+}
+
+sim::Traceroute Platform::traceroute(sim::HostId vp, sim::HostId target) {
+  ++usage_.traceroutes;
+  usage_.credits += config_.credits.per_traceroute;
+  return tracer_.run(vp, target, gen_);
+}
+
+std::vector<PingMeasurement> Platform::ping_from_all(
+    std::span<const sim::HostId> vps, sim::HostId target) {
+  std::vector<PingMeasurement> out;
+  out.reserve(vps.size());
+  for (sim::HostId vp : vps) out.push_back(ping(vp, target));
+  return out;
+}
+
+double Platform::probing_rate_pps(sim::HostId vp) const {
+  const sim::Host& h = world_->host(vp);
+  auto gen = world_->rng().fork("pps", vp).gen();
+  if (h.kind == sim::HostKind::Anchor) {
+    return gen.uniform(config_.anchor_pps_min, config_.anchor_pps_max);
+  }
+  return gen.uniform(config_.probe_pps_min, config_.probe_pps_max);
+}
+
+DeployabilityAnswer analyze_deployability(const DeployabilityQuestion& q,
+                                          const PlatformConfig& config) {
+  DeployabilityAnswer a;
+  a.packets_per_vp = static_cast<double>(q.target_prefixes) *
+                     q.representatives_per_prefix * q.packets_per_ping;
+  a.total_packets =
+      static_cast<std::uint64_t>(a.packets_per_vp) * q.vantage_points;
+  const double probe_mid = (config.probe_pps_min + config.probe_pps_max) / 2.0;
+  a.days_at_probe_rate = a.days_at_pps(probe_mid);
+  a.days_at_original_rate = a.days_at_pps(500.0);
+  return a;
+}
+
+}  // namespace geoloc::atlas

@@ -1,0 +1,120 @@
+// A RIPE-Atlas-like measurement platform facade over the simulator.
+//
+// The replication's measurement code talks to this interface only — the
+// same boundary the original study has with the real RIPE Atlas API. The
+// platform meters credits, counts measurements, and models the per-class
+// probing-rate limits that make the million-scale VP-selection algorithm
+// undeployable (paper Section 5.1.3: a probe can sustain 4-12 pps, an
+// anchor 200-400 pps, versus the 500 pps the 2012 study assumed).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/latency_model.h"
+#include "sim/traceroute.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace geoloc::atlas {
+
+/// RIPE-style credit costs (one credit per ping packet; traceroutes are
+/// flat-rated).
+struct CreditPolicy {
+  std::uint64_t per_ping_packet = 1;
+  std::uint64_t per_traceroute = 20;
+};
+
+struct PlatformConfig {
+  CreditPolicy credits;
+  int ping_packets = 3;  ///< packets per ping measurement (Atlas default)
+  /// Sustainable probing rates, packets/second (paper Section 5.1.3).
+  double probe_pps_min = 4.0;
+  double probe_pps_max = 12.0;
+  double anchor_pps_min = 200.0;
+  double anchor_pps_max = 400.0;
+};
+
+struct PingMeasurement {
+  sim::HostId vp = sim::kInvalidHost;
+  sim::HostId target = sim::kInvalidHost;
+  std::optional<double> min_rtt_ms;  ///< nullopt: unresponsive / all lost
+  int packets_sent = 0;
+};
+
+/// Aggregate measurement counters, the currency of the paper's overhead
+/// arguments (Figure 3c).
+struct UsageCounters {
+  std::uint64_t pings = 0;
+  std::uint64_t ping_packets = 0;
+  std::uint64_t traceroutes = 0;
+  std::uint64_t credits = 0;
+};
+
+class Platform {
+ public:
+  Platform(const sim::World& world, const sim::LatencyModel& latency,
+           const PlatformConfig& config = {});
+
+  /// One ping measurement (ping_packets echo requests, min RTT reported).
+  PingMeasurement ping(sim::HostId vp, sim::HostId target);
+
+  /// Ping with an explicit packet count (the hitlist scans use 1).
+  PingMeasurement ping(sim::HostId vp, sim::HostId target, int packets);
+
+  /// One traceroute measurement.
+  sim::Traceroute traceroute(sim::HostId vp, sim::HostId target);
+
+  /// Ping from many VPs to one target, as one logical Atlas measurement.
+  std::vector<PingMeasurement> ping_from_all(std::span<const sim::HostId> vps,
+                                             sim::HostId target);
+
+  [[nodiscard]] const UsageCounters& usage() const noexcept { return usage_; }
+  void reset_usage() noexcept { usage_ = {}; }
+
+  /// Sustainable probing rate of a VP in packets/second (deterministic per
+  /// host, uniform within its class band).
+  [[nodiscard]] double probing_rate_pps(sim::HostId vp) const;
+
+  [[nodiscard]] const sim::World& world() const noexcept { return *world_; }
+  [[nodiscard]] const sim::LatencyModel& latency() const noexcept {
+    return *latency_;
+  }
+  [[nodiscard]] const PlatformConfig& config() const noexcept { return config_; }
+
+ private:
+  const sim::World* world_;
+  const sim::LatencyModel* latency_;
+  sim::TracerouteEngine tracer_;
+  PlatformConfig config_;
+  UsageCounters usage_;
+  util::Pcg32 gen_;
+};
+
+/// Inputs of the Section 5.1.3 deployability analysis.
+struct DeployabilityQuestion {
+  std::uint64_t target_prefixes = 11'500'000;  ///< routable /24s (2023 order)
+  int representatives_per_prefix = 3;
+  std::uint64_t vantage_points = 10'000;
+  double packets_per_ping = 3.0;
+};
+
+struct DeployabilityAnswer {
+  double packets_per_vp = 0.0;          ///< each VP probes every representative
+  double days_at_pps(double pps) const {
+    return packets_per_vp / pps / 86'400.0;
+  }
+  double days_at_probe_rate = 0.0;      ///< at the platform's probe band midpoint
+  double days_at_original_rate = 0.0;   ///< at the 2012 study's 500 pps
+  std::uint64_t total_packets = 0;
+};
+
+/// Evaluate whether the original (all-VPs-probe-every-/24) selection
+/// algorithm fits the platform's probing budget.
+DeployabilityAnswer analyze_deployability(const DeployabilityQuestion& q,
+                                          const PlatformConfig& config = {});
+
+}  // namespace geoloc::atlas

@@ -1,0 +1,77 @@
+#include "atlas/scheduler.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace geoloc::atlas {
+
+MeasurementScheduler::MeasurementScheduler(const Platform& platform,
+                                           const SchedulerConfig& config)
+    : platform_(&platform), config_(config) {}
+
+CampaignPlan MeasurementScheduler::plan(
+    std::span<const MeasurementRequest> requests) const {
+  CampaignPlan out;
+  out.measurements = requests.size();
+  if (requests.empty()) return out;
+
+  const auto& credits = platform_->config().credits;
+
+  // Process in batches (API rounds). Within a round, VPs probe in
+  // parallel, so the round's duration is the slowest VP's packet budget.
+  std::unordered_map<sim::HostId, double> rate_cache;
+  auto pps_of = [&](sim::HostId vp) {
+    const auto it = rate_cache.find(vp);
+    if (it != rate_cache.end()) return it->second;
+    const double pps = platform_->probing_rate_pps(vp);
+    rate_cache.emplace(vp, pps);
+    return pps;
+  };
+
+  std::size_t index = 0;
+  while (index < requests.size()) {
+    const std::size_t batch =
+        std::min(config_.batch_size, requests.size() - index);
+    std::unordered_map<sim::HostId, std::uint64_t> packets_per_vp;
+    for (std::size_t i = index; i < index + batch; ++i) {
+      const MeasurementRequest& r = requests[i];
+      std::uint64_t packets = 0;
+      if (r.kind == MeasurementKind::Ping) {
+        packets = static_cast<std::uint64_t>(r.packets);
+        out.credits +=
+            credits.per_ping_packet * static_cast<std::uint64_t>(r.packets);
+      } else {
+        packets = static_cast<std::uint64_t>(config_.traceroute_packets);
+        out.credits += credits.per_traceroute;
+      }
+      packets_per_vp[r.vp] += packets;
+      out.packets += packets;
+    }
+    // Concurrency ceiling: a VP can have at most max_concurrent running,
+    // but the binding constraint in practice is its packet rate.
+    double round_s = 0.0;
+    for (const auto& [vp, packets] : packets_per_vp) {
+      round_s = std::max(
+          round_s, static_cast<double>(packets) / std::max(pps_of(vp), 1e-9));
+    }
+    out.duration_s += round_s + config_.round_overhead_s;
+    ++out.rounds;
+    index += batch;
+  }
+  return out;
+}
+
+CampaignPlan MeasurementScheduler::plan_full_mesh(
+    std::span<const sim::HostId> vps, std::span<const sim::HostId> targets,
+    int packets) const {
+  std::vector<MeasurementRequest> requests;
+  requests.reserve(vps.size() * targets.size());
+  for (sim::HostId vp : vps) {
+    for (sim::HostId target : targets) {
+      requests.push_back({vp, target, MeasurementKind::Ping, packets});
+    }
+  }
+  return plan(requests);
+}
+
+}  // namespace geoloc::atlas

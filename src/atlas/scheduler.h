@@ -1,0 +1,74 @@
+// Campaign scheduling against the platform's probing budgets.
+//
+// The study's measurement campaigns were only possible because RIPE Atlas
+// granted an upgraded account ("hundreds of millions of credits",
+// Section 4.1.1). This scheduler turns a measurement plan — who pings whom,
+// how many packets — into rounds that respect each VP's sustainable
+// probing rate and the platform's concurrent-measurement ceiling, and
+// reports the credit bill and the campaign's wall-clock duration.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "atlas/platform.h"
+
+namespace geoloc::atlas {
+
+enum class MeasurementKind : std::uint8_t { Ping, Traceroute };
+
+struct MeasurementRequest {
+  sim::HostId vp = sim::kInvalidHost;
+  sim::HostId target = sim::kInvalidHost;
+  MeasurementKind kind = MeasurementKind::Ping;
+  int packets = 3;  ///< per ping; traceroutes bill a flat packet estimate
+};
+
+struct SchedulerConfig {
+  /// Platform ceiling on measurements running at once (Atlas enforces
+  /// per-account concurrency; the study's upgraded account raised it).
+  std::size_t max_concurrent = 100;
+  /// Measurements batched into one API round.
+  std::size_t batch_size = 10'000;
+  /// API overhead per round (submission + result collection), seconds.
+  double round_overhead_s = 120.0;
+  /// Packets a traceroute is worth when charging a VP's packet budget.
+  int traceroute_packets = 16;
+};
+
+struct CampaignPlan {
+  std::size_t measurements = 0;
+  std::size_t rounds = 0;
+  std::uint64_t credits = 0;
+  std::uint64_t packets = 0;
+  /// Campaign duration: per-round max over VPs of (packets / pps), plus the
+  /// per-round API overhead.
+  double duration_s = 0.0;
+
+  [[nodiscard]] double duration_days() const { return duration_s / 86'400.0; }
+};
+
+class MeasurementScheduler {
+ public:
+  MeasurementScheduler(const Platform& platform,
+                       const SchedulerConfig& config = {});
+
+  /// Plan (without executing) a campaign; deterministic.
+  [[nodiscard]] CampaignPlan plan(
+      std::span<const MeasurementRequest> requests) const;
+
+  /// Convenience: the tier-1 campaign — every VP pings every target.
+  [[nodiscard]] CampaignPlan plan_full_mesh(
+      std::span<const sim::HostId> vps, std::span<const sim::HostId> targets,
+      int packets = 3) const;
+
+  [[nodiscard]] const SchedulerConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  const Platform* platform_;
+  SchedulerConfig config_;
+};
+
+}  // namespace geoloc::atlas

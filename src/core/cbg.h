@@ -1,0 +1,57 @@
+// Constraint-Based Geolocation (Gueye et al., ToN 2006) — the latency
+// workhorse both replicated papers build on.
+//
+// Each vantage point with a measured min RTT to the target constrains the
+// target to a disk around the VP (radius = RTT/2 x speed of Internet); the
+// estimate is the centroid of the intersection of all disks. The classic
+// technique uses 2/3 c; the street-level paper's tiers use 4/9 c, falling
+// back to 2/3 c for the few targets whose 4/9-c disks do not intersect
+// (IMC'23 paper, Section 5.2.1: 5 such targets).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geo/constants.h"
+#include "geo/disk.h"
+#include "geo/region.h"
+
+namespace geoloc::core {
+
+/// One vantage point's contribution: its (reported) location and the
+/// minimum RTT it measured to the target.
+struct VpObservation {
+  geo::GeoPoint vp_location;
+  double min_rtt_ms = 0.0;
+};
+
+struct CbgConfig {
+  double soi_km_per_ms = geo::kSoiTwoThirdsKmPerMs;
+  /// Secondary speed used when the primary yields an empty intersection;
+  /// 0 disables the fallback.
+  double fallback_soi_km_per_ms = 0.0;
+  /// Only the `max_disks` smallest disks are intersected. Larger disks are
+  /// almost always dominated; this keeps the Figure 2a sweep (~720k CBG
+  /// evaluations) tractable. See the DiskBudget ablation bench.
+  int max_disks = 24;
+  geo::RegionOptions region;
+};
+
+struct CbgResult {
+  bool ok = false;               ///< a non-empty region was found
+  geo::GeoPoint estimate;        ///< centroid of the feasible region
+  geo::Region region;
+  std::vector<geo::Disk> disks;  ///< constraints actually intersected
+  bool used_fallback_soi = false;
+};
+
+/// Convert observations into constraint disks at the given speed.
+std::vector<geo::Disk> constraint_disks(
+    std::span<const VpObservation> observations, double soi_km_per_ms,
+    int max_disks);
+
+/// Run CBG. An empty observation set yields ok = false.
+CbgResult cbg_geolocate(std::span<const VpObservation> observations,
+                        const CbgConfig& config = {});
+
+}  // namespace geoloc::core

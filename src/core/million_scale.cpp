@@ -1,0 +1,205 @@
+#include "core/million_scale.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "geo/geodesy.h"
+
+namespace geoloc::core {
+
+std::vector<std::size_t> MillionScale::select_vps_by_representatives(
+    std::size_t target_col, int k) const {
+  const auto& reps = scenario_->representative_rtts();
+  const sim::HostId target = scenario_->targets()[target_col];
+  std::vector<std::pair<float, std::size_t>> candidates;
+  candidates.reserve(reps.rows());
+  for (std::size_t r = 0; r < reps.rows(); ++r) {
+    // The target anchor would trivially win against its own /24; exclude it
+    // as the paper's anchors-as-both-targets-and-VPs setup requires.
+    if (scenario_->vps()[r] == target) continue;
+    const float rtt = reps.at(r, target_col);
+    if (!scenario::RttMatrix::is_missing(rtt)) candidates.push_back({rtt, r});
+  }
+  const auto kk = std::min<std::size_t>(static_cast<std::size_t>(k),
+                                        candidates.size());
+  std::partial_sort(candidates.begin(),
+                    candidates.begin() + static_cast<std::ptrdiff_t>(kk),
+                    candidates.end());
+  std::vector<std::size_t> rows;
+  rows.reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) rows.push_back(candidates[i].second);
+  return rows;
+}
+
+std::vector<VpObservation> MillionScale::observations(
+    std::span<const std::size_t> vp_rows, std::size_t target_col) const {
+  const auto& rtts = scenario_->target_rtts();
+  const auto& world = scenario_->world();
+  const sim::HostId target = scenario_->targets()[target_col];
+  std::vector<VpObservation> obs;
+  obs.reserve(vp_rows.size());
+  for (std::size_t r : vp_rows) {
+    // Anchors are both targets and VPs; a target never probes itself.
+    if (scenario_->vps()[r] == target) continue;
+    const float rtt = rtts.at(r, target_col);
+    if (scenario::RttMatrix::is_missing(rtt)) continue;
+    obs.push_back(VpObservation{
+        world.host(scenario_->vps()[r]).reported_location, rtt});
+  }
+  return obs;
+}
+
+CbgResult MillionScale::geolocate(std::span<const std::size_t> vp_rows,
+                                  std::size_t target_col,
+                                  const CbgConfig& config) const {
+  return cbg_geolocate(observations(vp_rows, target_col), config);
+}
+
+double MillionScale::error_km(const geo::GeoPoint& estimate,
+                              std::size_t target_col) const {
+  const auto& world = scenario_->world();
+  return geo::distance_km(
+      estimate,
+      world.host(scenario_->targets()[target_col]).true_location);
+}
+
+std::vector<std::size_t> greedy_coverage_rows(const scenario::Scenario& s,
+                                              std::size_t count) {
+  const auto& world = s.world();
+  const auto& vps = s.vps();
+  const std::size_t n = vps.size();
+  count = std::min(count, n);
+  if (count == 0) return {};
+
+  std::vector<geo::GeoPoint> locs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    locs[i] = world.host(vps[i]).reported_location;
+  }
+
+  // Seed: the VP maximising the summed log distance to a fixed sample of
+  // the VP population (a full n^2 pass buys nothing: the seed only needs to
+  // be somewhere isolated).
+  auto gen = world.rng().fork("greedy-coverage").gen();
+  std::vector<std::size_t> sample;
+  const std::size_t sample_size = std::min<std::size_t>(n, 256);
+  sample.reserve(sample_size);
+  for (std::size_t i = 0; i < sample_size; ++i) sample.push_back(gen.index(n));
+
+  std::size_t seed_row = 0;
+  double best_seed_score = -1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    double score = 0.0;
+    for (std::size_t j : sample) {
+      score += std::log1p(geo::distance_km(locs[i], locs[j]));
+    }
+    if (score > best_seed_score) {
+      best_seed_score = score;
+      seed_row = i;
+    }
+  }
+
+  std::vector<std::size_t> chosen{seed_row};
+  std::vector<char> picked(n, 0);
+  picked[seed_row] = 1;
+  // score[i] = sum of log distances from i to the chosen set; adding a
+  // member updates every candidate in O(n).
+  std::vector<double> score(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    score[i] = std::log1p(geo::distance_km(locs[i], locs[seed_row]));
+  }
+
+  while (chosen.size() < count) {
+    std::size_t best = 0;
+    double best_score = -1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!picked[i] && score[i] > best_score) {
+        best_score = score[i];
+        best = i;
+      }
+    }
+    picked[best] = 1;
+    chosen.push_back(best);
+    for (std::size_t i = 0; i < n; ++i) {
+      score[i] += std::log1p(geo::distance_km(locs[i], locs[best]));
+    }
+  }
+  return chosen;
+}
+
+TwoStepSelector::TwoStepSelector(const scenario::Scenario& s,
+                                 std::vector<std::size_t> first_step_rows,
+                                 const TwoStepConfig& config)
+    : scenario_(&s),
+      first_step_rows_(std::move(first_step_rows)),
+      config_(config) {}
+
+TwoStepOutcome TwoStepSelector::run(std::size_t target_col) const {
+  TwoStepOutcome out;
+  const auto& world = scenario_->world();
+  const auto& reps = scenario_->representative_rtts();
+  const auto& vps = scenario_->vps();
+
+  // Step 1: the coverage subset pings the representatives; CBG over those
+  // RTTs bounds where the target('s prefix) can be.
+  const sim::HostId self = scenario_->targets()[target_col];
+  std::vector<VpObservation> obs;
+  obs.reserve(first_step_rows_.size());
+  for (std::size_t r : first_step_rows_) {
+    if (vps[r] == self) continue;  // the target cannot probe itself
+    const float rtt = reps.at(r, target_col);
+    out.step1_pings += 3;  // three representatives probed per VP
+    if (scenario::RttMatrix::is_missing(rtt)) continue;
+    obs.push_back(
+        VpObservation{world.host(vps[r]).reported_location, rtt});
+  }
+  const CbgResult region = cbg_geolocate(obs, config_.cbg);
+  if (!region.ok) return out;
+
+  // One VP per (AS, city) inside the region — city at the parent-place
+  // granularity, as "same city" in the paper. Pruned, radius-sorted disks
+  // let the tightest constraint reject most VPs on its first test.
+  const auto pruned = geo::prune_dominated(region.disks);
+  const sim::HostId target = scenario_->targets()[target_col];
+  std::unordered_map<std::uint64_t, std::size_t> per_as_city;
+  for (std::size_t r = 0; r < vps.size(); ++r) {
+    if (vps[r] == target) continue;  // the target cannot be its own VP
+    const sim::Host& h = world.host(vps[r]);
+    if (!geo::region_contains(pruned, h.reported_location)) continue;
+    const std::uint64_t key =
+        (std::uint64_t{h.asn.value} << 32) |
+        world.place(h.place).parent;
+    per_as_city.try_emplace(key, r);
+  }
+
+  // Step 2: those VPs ping the representatives; lowest median RTT wins.
+  std::size_t best_row = vps.size();
+  float best_rtt = 0.0F;
+  for (const auto& [key, r] : per_as_city) {
+    out.step2_pings += 3;
+    const float rtt = reps.at(r, target_col);
+    if (scenario::RttMatrix::is_missing(rtt)) continue;
+    if (best_row == vps.size() || rtt < best_rtt ||
+        (rtt == best_rtt && r < best_row)) {
+      best_rtt = rtt;
+      best_row = r;
+    }
+  }
+  out.region_vps = per_as_city.size();
+  if (best_row == vps.size()) return out;
+
+  // Final: the chosen VP pings the target; the estimate is the VP location
+  // (a single constraint disk's centroid).
+  out.final_pings = 1;
+  out.chosen_row = best_row;
+  out.estimate = world.host(vps[best_row]).reported_location;
+  out.ok = true;
+  return out;
+}
+
+std::uint64_t original_algorithm_pings(const scenario::Scenario& s) {
+  return static_cast<std::uint64_t>(s.vps().size()) * 3U *
+         s.targets().size();
+}
+
+}  // namespace geoloc::core

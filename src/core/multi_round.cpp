@@ -1,0 +1,119 @@
+#include "core/multi_round.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/million_scale.h"
+
+namespace geoloc::core {
+
+MultiRoundSelector::MultiRoundSelector(const scenario::Scenario& s,
+                                       MultiRoundConfig config)
+    : scenario_(&s), config_(std::move(config)) {
+  config_.rounds = std::max(config_.rounds, 2);
+  first_round_rows_ = greedy_coverage_rows(s, config_.first_round_size);
+}
+
+std::vector<std::size_t> MultiRoundSelector::narrow(
+    const std::vector<geo::Disk>& region_disks, std::size_t target_col,
+    std::size_t budget) const {
+  const auto& world = scenario_->world();
+  const auto& vps = scenario_->vps();
+  const auto& reps = scenario_->representative_rtts();
+  const sim::HostId target = scenario_->targets()[target_col];
+
+  const auto pruned = geo::prune_dominated(region_disks);
+  std::unordered_map<std::uint64_t, std::size_t> per_as_city;
+  for (std::size_t r = 0; r < vps.size(); ++r) {
+    if (vps[r] == target) continue;
+    const sim::Host& h = world.host(vps[r]);
+    if (!geo::region_contains(pruned, h.reported_location)) continue;
+    const std::uint64_t key = (std::uint64_t{h.asn.value} << 32) |
+                              world.place(h.place).parent;
+    per_as_city.try_emplace(key, r);
+  }
+
+  std::vector<std::size_t> rows;
+  rows.reserve(per_as_city.size());
+  for (const auto& [key, r] : per_as_city) rows.push_back(r);
+  // Cap by ascending representative RTT where it is already known; unknown
+  // rows sort last (deterministically by row id).
+  std::sort(rows.begin(), rows.end(), [&](std::size_t a, std::size_t b) {
+    const float ra = reps.at(a, target_col);
+    const float rb = reps.at(b, target_col);
+    const bool ma = scenario::RttMatrix::is_missing(ra);
+    const bool mb = scenario::RttMatrix::is_missing(rb);
+    if (ma != mb) return mb;
+    if (!ma && ra != rb) return ra < rb;
+    return a < b;
+  });
+  if (rows.size() > budget) rows.resize(budget);
+  return rows;
+}
+
+MultiRoundOutcome MultiRoundSelector::run(std::size_t target_col) const {
+  MultiRoundOutcome out;
+  const auto& world = scenario_->world();
+  const auto& vps = scenario_->vps();
+  const auto& reps = scenario_->representative_rtts();
+  const sim::HostId target = scenario_->targets()[target_col];
+
+  std::vector<std::size_t> candidates;
+  candidates.reserve(first_round_rows_.size());
+  for (std::size_t r : first_round_rows_) {
+    if (vps[r] != target) candidates.push_back(r);
+  }
+
+  double budget = static_cast<double>(config_.first_round_size);
+  for (int round = 0; round < config_.rounds; ++round) {
+    out.candidates_per_round.push_back(candidates.size());
+    ++out.rounds_executed;
+    out.elapsed_seconds += config_.api_round_seconds;
+
+    // Probe the representatives from every candidate.
+    std::vector<VpObservation> obs;
+    obs.reserve(candidates.size());
+    for (std::size_t r : candidates) {
+      out.total_pings += 3;
+      const float rtt = reps.at(r, target_col);
+      if (scenario::RttMatrix::is_missing(rtt)) continue;
+      obs.push_back(
+          VpObservation{world.host(vps[r]).reported_location, rtt});
+    }
+    if (obs.empty()) return out;
+
+    const bool last_round = round == config_.rounds - 1;
+    if (last_round) break;
+
+    const CbgResult region = cbg_geolocate(obs, config_.cbg);
+    if (!region.ok) return out;
+    budget = std::max(budget * config_.shrink,
+                      static_cast<double>(config_.min_candidates));
+    candidates = narrow(region.disks, target_col,
+                        static_cast<std::size_t>(std::llround(budget)));
+    if (candidates.empty()) return out;
+  }
+
+  // Final pick: lowest median representative RTT among the last round.
+  std::size_t best = vps.size();
+  float best_rtt = 0.0F;
+  for (std::size_t r : candidates) {
+    const float rtt = reps.at(r, target_col);
+    if (scenario::RttMatrix::is_missing(rtt)) continue;
+    if (best == vps.size() || rtt < best_rtt ||
+        (rtt == best_rtt && r < best)) {
+      best = r;
+      best_rtt = rtt;
+    }
+  }
+  if (best == vps.size()) return out;
+
+  out.total_pings += 1;  // the ping to the target itself
+  out.chosen_row = best;
+  out.estimate = world.host(vps[best]).reported_location;
+  out.ok = true;
+  return out;
+}
+
+}  // namespace geoloc::core

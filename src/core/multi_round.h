@@ -1,0 +1,65 @@
+// Multi-round VP selection — the generalisation the paper proposes in its
+// recommendations (Section 7.2.3): instead of one coarse step and one fine
+// step, narrow the candidate VP set over k rounds, trading measurement
+// overhead against wall-clock time (each round is one RIPE Atlas API
+// round trip).
+//
+// Round i probes the representatives from the current candidate set,
+// computes a CBG region from those RTTs, and shrinks the candidate set to
+// one VP per (AS, city) inside the region, capped at a per-round budget.
+// The final round keeps the lowest-median-RTT VP, which probes the target.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cbg.h"
+#include "scenario/scenario.h"
+#include "sim/cost_model.h"
+
+namespace geoloc::core {
+
+struct MultiRoundConfig {
+  int rounds = 3;                   ///< >= 2; 2 reproduces the paper's scheme
+  std::size_t first_round_size = 100;  ///< coverage subset for round 1
+  /// Candidate-set cap per subsequent round, as a geometric ladder: round
+  /// i+1 keeps at most max(first_round_size * shrink^i, min_candidates).
+  double shrink = 0.25;
+  std::size_t min_candidates = 8;
+  CbgConfig cbg;
+  double api_round_seconds = 180.0;  ///< Atlas latency per round (Fig 6c scale)
+};
+
+struct MultiRoundOutcome {
+  bool ok = false;
+  std::size_t chosen_row = 0;
+  geo::GeoPoint estimate;
+  std::uint64_t total_pings = 0;
+  int rounds_executed = 0;
+  double elapsed_seconds = 0.0;  ///< simulated: rounds x API latency
+  std::vector<std::size_t> candidates_per_round;
+};
+
+class MultiRoundSelector {
+ public:
+  MultiRoundSelector(const scenario::Scenario& s, MultiRoundConfig config);
+
+  [[nodiscard]] MultiRoundOutcome run(std::size_t target_col) const;
+
+  [[nodiscard]] const MultiRoundConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// One VP per (AS, parent city) among `candidates` inside the region,
+  /// capped to `budget` by ascending representative RTT.
+  [[nodiscard]] std::vector<std::size_t> narrow(
+      const std::vector<geo::Disk>& region_disks,
+      std::size_t target_col, std::size_t budget) const;
+
+  const scenario::Scenario* scenario_;
+  MultiRoundConfig config_;
+  std::vector<std::size_t> first_round_rows_;
+};
+
+}  // namespace geoloc::core

@@ -1,0 +1,19 @@
+#include "core/shortest_ping.h"
+
+namespace geoloc::core {
+
+std::optional<ShortestPingResult> shortest_ping(
+    std::span<const VpObservation> observations) {
+  if (observations.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < observations.size(); ++i) {
+    if (observations[i].min_rtt_ms < observations[best].min_rtt_ms) best = i;
+  }
+  ShortestPingResult r;
+  r.estimate = observations[best].vp_location;
+  r.min_rtt_ms = observations[best].min_rtt_ms;
+  r.winner_index = best;
+  return r;
+}
+
+}  // namespace geoloc::core

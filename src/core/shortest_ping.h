@@ -1,0 +1,23 @@
+// Shortest Ping: map the target to the location of the vantage point with
+// the lowest measured RTT — the simplest latency-based technique, used as a
+// baseline throughout the million-scale paper.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/cbg.h"
+
+namespace geoloc::core {
+
+struct ShortestPingResult {
+  geo::GeoPoint estimate;
+  double min_rtt_ms = 0.0;
+  std::size_t winner_index = 0;  ///< index into the observation span
+};
+
+/// Returns nullopt for an empty observation set.
+std::optional<ShortestPingResult> shortest_ping(
+    std::span<const VpObservation> observations);
+
+}  // namespace geoloc::core

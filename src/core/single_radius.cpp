@@ -1,0 +1,19 @@
+#include "core/single_radius.h"
+
+#include "core/shortest_ping.h"
+
+namespace geoloc::core {
+
+std::optional<SingleRadiusResult> single_radius(
+    std::span<const VpObservation> observations,
+    const SingleRadiusConfig& config) {
+  const auto sp = shortest_ping(observations);
+  if (!sp || sp->min_rtt_ms > config.max_rtt_ms) return std::nullopt;
+  SingleRadiusResult r;
+  r.estimate = sp->estimate;
+  r.min_rtt_ms = sp->min_rtt_ms;
+  r.winner_index = sp->winner_index;
+  return r;
+}
+
+}  // namespace geoloc::core

@@ -1,0 +1,35 @@
+// The "single-radius" technique behind RIPE IPMap (Du et al., CCR 2020),
+// which the paper discusses as the other public geolocation effort
+// (Section 8): a target is geolocated to the city of the vantage point
+// with the lowest RTT, but only when that RTT is small enough to pin the
+// target to city scale — otherwise the technique abstains. Coverage is
+// traded for precision, which is why IPMap covers far fewer addresses
+// than the topology contains.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "core/cbg.h"
+
+namespace geoloc::core {
+
+struct SingleRadiusConfig {
+  /// Maximum min-RTT for which the technique answers. 10 ms at 2/3 c is a
+  /// ~1000 km disk; IPMap uses single-digit milliseconds in practice.
+  double max_rtt_ms = 10.0;
+};
+
+struct SingleRadiusResult {
+  geo::GeoPoint estimate;
+  double min_rtt_ms = 0.0;
+  std::size_t winner_index = 0;
+};
+
+/// Geolocate from a set of observations; nullopt when the technique
+/// abstains (no VP within the RTT budget).
+std::optional<SingleRadiusResult> single_radius(
+    std::span<const VpObservation> observations,
+    const SingleRadiusConfig& config = {});
+
+}  // namespace geoloc::core

@@ -1,0 +1,311 @@
+#include "core/street_level.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "geo/geodesy.h"
+
+namespace geoloc::core {
+
+StreetLevel::StreetLevel(const scenario::Scenario& s, StreetLevelConfig config)
+    : scenario_(&s),
+      config_(std::move(config)),
+      tracer_(s.world(), s.latency()) {
+  // The street-level paper's speeds (Section 3.2.2): 4/9 c for the tiers,
+  // 2/3 c as the fallback for the few targets whose 4/9-c disks are
+  // disjoint. Only apply when the caller kept the defaults.
+  if (config_.tier1.soi_km_per_ms == geo::kSoiTwoThirdsKmPerMs &&
+      config_.tier1.fallback_soi_km_per_ms == 0.0) {
+    config_.tier1.soi_km_per_ms = geo::kSoiFourNinthsKmPerMs;
+    config_.tier1.fallback_soi_km_per_ms = geo::kSoiTwoThirdsKmPerMs;
+  }
+}
+
+std::vector<VpObservation> StreetLevel::tier1_observations(
+    std::size_t target_col) const {
+  const auto& rtts = scenario_->target_rtts();
+  const auto& world = scenario_->world();
+  const auto& targets = scenario_->targets();
+  const sim::HostId target = targets[target_col];
+
+  std::vector<VpObservation> obs;
+  obs.reserve(targets.size());
+  // Anchor VPs occupy the first |targets| rows of the VP set by
+  // construction (Scenario::build appends probes after anchors).
+  for (std::size_t r = 0; r < targets.size(); ++r) {
+    if (scenario_->vps()[r] == target) continue;  // a target never probes itself
+    const float rtt = rtts.at(r, target_col);
+    if (scenario::RttMatrix::is_missing(rtt)) continue;
+    obs.push_back(VpObservation{
+        world.host(scenario_->vps()[r]).reported_location, rtt});
+  }
+  return obs;
+}
+
+std::vector<std::size_t> StreetLevel::closest_vp_rows(std::size_t target_col,
+                                                      int k) const {
+  const auto& rtts = scenario_->target_rtts();
+  const auto& targets = scenario_->targets();
+  const sim::HostId target = targets[target_col];
+  std::vector<std::pair<float, std::size_t>> cand;
+  cand.reserve(targets.size());
+  for (std::size_t r = 0; r < targets.size(); ++r) {
+    if (scenario_->vps()[r] == target) continue;
+    const float rtt = rtts.at(r, target_col);
+    if (scenario::RttMatrix::is_missing(rtt)) continue;
+    cand.push_back({rtt, r});
+  }
+  const auto kk =
+      std::min<std::size_t>(static_cast<std::size_t>(k), cand.size());
+  std::partial_sort(cand.begin(), cand.begin() + static_cast<std::ptrdiff_t>(kk),
+                    cand.end());
+  std::vector<std::size_t> rows;
+  rows.reserve(kk);
+  for (std::size_t i = 0; i < kk; ++i) rows.push_back(cand[i].second);
+  return rows;
+}
+
+CbgResult StreetLevel::cbg_baseline(std::size_t target_col) const {
+  return cbg_geolocate(tier1_observations(target_col), config_.tier1);
+}
+
+std::optional<double> StreetLevel::d1_plus_d2(
+    const sim::Traceroute& to_landmark,
+    const sim::Traceroute& to_target) const {
+  if (!to_landmark.reached || !to_target.reached) return std::nullopt;
+  const auto common =
+      sim::TracerouteEngine::last_common_hop(to_landmark, to_target);
+  if (!common) return std::nullopt;
+  const double rtt_r1_l = to_landmark.hops[*common].rtt_ms;
+  const double rtt_r1_t = to_target.hops[*common].rtt_ms;
+  const double rtt_l = *to_landmark.destination_rtt_ms();
+  const double rtt_t = *to_target.destination_rtt_ms();
+  // Appendix B of the IMC'23 paper: under last-link symmetry,
+  // RTT(VP,X) = RTT(VP,R1) + 2 * Dx, so:
+  const double d1 = (rtt_l - rtt_r1_l) / 2.0;
+  const double d2 = (rtt_t - rtt_r1_t) / 2.0;
+  return d1 + d2;
+}
+
+void StreetLevel::run_tier(std::size_t target_col, const geo::GeoPoint& center,
+                           const std::vector<geo::Disk>& region_disks,
+                           double ring_km, int points_per_circle,
+                           const std::vector<std::size_t>& vp_rows,
+                           const std::vector<sim::Traceroute>& target_traces,
+                           TierOutcome& out, std::uint64_t& traceroutes,
+                           sim::CostModel& cost, util::Pcg32& gen) const {
+  out.center = center;
+  const auto& eco = scenario_->web();
+  const auto& mapping = scenario_->mapping();
+  const auto& world = scenario_->world();
+  const auto& targets = scenario_->targets();
+  const sim::Host& target = world.host(targets[target_col]);
+
+  // --- harvest: concentric circles -> sample points -> zips -> websites ---
+  std::unordered_set<std::string> zips_seen;
+  std::unordered_set<landmark::WebsiteId> sites_seen;
+  std::vector<landmark::WebsiteId> passing;
+
+  auto consider_point = [&](const geo::GeoPoint& p) {
+    ++out.sample_points;
+    const std::string zip = mapping.reverse_geocode(p);
+    ++out.geocode_queries;
+    cost.charge_geocode_queries(1);
+    if (!zips_seen.insert(zip).second) return;
+    // Overpass-style area query: amenities with a website around the zip
+    // (the zone and its neighbours).
+    for (const std::string& zone : mapping.neighbor_zones(zip)) {
+      for (landmark::WebsiteId id : eco.websites_in_zip(zone)) {
+        if (!sites_seen.insert(id).second) continue;
+        ++out.websites_tested;
+        cost.charge_web_tests(1);
+        if (eco.website(id).passes_tests &&
+            static_cast<int>(passing.size()) < config_.max_landmarks_per_tier) {
+          passing.push_back(id);
+        }
+      }
+    }
+  };
+
+  consider_point(center);
+  for (int circle = 1; circle <= config_.max_circles; ++circle) {
+    const double radius = ring_km * circle;
+    bool any_inside = false;
+    for (int i = 0; i < points_per_circle; ++i) {
+      const double bearing =
+          360.0 * static_cast<double>(i) / points_per_circle;
+      const geo::GeoPoint p = geo::destination(center, bearing, radius);
+      if (!region_disks.empty() && !geo::region_contains(region_disks, p)) {
+        continue;
+      }
+      any_inside = true;
+      consider_point(p);
+    }
+    ++out.circles;
+    if (!any_inside) break;
+  }
+
+  // --- measure: per landmark, traceroute pairs from the closest VPs -------
+  out.landmarks.reserve(passing.size());
+  for (landmark::WebsiteId id : passing) {
+    const landmark::Website& site = eco.website(id);
+    LandmarkMeasurement m;
+    m.site = id;
+    m.claimed_location = site.poi_location;
+    m.geographic_distance_km =
+        geo::distance_km(site.poi_location, target.true_location);
+
+    // A negative D1+D2 cannot upper-bound a distance, so the minimum is
+    // taken over the non-negative values; the landmark is unusable only
+    // when every VP produced a negative estimate (Figure 6a counts these).
+    double best_pos = 0.0, best_any = 0.0;
+    bool have_pos = false, have_any = false;
+    for (std::size_t vi = 0; vi < vp_rows.size(); ++vi) {
+      const sim::HostId vp = scenario_->vps()[vp_rows[vi]];
+      const sim::Traceroute to_landmark = tracer_.run(vp, site.server, gen);
+      ++traceroutes;
+      const auto d = d1_plus_d2(to_landmark, target_traces[vi]);
+      if (!d) continue;
+      ++m.pair_count;
+      if (*d < 0.0) ++m.negative_pairs;
+      if (!have_any || *d < best_any) {
+        best_any = *d;
+        have_any = true;
+      }
+      if (*d >= 0.0 && (!have_pos || *d < best_pos)) {
+        best_pos = *d;
+        have_pos = true;
+      }
+      ++m.vps_used;
+    }
+    if (have_any) {
+      m.min_d1d2_ms = have_pos ? best_pos : best_any;
+      m.usable = have_pos;
+      if (m.usable) {
+        m.measured_distance_km = best_pos * geo::kSoiFourNinthsKmPerMs;
+      }
+    }
+    out.landmarks.push_back(m);
+  }
+  // Landmark + target traceroute rounds (two Atlas calls per tier).
+  cost.charge_api_round();
+  cost.charge_api_round();
+}
+
+StreetLevelResult StreetLevel::geolocate(std::size_t target_col) const {
+  StreetLevelResult result;
+  sim::CostModel cost(config_.cost);
+  auto gen = scenario_->world()
+                 .rng()
+                 .fork("street-level", target_col)
+                 .gen();
+
+  // ---- tier 1 -------------------------------------------------------------
+  result.tier1 = cbg_geolocate(tier1_observations(target_col), config_.tier1);
+  cost.charge_api_round();
+  if (!result.tier1.ok) {
+    result.elapsed_seconds = cost.elapsed_seconds();
+    return result;  // no region at either speed: give up (does not happen
+                    // for responsive targets with sane VPs)
+  }
+  result.ok = true;
+  result.estimate = result.tier1.estimate;
+  result.tier_reached = 1;
+
+  // The ten closest VPs by tier-1 RTT measure every landmark (the IMC'23
+  // replication's overhead reduction, Section 3.2.2). Their target
+  // traceroutes are shared across landmarks.
+  const auto vp_rows =
+      closest_vp_rows(target_col, config_.vps_per_landmark);
+  const sim::HostId target = scenario_->targets()[target_col];
+  std::vector<sim::Traceroute> target_traces;
+  target_traces.reserve(vp_rows.size());
+  for (std::size_t r : vp_rows) {
+    target_traces.push_back(tracer_.run(scenario_->vps()[r], target, gen));
+    ++result.traceroutes;
+  }
+
+  // ---- tier 2 -------------------------------------------------------------
+  run_tier(target_col, result.tier1.estimate, result.tier1.disks,
+           config_.tier2_ring_km, config_.tier2_points_per_circle, vp_rows,
+           target_traces, result.tier2, result.traceroutes, cost, gen);
+
+  // Refined region from the usable landmark disks.
+  std::vector<geo::Disk> landmark_disks;
+  for (const LandmarkMeasurement& m : result.tier2.landmarks) {
+    if (m.usable) {
+      landmark_disks.push_back(
+          geo::Disk{m.claimed_location, m.measured_distance_km});
+    }
+  }
+  geo::GeoPoint tier3_center = result.tier1.estimate;
+  std::vector<geo::Disk> tier3_region = result.tier1.disks;
+  if (!landmark_disks.empty()) {
+    result.tier2.refined = [&] {
+      CbgResult r;
+      r.disks = geo::prune_dominated(landmark_disks);
+      r.region = geo::intersect_disks(r.disks, config_.tier1.region);
+      r.ok = !r.region.empty;
+      if (r.ok) r.estimate = r.region.centroid;
+      return r;
+    }();
+    if (result.tier2.refined.ok) {
+      tier3_center = result.tier2.refined.estimate;
+      tier3_region = result.tier2.refined.disks;
+      result.estimate = tier3_center;
+      result.tier_reached = 2;
+    }
+  }
+
+  // ---- tier 3 -------------------------------------------------------------
+  run_tier(target_col, tier3_center, tier3_region, config_.tier3_ring_km,
+           config_.tier3_points_per_circle, vp_rows, target_traces,
+           result.tier3, result.traceroutes, cost, gen);
+
+  // Final mapping: the landmark with the smallest usable delay, searched in
+  // tier 3 first, then tier 2.
+  const LandmarkMeasurement* chosen = nullptr;
+  for (const auto* tier : {&result.tier3, &result.tier2}) {
+    for (const LandmarkMeasurement& m : tier->landmarks) {
+      if (!m.usable) continue;
+      if (!chosen || m.min_d1d2_ms < chosen->min_d1d2_ms) chosen = &m;
+    }
+    if (chosen) {
+      result.estimate = chosen->claimed_location;
+      result.tier_reached = tier == &result.tier3 ? 3 : 2;
+      break;
+    }
+  }
+  if (!chosen) {
+    // No usable landmark: the technique answers with the CBG estimate, as
+    // the paper does for its 46 landmark-less targets.
+    result.estimate = result.tier1.estimate;
+    result.fell_back_to_cbg = true;
+  }
+
+  result.elapsed_seconds = cost.elapsed_seconds();
+  return result;
+}
+
+std::optional<geo::GeoPoint> StreetLevel::closest_landmark_oracle(
+    std::size_t target_col, double search_radius_km) const {
+  const auto& eco = scenario_->web();
+  const auto& world = scenario_->world();
+  const sim::Host& target =
+      world.host(scenario_->targets()[target_col]);
+  double best_d = search_radius_km;
+  std::optional<geo::GeoPoint> best;
+  for (landmark::WebsiteId id :
+       eco.passing_near(target.true_location, search_radius_km)) {
+    const double d =
+        geo::distance_km(eco.website(id).poi_location, target.true_location);
+    if (d <= best_d) {
+      best_d = d;
+      best = eco.website(id).poi_location;
+    }
+  }
+  return best;
+}
+
+}  // namespace geoloc::core

@@ -1,0 +1,130 @@
+// The street-level paper's three-tier system (Wang et al., NSDI 2011), as
+// replicated in the IMC'23 study (Section 3.2):
+//
+//   Tier 1 — CBG at 4/9 c (fallback 2/3 c) from the anchor VPs; keep the
+//            region and its centroid.
+//   Tier 2 — sample the region with concentric circles (R = 5 km, 10 points
+//            per circle), reverse-geocode the sample points to zip codes,
+//            harvest websites recorded near those zips, keep the ones that
+//            pass the three locally-hosted tests, and estimate each
+//            landmark's delay to the target from per-VP traceroute pairs
+//            (D1 + D2 at the last common hop, computed by RTT subtraction —
+//            the paper's Appendix B shows why this is the only available
+//            interpretation and why it is noisy). The landmark disks form a
+//            refined region.
+//   Tier 3 — repeat at R = 1 km / 36 points per circle inside the refined
+//            region; the target is mapped to the landmark with the smallest
+//            usable delay. Targets with no landmark fall back to the CBG
+//            estimate, as the paper does for its 46 landmark-less targets.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/cbg.h"
+#include "landmark/ecosystem.h"
+#include "scenario/scenario.h"
+#include "sim/cost_model.h"
+#include "sim/traceroute.h"
+
+namespace geoloc::core {
+
+struct StreetLevelConfig {
+  CbgConfig tier1;                ///< defaults set in the constructor: 4/9 c + fallback
+  double tier2_ring_km = 5.0;     ///< R of the tier-2 concentric circles
+  int tier2_points_per_circle = 10;  ///< alpha = 36 degrees
+  double tier3_ring_km = 1.0;
+  int tier3_points_per_circle = 36;  ///< alpha = 10 degrees
+  int vps_per_landmark = 10;      ///< closest VPs by tier-1 RTT (IMC'23 change)
+  int max_circles = 40;           ///< safety guard on region sampling
+  int max_landmarks_per_tier = 500;
+  sim::CostModelConfig cost;
+};
+
+/// One landmark's delay estimation against the target.
+struct LandmarkMeasurement {
+  landmark::WebsiteId site = 0;
+  geo::GeoPoint claimed_location;      ///< the postal address (mapping result)
+  double min_d1d2_ms = 0.0;  ///< min over VPs of the non-negative D1+D2
+                             ///< values (the all-negative min when unusable)
+  bool usable = false;       ///< at least one VP gave a non-negative D1+D2
+  double measured_distance_km = 0.0;   ///< min_d1d2 x 4/9 c (usable only)
+  double geographic_distance_km = 0.0; ///< claimed location -> target truth
+  int vps_used = 0;
+  int negative_pairs = 0;              ///< VP pairs whose D1+D2 was negative
+  int pair_count = 0;
+};
+
+struct TierOutcome {
+  geo::GeoPoint center;                   ///< sampling origin
+  std::vector<LandmarkMeasurement> landmarks;
+  std::size_t circles = 0;
+  std::size_t sample_points = 0;
+  std::uint64_t geocode_queries = 0;
+  std::uint64_t websites_tested = 0;
+  CbgResult refined;                      ///< landmark-disk region (tier 2)
+};
+
+struct StreetLevelResult {
+  bool ok = false;
+  geo::GeoPoint estimate;
+  int tier_reached = 1;          ///< deepest tier that produced the estimate
+  bool fell_back_to_cbg = false; ///< no usable landmark anywhere
+  CbgResult tier1;
+  TierOutcome tier2;
+  TierOutcome tier3;
+  std::uint64_t traceroutes = 0;
+  double elapsed_seconds = 0.0;  ///< simulated wall-clock (Figure 6c)
+};
+
+class StreetLevel {
+ public:
+  StreetLevel(const scenario::Scenario& s, StreetLevelConfig config = {});
+
+  /// Run the full pipeline for targets()[target_col].
+  [[nodiscard]] StreetLevelResult geolocate(std::size_t target_col) const;
+
+  /// The anchor-VP CBG baseline the paper compares against in Figure 5a
+  /// (same tier-1 observations, 4/9-c speed with 2/3-c fallback).
+  [[nodiscard]] CbgResult cbg_baseline(std::size_t target_col) const;
+
+  /// Oracle: map the target to the geographically closest passing landmark
+  /// (Figure 5a "Closest Landmark"); nullopt when no landmark exists within
+  /// `search_radius_km`.
+  [[nodiscard]] std::optional<geo::GeoPoint> closest_landmark_oracle(
+      std::size_t target_col, double search_radius_km = 1'000.0) const;
+
+  [[nodiscard]] const StreetLevelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Tier-1 observations: anchor VPs only, excluding the target itself.
+  [[nodiscard]] std::vector<VpObservation> tier1_observations(
+      std::size_t target_col) const;
+
+  /// Rows (into vps()) of the closest anchor VPs by tier-1 RTT.
+  [[nodiscard]] std::vector<std::size_t> closest_vp_rows(
+      std::size_t target_col, int k) const;
+
+  /// Concentric-circle harvest + per-landmark delay measurement.
+  void run_tier(std::size_t target_col, const geo::GeoPoint& center,
+                const std::vector<geo::Disk>& region_disks, double ring_km,
+                int points_per_circle,
+                const std::vector<std::size_t>& vp_rows,
+                const std::vector<sim::Traceroute>& target_traces,
+                TierOutcome& out, std::uint64_t& traceroutes,
+                sim::CostModel& cost, util::Pcg32& gen) const;
+
+  /// D1+D2 for one (VP, landmark) pair given the VP's target traceroute.
+  [[nodiscard]] std::optional<double> d1_plus_d2(
+      const sim::Traceroute& to_landmark,
+      const sim::Traceroute& to_target) const;
+
+  const scenario::Scenario* scenario_;
+  StreetLevelConfig config_;
+  sim::TracerouteEngine tracer_;
+};
+
+}  // namespace geoloc::core

@@ -1,0 +1,236 @@
+#include "dataset/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace geoloc::dataset {
+
+namespace {
+
+using sim::AsCategory;
+using sim::Continent;
+
+/// Table 2 AS-category distributions.
+struct CategoryMix {
+  double content, access, transit, enterprise, tier1, unknown;
+
+  AsCategory sample(util::Pcg32& gen) const {
+    double u = gen.uniform();
+    if ((u -= content) < 0) return AsCategory::Content;
+    if ((u -= access) < 0) return AsCategory::Access;
+    if ((u -= transit) < 0) return AsCategory::TransitAccess;
+    if ((u -= enterprise) < 0) return AsCategory::Enterprise;
+    if ((u -= tier1) < 0) return AsCategory::Tier1;
+    return AsCategory::Unknown;
+  }
+};
+
+constexpr CategoryMix kAnchorMix = {0.317, 0.292, 0.272, 0.076, 0.008, 0.035};
+constexpr CategoryMix kProbeMix = {0.092, 0.752, 0.083, 0.034, 0.014, 0.026};
+
+/// ASdb sector: 72% "Computer and Information Technology" (index 0),
+/// 5% "Education and Research" (index 1), remainder spread thinly.
+int sample_sector(util::Pcg32& gen) {
+  const double u = gen.uniform();
+  if (u < 0.72) return 0;
+  if (u < 0.77) return 1;
+  return 2 + static_cast<int>(gen.bounded(14));
+}
+
+/// Build a pool of `n` ASes with the given category mix.
+std::vector<net::Asn> build_as_pool(sim::World& world, int n,
+                                    const CategoryMix& mix,
+                                    util::Pcg32& gen) {
+  std::vector<net::Asn> pool;
+  pool.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pool.push_back(world.create_as(mix.sample(gen), sample_sector(gen)));
+  }
+  return pool;
+}
+
+Continent sample_continent(const ContinentWeights& w, util::Pcg32& gen) {
+  double u = gen.uniform() * (w.af + w.as + w.eu + w.na + w.oc + w.sa);
+  if ((u -= w.af) < 0) return Continent::AF;
+  if ((u -= w.as) < 0) return Continent::AS;
+  if ((u -= w.eu) < 0) return Continent::EU;
+  if ((u -= w.na) < 0) return Continent::NA;
+  if ((u -= w.oc) < 0) return Continent::OC;
+  return Continent::SA;
+}
+
+}  // namespace
+
+int ContinentQuota::of(Continent c) const noexcept {
+  switch (c) {
+    case Continent::AF: return af;
+    case Continent::AS: return as;
+    case Continent::EU: return eu;
+    case Continent::NA: return na;
+    case Continent::OC: return oc;
+    case Continent::SA: return sa;
+  }
+  return 0;
+}
+
+double ContinentWeights::of(Continent c) const noexcept {
+  switch (c) {
+    case Continent::AF: return af;
+    case Continent::AS: return as;
+    case Continent::EU: return eu;
+    case Continent::NA: return na;
+    case Continent::OC: return oc;
+    case Continent::SA: return sa;
+  }
+  return 0.0;
+}
+
+Catalog build_catalog(sim::World& world, const CatalogConfig& config) {
+  Catalog catalog;
+  auto gen = world.rng().fork("catalog").gen();
+
+  catalog.anchor_ases =
+      build_as_pool(world, config.anchor_as_pool, kAnchorMix, gen);
+  catalog.probe_ases =
+      build_as_pool(world, config.probe_as_pool, kProbeMix, gen);
+
+  // Group the AS pools by category so a host with a drawn category can pick
+  // a pool AS of the same category — this keeps Table 2's distribution.
+  auto by_category = [&world](const std::vector<net::Asn>& pool) {
+    std::unordered_map<AsCategory, std::vector<net::Asn>> m;
+    for (net::Asn a : pool) m[world.as_info(a).category].push_back(a);
+    return m;
+  };
+  auto anchor_as_by_cat = by_category(catalog.anchor_ases);
+  auto probe_as_by_cat = by_category(catalog.probe_ases);
+
+  auto pick_as = [&gen](std::unordered_map<AsCategory, std::vector<net::Asn>>& m,
+                        AsCategory want) -> net::Asn {
+    auto it = m.find(want);
+    if (it == m.end() || it->second.empty()) it = m.begin();
+    return it->second[gen.index(it->second.size())];
+  };
+
+  // ---- anchors ----------------------------------------------------------
+  auto make_anchor = [&](Continent continent) {
+    sim::Host h;
+    h.kind = sim::HostKind::Anchor;
+    const AsCategory cat = kAnchorMix.sample(gen);
+    h.asn = pick_as(anchor_as_by_cat, cat);
+    h.place = world.sample_place(
+        continent,
+        config.anchor_satellite_bias_by_continent[static_cast<std::size_t>(
+            continent)],
+        gen);
+    // Anchors are hosted by organisations in built-up areas: mostly at the
+    // place's urban hotspots, where locally hosted websites also cluster.
+    h.true_location = world.sample_urban_location(
+        h.place, /*hotspot_prob=*/0.6, /*tight_km=*/1.8,
+        config.anchor_offset_mean_km, gen);
+    h.reported_location = h.true_location;
+    const double p_high =
+        config.anchor_high_last_mile_prob[static_cast<std::size_t>(continent)];
+    h.last_mile_ms =
+        gen.chance(p_high)
+            ? config.anchor_last_mile_high_floor_ms +
+                  gen.exponential(config.anchor_last_mile_high_mean_ms)
+            : gen.uniform(config.anchor_last_mile_min_ms,
+                          config.anchor_last_mile_max_ms);
+    // Every anchor is its own site: it owns a /24 the hitlist draws from.
+    const net::Prefix site = world.allocate_site_prefix(h.asn);
+    h.addr = site.address_at(1);
+    world.router_of(h.place);  // pre-create topology router
+    catalog.anchors.push_back(world.add_host(h));
+  };
+
+  for (Continent c : sim::all_continents()) {
+    for (int i = 0; i < config.anchor_quota.of(c); ++i) make_anchor(c);
+  }
+  // Extra anchors destined to be misgeolocated (spread over continents in
+  // proportion to the quota via weighted sampling).
+  ContinentWeights anchor_w;
+  anchor_w.af = config.anchor_quota.af;
+  anchor_w.as = config.anchor_quota.as;
+  anchor_w.eu = config.anchor_quota.eu;
+  anchor_w.na = config.anchor_quota.na;
+  anchor_w.oc = config.anchor_quota.oc;
+  anchor_w.sa = config.anchor_quota.sa;
+  std::vector<sim::HostId> to_misgeo_anchor;
+  for (int i = 0; i < config.anchors_misgeolocated; ++i) {
+    make_anchor(sample_continent(anchor_w, gen));
+    to_misgeo_anchor.push_back(catalog.anchors.back());
+  }
+
+  // ---- probes ------------------------------------------------------------
+  auto make_probe = [&](Continent continent) {
+    sim::Host h;
+    h.kind = sim::HostKind::Probe;
+    const AsCategory cat = kProbeMix.sample(gen);
+    h.asn = pick_as(probe_as_by_cat, cat);
+    h.place = world.sample_place(continent, config.probe_satellite_bias, gen);
+    h.true_location =
+        world.sample_location(h.place, config.probe_offset_mean_km, gen);
+    h.reported_location = h.true_location;
+    const double p_high = config.probe_high_last_mile_prob
+        [static_cast<std::size_t>(continent)];
+    h.last_mile_ms =
+        gen.chance(p_high)
+            ? 1.5 + gen.exponential(config.probe_last_mile_high_mean_ms)
+            : gen.uniform(config.probe_last_mile_low_min_ms,
+                          config.probe_last_mile_low_max_ms);
+    const net::Prefix site = world.allocate_site_prefix(h.asn);
+    h.addr = site.address_at(1 + gen.bounded(250));
+    world.router_of(h.place);
+    catalog.probes.push_back(world.add_host(h));
+  };
+
+  const int total_probes = config.probes_kept + config.probes_misgeolocated;
+  std::vector<sim::HostId> to_misgeo_probe;
+  for (int i = 0; i < total_probes; ++i) {
+    make_probe(sample_continent(config.probe_weights, gen));
+    if (i >= config.probes_kept) to_misgeo_probe.push_back(catalog.probes.back());
+  }
+
+  // ---- inject geolocation errors ----------------------------------------
+  // A misgeolocated host reports a location far from where it really is
+  // (stale registration, moved hardware): pick a random far-away city.
+  auto misgeolocate = [&](sim::HostId id) {
+    const sim::Host& h = world.host(id);
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const auto cities = world.cities();
+      const sim::PlaceId city = cities[gen.index(cities.size())];
+      const geo::GeoPoint bogus = world.sample_location(city, 5.0, gen);
+      if (geo::distance_km(bogus, h.true_location) >=
+          config.misgeolocation_min_km) {
+        world.misgeolocate(id, bogus);
+        return;
+      }
+    }
+  };
+  for (sim::HostId id : to_misgeo_anchor) misgeolocate(id);
+  for (sim::HostId id : to_misgeo_probe) misgeolocate(id);
+
+  return catalog;
+}
+
+std::unordered_map<sim::AsCategory, int> count_by_as_category(
+    const sim::World& world, const std::vector<sim::HostId>& hosts) {
+  std::unordered_map<sim::AsCategory, int> counts;
+  for (sim::HostId id : hosts) {
+    counts[world.as_info(world.host(id).asn).category]++;
+  }
+  return counts;
+}
+
+std::unordered_map<int, int> count_by_as_sector(
+    const sim::World& world, const std::vector<sim::HostId>& hosts) {
+  std::unordered_map<int, int> counts;
+  for (sim::HostId id : hosts) {
+    counts[world.as_info(world.host(id).asn).sector]++;
+  }
+  return counts;
+}
+
+}  // namespace geoloc::dataset

@@ -1,0 +1,122 @@
+// Generation of the measurement datasets: RIPE-Atlas-like anchors (the
+// study's targets and street-level VPs) and probes (the million-scale VPs),
+// with the paper's continental distribution, AS-category mix (Table 2),
+// last-mile delay mix (Section 4.4.2) and a controlled number of
+// mis-geolocated hosts for the Section 4.3 sanitisation to find.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace geoloc::dataset {
+
+/// Per-continent counts for the sanitised anchor set. Defaults follow the
+/// paper's Figure 4 split (EU topped up so the total is the paper's 723).
+struct ContinentQuota {
+  int af = 16;
+  int as = 133;
+  int eu = 404;
+  int na = 125;
+  int oc = 18;
+  int sa = 27;
+
+  [[nodiscard]] int total() const noexcept {
+    return af + as + eu + na + oc + sa;
+  }
+  [[nodiscard]] int of(sim::Continent c) const noexcept;
+};
+
+/// Probability weights (not exact counts) for probe placement.
+struct ContinentWeights {
+  double af = 0.032;
+  double as = 0.10;
+  double eu = 0.60;  ///< RIPE Atlas is Europe-dense (Section 4.4.1)
+  double na = 0.20;
+  double oc = 0.025;
+  double sa = 0.05;
+
+  [[nodiscard]] double of(sim::Continent c) const noexcept;
+};
+
+struct CatalogConfig {
+  ContinentQuota anchor_quota;       ///< for the post-sanitisation set
+  int anchors_misgeolocated = 9;     ///< extra anchors with bogus geolocation
+  int probes_kept = 10'000;          ///< post-sanitisation probe count
+  int probes_misgeolocated = 96;     ///< extra probes with bogus geolocation
+  ContinentWeights probe_weights;
+
+  /// Anchors live in data centres: small, bounded last-mile delay — except
+  /// for a per-continent fraction behind poorly connected networks, whose
+  /// inbound RTTs carry several extra milliseconds no matter how close the
+  /// probe is. The paper observed exactly this for its 26 high-error
+  /// European targets (Section 5.1.5: the close probes' median RTT was
+  /// 7.96 ms), and it is what bounds CBG at ~73% city-level accuracy.
+  double anchor_last_mile_min_ms = 0.05;
+  double anchor_last_mile_max_ms = 0.6;
+  double anchor_last_mile_high_floor_ms = 1.5;
+  double anchor_last_mile_high_mean_ms = 4.5;  ///< exponential above the floor
+  std::array<double, 6> anchor_high_last_mile_prob = {
+      // indexed by Continent: AF, AS, EU, NA, OC, SA
+      0.02, 0.12, 0.10, 0.12, 0.15, 0.15};
+  /// Probes are a mixture: most are well connected, but a per-continent
+  /// fraction sits behind residential access links with a heavy last mile
+  /// (Section 4.4.2). Europe's large home-probe population is what drags
+  /// its tail in Figure 4.
+  double probe_last_mile_low_min_ms = 0.3;
+  double probe_last_mile_low_max_ms = 2.8;
+  double probe_last_mile_high_mean_ms = 7.0;  ///< exponential tail
+  std::array<double, 6> probe_high_last_mile_prob = {
+      // indexed by Continent: AF, AS, EU, NA, OC, SA
+      0.04, 0.15, 0.18, 0.15, 0.12, 0.14};
+
+  /// Placement dispersion. Anchor placement is per continent: in regions
+  /// with thin coverage (notably Africa) anchors are hosted at the major
+  /// hubs — IXPs and capital datacenters — not in satellite towns, which
+  /// is what puts them next to the few local probes (paper Section 5.1.5:
+  /// Africa outperforms Europe despite far fewer VPs).
+  std::array<double, 6> anchor_satellite_bias_by_continent = {
+      // indexed by Continent: AF, AS, EU, NA, OC, SA
+      0.03, 0.20, 0.25, 0.22, 0.10, 0.12};
+  double probe_satellite_bias = 0.35;
+  double anchor_offset_mean_km = 6.0;   ///< radial offset from place centre
+  double probe_offset_mean_km = 4.0;
+
+  /// AS pool sizes (paper: 561 anchor ASes, 3,494 platform ASes).
+  int anchor_as_pool = 561;
+  int probe_as_pool = 3'300;
+
+  /// Misgeolocated hosts are moved at least this far (reported vs true).
+  double misgeolocation_min_km = 1'500.0;
+};
+
+/// The generated datasets, pre-sanitisation (misgeolocated hosts included —
+/// running dataset::sanitize_* is the caller's job, as in the paper).
+struct Catalog {
+  std::vector<sim::HostId> anchors;  ///< size = quota.total() + misgeolocated
+  std::vector<sim::HostId> probes;   ///< size = probes_kept + misgeolocated
+  /// AS pools actually used, by kind.
+  std::vector<net::Asn> anchor_ases;
+  std::vector<net::Asn> probe_ases;
+};
+
+/// Build the catalogue into `world`. Also pre-creates the topology router
+/// of every place that received a host, so the traceroute engine never has
+/// to mutate the world.
+Catalog build_catalog(sim::World& world, const CatalogConfig& config = {});
+
+/// Count hosts per AS category — the data behind Table 2.
+std::unordered_map<sim::AsCategory, int> count_by_as_category(
+    const sim::World& world, const std::vector<sim::HostId>& hosts);
+
+/// Count hosts per ASdb-style sector — the "72% Computer and Information
+/// Technology" observation of Section 4.4.1.
+std::unordered_map<int, int> count_by_as_sector(
+    const sim::World& world, const std::vector<sim::HostId>& hosts);
+
+}  // namespace geoloc::dataset

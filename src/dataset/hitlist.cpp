@@ -1,0 +1,96 @@
+#include "dataset/hitlist.h"
+
+#include <stdexcept>
+
+#include "geo/geodesy.h"
+
+namespace geoloc::dataset {
+
+Hitlist Hitlist::build(sim::World& world,
+                       const std::vector<sim::HostId>& targets,
+                       const HitlistConfig& config) {
+  Hitlist hitlist;
+  auto gen = world.rng().fork("hitlist").gen();
+
+  for (sim::HostId target_id : targets) {
+    const sim::Host target = world.host(target_id);
+    RepresentativeSet set;
+    set.prefix = net::slash24_of(target.addr);
+
+    int responsive_count = 0;
+    for (int i = 0; i < 3; ++i) {
+      sim::Host rep;
+      rep.kind = sim::HostKind::Representative;
+      rep.asn = target.asn;
+      rep.addr = set.prefix.address_at(10 + static_cast<std::uint32_t>(i));
+
+      if (gen.chance(config.colocated_rate)) {
+        // Same site: within a couple of kilometres of the target.
+        rep.place = target.place;
+        rep.true_location = geo::destination(
+            target.true_location, gen.uniform(0.0, 360.0),
+            gen.exponential(1.0));
+      } else {
+        // Stray representative: same continent, different place — address
+        // space reused across sites of the same organisation.
+        const sim::Continent continent =
+            world.place(target.place).continent;
+        for (int attempt = 0; attempt < 64; ++attempt) {
+          rep.place = world.sample_place(continent, 0.2, gen);
+          rep.true_location = world.sample_location(rep.place, 5.0, gen);
+          if (geo::distance_km(rep.true_location, target.true_location) >=
+              config.stray_min_km) {
+            break;
+          }
+        }
+      }
+      rep.reported_location = rep.true_location;
+      rep.last_mile_ms = gen.uniform(config.rep_last_mile_min_ms,
+                                     config.rep_last_mile_max_ms);
+      rep.responsive = gen.chance(config.responsive_rate);
+      world.router_of(rep.place);
+
+      Representative r;
+      r.host = world.add_host(rep);
+      r.responsiveness_score =
+          rep.responsive ? 50 + static_cast<int>(gen.bounded(50)) : 0;
+      r.from_hitlist = true;
+      if (rep.responsive) ++responsive_count;
+      set.reps[static_cast<std::size_t>(i)] = r;
+    }
+
+    if (responsive_count < 3) {
+      // Top up with random in-prefix addresses (paper Section 4.1.3). The
+      // random picks land on hosts that mostly do not answer.
+      hitlist.topped_up_.push_back(target_id);
+      for (std::size_t ri = 0; ri < set.reps.size(); ++ri) {
+        auto& r = set.reps[ri];
+        if (r.responsiveness_score > 0) continue;
+        sim::Host filler;
+        filler.kind = sim::HostKind::Representative;
+        filler.asn = target.asn;
+        // Disjoint 50-address windows per slot avoid address collisions.
+        filler.addr = set.prefix.address_at(
+            100 + static_cast<std::uint32_t>(ri) * 50 + gen.bounded(50));
+        filler.place = target.place;
+        filler.true_location = target.true_location;
+        filler.reported_location = filler.true_location;
+        filler.last_mile_ms = 1.0;
+        filler.responsive = gen.chance(0.3);
+        r.host = world.add_host(filler);
+        r.from_hitlist = false;
+        r.responsiveness_score = 0;
+      }
+    }
+    hitlist.sets_.emplace(target_id, set);
+  }
+  return hitlist;
+}
+
+const RepresentativeSet& Hitlist::for_target(sim::HostId target) const {
+  const auto it = sets_.find(target);
+  if (it == sets_.end()) throw std::out_of_range("no hitlist entry for target");
+  return it->second;
+}
+
+}  // namespace geoloc::dataset

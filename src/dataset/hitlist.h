@@ -1,0 +1,68 @@
+// ISI-hitlist stand-in (Fan & Heidemann, IMC 2010): responsiveness-scored
+// representative addresses inside each target's /24 prefix.
+//
+// The million-scale VP selection probes up to three representatives per /24
+// from the vantage points and transfers the resulting proximity to the
+// target itself. The transfer works only as well as /24s are geographically
+// cohesive; the hitlist model controls that cohesion (most representatives
+// share the target's site, a configurable minority live elsewhere — moved
+// equipment, off-site infrastructure in the same prefix).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "sim/world.h"
+
+namespace geoloc::dataset {
+
+struct Representative {
+  sim::HostId host = sim::kInvalidHost;
+  int responsiveness_score = 0;  ///< ISI-style 0..99, higher = more reliable
+  bool from_hitlist = true;      ///< false: random /24 fill-in (paper: 8 targets)
+};
+
+struct RepresentativeSet {
+  net::Prefix prefix;  ///< the target's /24
+  std::array<Representative, 3> reps;
+};
+
+struct HitlistConfig {
+  /// Probability that a representative is colocated with the target's site.
+  double colocated_rate = 0.93;
+  /// Displacement of non-colocated representatives: same continent, other place.
+  double stray_min_km = 100.0;
+  /// Probability that a hitlist representative is in fact responsive.
+  double responsive_rate = 0.996;
+  double rep_last_mile_min_ms = 0.1;
+  double rep_last_mile_max_ms = 2.0;
+};
+
+/// The hitlist: three representatives for each target's /24.
+class Hitlist {
+ public:
+  /// Build representatives for every target; creates the representative
+  /// hosts in the world. Targets with fewer than three responsive hitlist
+  /// entries are topped up with random in-prefix addresses (which may not
+  /// respond), exactly as the paper does (Section 4.1.3).
+  static Hitlist build(sim::World& world,
+                       const std::vector<sim::HostId>& targets,
+                       const HitlistConfig& config = {});
+
+  [[nodiscard]] const RepresentativeSet& for_target(sim::HostId target) const;
+  [[nodiscard]] std::size_t size() const noexcept { return sets_.size(); }
+
+  /// Targets that needed random fill-ins (fewer than 3 responsive entries).
+  [[nodiscard]] const std::vector<sim::HostId>& topped_up_targets() const noexcept {
+    return topped_up_;
+  }
+
+ private:
+  std::unordered_map<sim::HostId, RepresentativeSet> sets_;
+  std::vector<sim::HostId> topped_up_;
+};
+
+}  // namespace geoloc::dataset

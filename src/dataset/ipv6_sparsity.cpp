@@ -1,0 +1,21 @@
+#include "dataset/ipv6_sparsity.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geoloc::dataset {
+
+SparsityAnswer analyze_sparsity(const SparsityQuestion& q) {
+  SparsityAnswer a;
+  a.addresses = std::ldexp(1.0, q.prefix_size_log2);
+  a.responsive_density =
+      std::min(1.0, q.responsive_hosts / std::max(a.addresses, 1.0));
+  a.probes_sent =
+      std::min(q.probe_rate_pps * q.budget_seconds, a.addresses);
+  a.expected_hits = a.probes_sent * a.responsive_density;
+  a.p_at_least_one = 1.0 - std::exp(-a.expected_hits);
+  a.prefix_coverage = a.probes_sent / std::max(a.addresses, 1.0);
+  return a;
+}
+
+}  // namespace geoloc::dataset

@@ -1,0 +1,35 @@
+// Why the million-scale representative discovery does not transfer to
+// IPv6 (paper Section 2.1, declared future work): quantifies the chance of
+// finding a responsive "representative" neighbour by scanning a prefix,
+// given a host population and a probing budget.
+//
+// In an IPv4 /24, 3 responsive representatives are almost guaranteed (the
+// ISI hitlist exists because a /24 is only 256 addresses). In an IPv6 /64,
+// even a large site's hosts occupy a ~2^-50 fraction of the prefix, so
+// blind scanning finds nothing within any realistic probing budget.
+#pragma once
+
+#include <cstdint>
+
+namespace geoloc::dataset {
+
+struct SparsityQuestion {
+  int prefix_size_log2 = 64;      ///< /64 -> 64 free bits
+  double responsive_hosts = 1e4;  ///< responsive addresses inside the prefix
+  double probe_rate_pps = 500.0;  ///< scanning rate
+  double budget_seconds = 86'400.0 * 30;  ///< a month of scanning
+};
+
+struct SparsityAnswer {
+  double addresses = 0.0;          ///< 2^prefix_size_log2 (as double)
+  double responsive_density = 0.0; ///< hosts / addresses
+  double probes_sent = 0.0;        ///< rate x budget (capped at addresses)
+  double expected_hits = 0.0;      ///< probes x density
+  double p_at_least_one = 0.0;     ///< 1 - exp(-expected_hits)
+  double prefix_coverage = 0.0;    ///< probes / addresses
+};
+
+/// Expected outcome of uniformly scanning the prefix for responsive hosts.
+SparsityAnswer analyze_sparsity(const SparsityQuestion& q);
+
+}  // namespace geoloc::dataset

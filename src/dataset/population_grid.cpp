@@ -1,0 +1,95 @@
+#include "dataset/population_grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesy.h"
+
+namespace geoloc::dataset {
+
+namespace {
+
+constexpr int kCellsPerRow = 4096;  // > 360, keeps keys unique
+
+int cell_key(double lat_deg, double lon_deg) {
+  const int lat_cell = static_cast<int>(std::floor(lat_deg)) + 90;
+  const int lon_cell = static_cast<int>(std::floor(lon_deg)) + 180;
+  return lat_cell * kCellsPerRow + lon_cell;
+}
+
+}  // namespace
+
+PopulationGrid::PopulationGrid(const sim::World& world,
+                               const PopulationGridConfig& config)
+    : config_(config) {
+  kernels_.reserve(world.places().size());
+  for (const sim::Place& place : world.places()) {
+    Kernel k;
+    k.center = place.location;
+    k.people = place.population_k * 1000.0;
+    k.sigma_km = config.base_sigma_km *
+                 std::pow(std::max(place.population_k, 1.0),
+                          config.sigma_pop_exponent);
+    k.norm = k.people / (2.0 * geo::kPi * k.sigma_km * k.sigma_km);
+    kernels_.push_back(k);
+  }
+
+  // Bucket kernels into 1-degree cells, registering each kernel in every
+  // cell within its ~4-sigma reach (sigma is at most a few tens of km, so
+  // a one-cell halo suffices away from the poles; use two for safety).
+  std::vector<std::pair<int, std::size_t>> entries;
+  for (std::size_t i = 0; i < kernels_.size(); ++i) {
+    const auto& k = kernels_[i];
+    const int halo = 2;
+    const int base_lat = static_cast<int>(std::floor(k.center.lat_deg));
+    const int base_lon = static_cast<int>(std::floor(k.center.lon_deg));
+    for (int dlat = -halo; dlat <= halo; ++dlat) {
+      for (int dlon = -halo; dlon <= halo; ++dlon) {
+        const double lat = std::clamp(static_cast<double>(base_lat + dlat),
+                                      -90.0, 89.0);
+        const double lon = geo::normalize_lon(
+            static_cast<double>(base_lon + dlon));
+        entries.emplace_back(cell_key(lat, lon), i);
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const auto& [key, idx] : entries) {
+    if (cells_.empty() || cells_.back().first != key) {
+      cells_.push_back({key, {}});
+    }
+    auto& bucket = cells_.back().second;
+    if (bucket.empty() || bucket.back() != idx) bucket.push_back(idx);
+  }
+}
+
+std::vector<const PopulationGrid::Kernel*> PopulationGrid::kernels_near(
+    const geo::GeoPoint& p) const {
+  std::vector<const Kernel*> out;
+  const int key = cell_key(p.lat_deg, p.lon_deg);
+  const auto it = std::lower_bound(
+      cells_.begin(), cells_.end(), key,
+      [](const auto& cell, int k) { return cell.first < k; });
+  if (it != cells_.end() && it->first == key) {
+    out.reserve(it->second.size());
+    for (std::size_t idx : it->second) out.push_back(&kernels_[idx]);
+  }
+  return out;
+}
+
+double PopulationGrid::density_per_km2(const geo::GeoPoint& p) const {
+  // Snap to the grid granularity so nearby queries agree, like GPWv4 cells.
+  const double snap_deg = config_.query_snap_km / 111.0;
+  const geo::GeoPoint snapped{
+      std::round(p.lat_deg / snap_deg) * snap_deg,
+      std::round(p.lon_deg / snap_deg) * snap_deg};
+
+  double density = config_.rural_floor_per_km2;
+  for (const Kernel* k : kernels_near(snapped)) {
+    const double d = geo::distance_km(k->center, snapped);
+    density += k->norm * std::exp(-0.5 * (d / k->sigma_km) * (d / k->sigma_km));
+  }
+  return density;
+}
+
+}  // namespace geoloc::dataset

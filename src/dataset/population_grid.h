@@ -1,0 +1,50 @@
+// Population-density surface — the stand-in for the "Gridded Population of
+// the World v4" dataset (paper Figures 6b and 8, Appendix C).
+//
+// Density at a point is a kernel sum over every place (city and satellite
+// town): each place spreads its population over a Gaussian footprint whose
+// width grows slowly with population. Queries are snapped to a 1 km grid to
+// match GPWv4's granularity.
+#pragma once
+
+#include <vector>
+
+#include "geo/geopoint.h"
+#include "sim/world.h"
+
+namespace geoloc::dataset {
+
+struct PopulationGridConfig {
+  double base_sigma_km = 5.0;     ///< footprint of a small town
+  double sigma_pop_exponent = 0.18;  ///< sigma scales with pop^exponent
+  double rural_floor_per_km2 = 2.0;  ///< sparse rural baseline
+  double query_snap_km = 1.0;        ///< GPWv4 granularity
+};
+
+class PopulationGrid {
+ public:
+  PopulationGrid(const sim::World& world,
+                 const PopulationGridConfig& config = {});
+
+  /// People per square kilometre at `p` (snapped to the 1 km grid).
+  [[nodiscard]] double density_per_km2(const geo::GeoPoint& p) const;
+
+ private:
+  struct Kernel {
+    geo::GeoPoint center;
+    double people;    ///< population (persons)
+    double sigma_km;  ///< Gaussian width
+    double norm;      ///< people / (2*pi*sigma^2)
+  };
+
+  // Coarse lat/lon cell index so each query only visits nearby kernels.
+  [[nodiscard]] std::vector<const Kernel*> kernels_near(
+      const geo::GeoPoint& p) const;
+
+  PopulationGridConfig config_;
+  std::vector<Kernel> kernels_;
+  // cell key = (lat_cell * 4096 + lon_cell); 1-degree cells
+  std::vector<std::pair<int, std::vector<std::size_t>>> cells_;
+};
+
+}  // namespace geoloc::dataset

@@ -1,0 +1,42 @@
+// Section 4.3 sanitisation of RIPE Atlas geolocation.
+//
+// The paper counts, for each anchor, how many of its RTTs to/from other
+// anchors violate the speed-of-Internet constraint at 2/3 c with respect to
+// the *reported* locations, iteratively removing the worst offender until
+// no violation remains (9 anchors removed). Probes are then pinged against
+// the surviving anchors and filtered the same way (96 probes removed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/latency_model.h"
+#include "sim/world.h"
+
+namespace geoloc::dataset {
+
+struct SanitizeResult {
+  std::vector<sim::HostId> kept;
+  std::vector<sim::HostId> removed;
+  std::uint64_t violating_pairs = 0;  ///< SOI-violating pairs observed initially
+};
+
+struct SanitizeConfig {
+  int ping_packets = 3;
+  double soi_km_per_ms = 0.0;  ///< 0 = use 2/3 c
+};
+
+/// Meshed anchor-to-anchor sanitisation: iteratively remove the anchor with
+/// the most speed-of-Internet violations until none remain.
+SanitizeResult sanitize_anchors(const sim::LatencyModel& latency,
+                                const std::vector<sim::HostId>& anchors,
+                                const SanitizeConfig& config = {});
+
+/// Probe sanitisation: ping every verified anchor from each probe; remove
+/// probes the same iterative way.
+SanitizeResult sanitize_probes(const sim::LatencyModel& latency,
+                               const std::vector<sim::HostId>& probes,
+                               const std::vector<sim::HostId>& good_anchors,
+                               const SanitizeConfig& config = {});
+
+}  // namespace geoloc::dataset

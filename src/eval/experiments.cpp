@@ -1,0 +1,213 @@
+#include "eval/experiments.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/million_scale.h"
+#include "eval/metrics.h"
+#include "geo/geodesy.h"
+#include "util/stats.h"
+
+namespace geoloc::eval {
+
+namespace {
+
+/// Per-target CBG error for an arbitrary row set.
+double one_target_error(const core::MillionScale& ms,
+                        std::span<const std::size_t> rows,
+                        std::size_t target_col,
+                        const core::CbgConfig& config) {
+  const core::CbgResult r = ms.geolocate(rows, target_col, config);
+  if (!r.ok) return -1.0;
+  return ms.error_km(r.estimate, target_col);
+}
+
+std::vector<std::size_t> all_rows(const scenario::Scenario& s) {
+  std::vector<std::size_t> rows(s.vps().size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+}  // namespace
+
+int trials_from_env(int fallback) {
+  if (const char* env = std::getenv("GEOLOC_TRIALS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+const std::vector<double>& all_vp_errors(const scenario::Scenario& s,
+                                         const core::CbgConfig& config) {
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::vector<double>> cache;
+  // Fold the CBG speed into the key: Figure 5a uses 4/9 c, the rest 2/3 c.
+  std::uint64_t key = s.config().fingerprint();
+  key ^= static_cast<std::uint64_t>(config.soi_km_per_ms * 1024.0);
+
+  std::scoped_lock lock(mu);
+  if (const auto it = cache.find(key); it != cache.end()) return it->second;
+
+  const core::MillionScale ms(s);
+  const auto rows = all_rows(s);
+  std::vector<double> errors;
+  errors.reserve(s.targets().size());
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    errors.push_back(one_target_error(ms, rows, col, config));
+  }
+  return cache.emplace(key, std::move(errors)).first->second;
+}
+
+std::vector<SubsetTrials> run_subset_size_sweep(
+    const scenario::Scenario& s, std::span<const int> subset_sizes, int trials,
+    const core::CbgConfig& config) {
+  const core::MillionScale ms(s);
+  const std::size_t n = s.vps().size();
+  auto gen = s.world().rng().fork("subset-sweep").gen();
+
+  std::vector<SubsetTrials> out;
+  for (int size : subset_sizes) {
+    SubsetTrials st;
+    st.subset_size = size;
+    const auto k = std::min<std::size_t>(static_cast<std::size_t>(size), n);
+    std::vector<std::size_t> rows(n);
+    for (std::size_t i = 0; i < n; ++i) rows[i] = i;
+
+    for (int t = 0; t < trials; ++t) {
+      // Partial Fisher-Yates: the first k entries become the subset.
+      for (std::size_t i = 0; i < k; ++i) {
+        const std::size_t j = i + gen.index(n - i);
+        std::swap(rows[i], rows[j]);
+      }
+      const std::span<const std::size_t> subset(rows.data(), k);
+      std::vector<double> errors;
+      errors.reserve(s.targets().size());
+      for (std::size_t col = 0; col < s.targets().size(); ++col) {
+        const double e = one_target_error(ms, subset, col, config);
+        if (e >= 0.0) errors.push_back(e);
+      }
+      st.trial_median_errors_km.push_back(util::median(errors));
+    }
+    out.push_back(std::move(st));
+  }
+  return out;
+}
+
+std::vector<ExclusionErrors> run_remove_close_vps(
+    const scenario::Scenario& s, std::span<const double> radii_km,
+    const core::CbgConfig& config) {
+  const core::MillionScale ms(s);
+  const auto& world = s.world();
+  const std::size_t n = s.vps().size();
+
+  std::vector<ExclusionErrors> out;
+  for (double radius : radii_km) {
+    ExclusionErrors ee;
+    ee.exclusion_km = radius;
+    if (radius <= 0.0) {
+      ee.errors_km = all_vp_errors(s, config);
+      out.push_back(std::move(ee));
+      continue;
+    }
+    for (std::size_t col = 0; col < s.targets().size(); ++col) {
+      const geo::GeoPoint truth =
+          world.host(s.targets()[col]).true_location;
+      std::vector<std::size_t> rows;
+      rows.reserve(n);
+      for (std::size_t r = 0; r < n; ++r) {
+        if (geo::distance_km(world.host(s.vps()[r]).true_location, truth) >
+            radius) {
+          rows.push_back(r);
+        }
+      }
+      const double e = one_target_error(ms, rows, col, config);
+      if (e >= 0.0) ee.errors_km.push_back(e);
+    }
+    out.push_back(std::move(ee));
+  }
+  return out;
+}
+
+std::vector<RepSelectionErrors> run_rep_selection(
+    const scenario::Scenario& s, std::span<const int> ks,
+    const core::CbgConfig& config) {
+  const core::MillionScale ms(s);
+  std::vector<RepSelectionErrors> out;
+  for (int k : ks) {
+    RepSelectionErrors re;
+    re.k = k;
+    for (std::size_t col = 0; col < s.targets().size(); ++col) {
+      const auto rows = k == 0
+                            ? all_rows(s)
+                            : ms.select_vps_by_representatives(col, k);
+      const double e = one_target_error(ms, rows, col, config);
+      if (e >= 0.0) re.errors_km.push_back(e);
+    }
+    out.push_back(std::move(re));
+  }
+  return out;
+}
+
+std::vector<TwoStepSweep> run_two_step_sweep(
+    const scenario::Scenario& s, std::span<const int> first_step_sizes,
+    const core::CbgConfig& config) {
+  const core::MillionScale ms(s);
+  // The greedy coverage sequence nests: the first N picks of the longest
+  // run ARE the greedy subset of size N, so compute it once.
+  int max_size = 0;
+  for (int sz : first_step_sizes) max_size = std::max(max_size, sz);
+  const auto greedy = core::greedy_coverage_rows(
+      s, static_cast<std::size_t>(max_size));
+
+  std::vector<TwoStepSweep> out;
+  for (int sz : first_step_sizes) {
+    TwoStepSweep sweep;
+    sweep.first_step_size = sz;
+    std::vector<std::size_t> first(
+        greedy.begin(),
+        greedy.begin() + std::min<std::ptrdiff_t>(sz, std::ssize(greedy)));
+    core::TwoStepConfig tsc;
+    tsc.cbg = config;
+    const core::TwoStepSelector selector(s, std::move(first), tsc);
+
+    for (std::size_t col = 0; col < s.targets().size(); ++col) {
+      const core::TwoStepOutcome o = selector.run(col);
+      sweep.total_pings += o.step1_pings + o.step2_pings + o.final_pings;
+      if (!o.ok) {
+        ++sweep.failed_targets;
+        continue;
+      }
+      sweep.errors_km.push_back(ms.error_km(o.estimate, col));
+    }
+    out.push_back(std::move(sweep));
+  }
+  return out;
+}
+
+std::vector<ContinentErrors> run_per_continent(const scenario::Scenario& s,
+                                               const core::CbgConfig& config) {
+  const auto& errors = all_vp_errors(s, config);
+  const auto& world = s.world();
+
+  std::vector<ContinentErrors> out;
+  for (sim::Continent c : sim::all_continents()) {
+    out.push_back(ContinentErrors{c, {}});
+  }
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    if (errors[col] < 0.0) continue;
+    const sim::Continent c =
+        world.place(world.host(s.targets()[col]).place).continent;
+    for (auto& ce : out) {
+      if (ce.continent == c) {
+        ce.errors_km.push_back(errors[col]);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace geoloc::eval

@@ -1,0 +1,15 @@
+#include "eval/metrics.h"
+
+#include "util/stats.h"
+
+namespace geoloc::eval {
+
+double city_level_fraction(std::span<const double> errors_km) noexcept {
+  return util::fraction_below(errors_km, kCityLevelKm);
+}
+
+double street_level_fraction(std::span<const double> errors_km) noexcept {
+  return util::fraction_below(errors_km, kStreetLevelKm);
+}
+
+}  // namespace geoloc::eval

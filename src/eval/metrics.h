@@ -1,0 +1,28 @@
+// Shared evaluation vocabulary: geolocation error and the paper's accuracy
+// thresholds.
+#pragma once
+
+#include <span>
+
+#include "geo/geodesy.h"
+#include "scenario/scenario.h"
+
+namespace geoloc::eval {
+
+/// The paper's "city level" radius (Section 5.1.1, citing Gharaibeh et al.).
+inline constexpr double kCityLevelKm = 40.0;
+/// The paper's "street level" radius (Section 5.2.1).
+inline constexpr double kStreetLevelKm = 1.0;
+
+/// Error of an estimate against a target's ground-truth location.
+inline double error_km(const scenario::Scenario& s, std::size_t target_col,
+                       const geo::GeoPoint& estimate) {
+  return geo::distance_km(
+      estimate, s.world().host(s.targets()[target_col]).true_location);
+}
+
+/// Fraction of errors within city level / street level.
+double city_level_fraction(std::span<const double> errors_km) noexcept;
+double street_level_fraction(std::span<const double> errors_km) noexcept;
+
+}  // namespace geoloc::eval

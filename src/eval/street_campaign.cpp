@@ -1,0 +1,211 @@
+#include "eval/street_campaign.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "eval/metrics.h"
+#include "util/stats.h"
+
+namespace geoloc::eval {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x5354524545543032ULL;  // "STREET02"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+template <typename T>
+bool write_pod(std::FILE* f, const T& v) {
+  return std::fwrite(&v, sizeof v, 1, f) == 1;
+}
+template <typename T>
+bool read_pod(std::FILE* f, T& v) {
+  return std::fread(&v, sizeof v, 1, f) == 1;
+}
+
+}  // namespace
+
+bool StreetCampaign::save(const std::string& path, std::uint64_t tag) const {
+  FilePtr f{std::fopen(path.c_str(), "wb")};
+  if (!f) return false;
+  if (!write_pod(f.get(), kMagic) || !write_pod(f.get(), tag)) return false;
+  const std::uint64_t n = records.size();
+  if (!write_pod(f.get(), n)) return false;
+  for (const StreetRecord& r : records) {
+    if (!write_pod(f.get(), r.street_error_km) ||
+        !write_pod(f.get(), r.cbg_error_km) ||
+        !write_pod(f.get(), r.oracle_error_km) ||
+        !write_pod(f.get(), r.elapsed_seconds) ||
+        !write_pod(f.get(), r.negative_fraction) ||
+        !write_pod(f.get(), r.pearson) || !write_pod(f.get(), r.tier_reached) ||
+        !write_pod(f.get(), r.fell_back_to_cbg) ||
+        !write_pod(f.get(), r.landmarks_measured) ||
+        !write_pod(f.get(), r.geocode_queries) ||
+        !write_pod(f.get(), r.websites_tested) ||
+        !write_pod(f.get(), r.nearest_landmark_km) ||
+        !write_pod(f.get(), r.nearest_checked_landmark_km)) {
+      return false;
+    }
+    const std::uint32_t m = static_cast<std::uint32_t>(r.distances.size());
+    if (!write_pod(f.get(), m)) return false;
+    for (const auto& [g, d] : r.distances) {
+      if (!write_pod(f.get(), g) || !write_pod(f.get(), d)) return false;
+    }
+  }
+  return true;
+}
+
+bool StreetCampaign::load(const std::string& path, std::uint64_t tag) {
+  FilePtr f{std::fopen(path.c_str(), "rb")};
+  if (!f) return false;
+  std::uint64_t magic = 0, file_tag = 0, n = 0;
+  if (!read_pod(f.get(), magic) || !read_pod(f.get(), file_tag) ||
+      !read_pod(f.get(), n) || magic != kMagic || file_tag != tag) {
+    return false;
+  }
+  records.assign(n, {});
+  for (StreetRecord& r : records) {
+    std::uint32_t m = 0;
+    if (!read_pod(f.get(), r.street_error_km) ||
+        !read_pod(f.get(), r.cbg_error_km) ||
+        !read_pod(f.get(), r.oracle_error_km) ||
+        !read_pod(f.get(), r.elapsed_seconds) ||
+        !read_pod(f.get(), r.negative_fraction) ||
+        !read_pod(f.get(), r.pearson) || !read_pod(f.get(), r.tier_reached) ||
+        !read_pod(f.get(), r.fell_back_to_cbg) ||
+        !read_pod(f.get(), r.landmarks_measured) ||
+        !read_pod(f.get(), r.geocode_queries) ||
+        !read_pod(f.get(), r.websites_tested) ||
+        !read_pod(f.get(), r.nearest_landmark_km) ||
+        !read_pod(f.get(), r.nearest_checked_landmark_km) ||
+        !read_pod(f.get(), m)) {
+      records.clear();
+      return false;
+    }
+    r.distances.resize(m);
+    for (auto& [g, d] : r.distances) {
+      if (!read_pod(f.get(), g) || !read_pod(f.get(), d)) {
+        records.clear();
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+const StreetCampaign& street_campaign(const scenario::Scenario& s,
+                                      std::size_t max_distances_per_target) {
+  // One campaign per scenario fingerprint per process.
+  static std::mutex mu;
+  static std::unordered_map<std::uint64_t, std::unique_ptr<StreetCampaign>>
+      cache;
+  const std::uint64_t tag = s.config().fingerprint() ^ 0x57CA3ULL;
+
+  std::scoped_lock lock(mu);
+  if (const auto it = cache.find(tag); it != cache.end()) return *it->second;
+
+  auto campaign = std::make_unique<StreetCampaign>();
+
+  std::string dir = s.config().cache_dir;
+  if (const char* env = std::getenv("GEOLOC_CACHE_DIR")) dir = env;
+  std::string path;
+  if (!dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "/street-campaign-%016llx.bin",
+                  static_cast<unsigned long long>(tag));
+    path = dir + buf;
+    if (campaign->load(path, tag)) {
+      return *cache.emplace(tag, std::move(campaign)).first->second;
+    }
+  }
+
+  const core::StreetLevel street(s);
+  campaign->records.reserve(s.targets().size());
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const core::StreetLevelResult run = street.geolocate(col);
+    StreetRecord rec;
+    rec.street_error_km =
+        static_cast<float>(error_km(s, col, run.estimate));
+    const core::CbgResult cbg = street.cbg_baseline(col);
+    rec.cbg_error_km = static_cast<float>(
+        cbg.ok ? error_km(s, col, cbg.estimate) : -1.0);
+    const auto oracle = street.closest_landmark_oracle(col);
+    rec.oracle_error_km = static_cast<float>(
+        oracle ? error_km(s, col, *oracle) : -1.0);
+    rec.elapsed_seconds = static_cast<float>(run.elapsed_seconds);
+    rec.tier_reached = static_cast<std::uint8_t>(run.tier_reached);
+    rec.fell_back_to_cbg = run.fell_back_to_cbg;
+    rec.geocode_queries = static_cast<std::uint32_t>(
+        run.tier2.geocode_queries + run.tier3.geocode_queries);
+    rec.websites_tested = static_cast<std::uint32_t>(
+        run.tier2.websites_tested + run.tier3.websites_tested);
+
+    // Aggregate landmark measurements over both tiers.
+    std::vector<double> geo_d, meas_d;
+    std::uint32_t measured = 0, negative = 0;
+    for (const auto* tier : {&run.tier2, &run.tier3}) {
+      for (const core::LandmarkMeasurement& m : tier->landmarks) {
+        if (m.pair_count == 0) continue;
+        ++measured;
+        if (!m.usable) ++negative;
+        if (m.usable) {
+          geo_d.push_back(m.geographic_distance_km);
+          meas_d.push_back(m.measured_distance_km);
+          if (rec.distances.size() < max_distances_per_target) {
+            rec.distances.emplace_back(
+                static_cast<float>(m.geographic_distance_km),
+                static_cast<float>(m.measured_distance_km));
+          }
+        }
+      }
+    }
+    rec.landmarks_measured = measured;
+    rec.negative_fraction =
+        measured > 0
+            ? static_cast<float>(negative) / static_cast<float>(measured)
+            : -1.0F;
+    rec.pearson = static_cast<float>(util::pearson(geo_d, meas_d));
+
+    // Figure 5b inputs: proximity of *harvested* landmarks, optimistic and
+    // with the paper's < 1 ms latency check (pings from the target to every
+    // harvested landmark within 40 km).
+    auto check_gen =
+        s.world().rng().fork("latency-check", col).gen();
+    const sim::HostId target = s.targets()[col];
+    for (const auto* tier : {&run.tier2, &run.tier3}) {
+      for (const core::LandmarkMeasurement& m2 : tier->landmarks) {
+        const auto g = static_cast<float>(m2.geographic_distance_km);
+        if (rec.nearest_landmark_km < 0.0F || g < rec.nearest_landmark_km) {
+          rec.nearest_landmark_km = g;
+        }
+        if (g <= 40.0F) {
+          const sim::HostId server = s.web().website(m2.site).server;
+          const auto rtt = s.latency().min_rtt_ms(target, server,
+                                                  /*packets=*/3, check_gen);
+          if (rtt && *rtt < 1.0 &&
+              (rec.nearest_checked_landmark_km < 0.0F ||
+               g < rec.nearest_checked_landmark_km)) {
+            rec.nearest_checked_landmark_km = g;
+          }
+        }
+      }
+    }
+    campaign->records.push_back(std::move(rec));
+  }
+
+  if (!path.empty()) campaign->save(path, tag);
+  return *cache.emplace(tag, std::move(campaign)).first->second;
+}
+
+}  // namespace geoloc::eval

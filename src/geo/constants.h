@@ -1,0 +1,46 @@
+// Physical constants and RTT<->distance conversion used by every
+// latency-based geolocation technique in the paper.
+//
+// CBG (Gueye et al. 2006) and the million-scale paper convert RTTs to
+// distance upper bounds at 2/3 of the speed of light in vacuum ("speed of
+// Internet", SOI); the street-level paper argues 2/3 c is too conservative
+// for its tiers and uses 4/9 c instead (IMC'23 paper, Section 3.2.2).
+#pragma once
+
+namespace geoloc::geo {
+
+/// Mean Earth radius in kilometres (spherical model).
+inline constexpr double kEarthRadiusKm = 6371.0088;
+
+/// Speed of light in vacuum, km per millisecond.
+inline constexpr double kSpeedOfLightKmPerMs = 299.792458;
+
+/// Speed of Internet at 2/3 c (km/ms) — the classic CBG constant and the
+/// constant used by the paper's sanitisation step (Section 4.3).
+inline constexpr double kSoiTwoThirdsKmPerMs = kSpeedOfLightKmPerMs * 2.0 / 3.0;
+
+/// Speed of Internet at 4/9 c (km/ms) — the street-level paper's constant.
+inline constexpr double kSoiFourNinthsKmPerMs = kSpeedOfLightKmPerMs * 4.0 / 9.0;
+
+/// Maximum one-way distance implied by a round-trip time at propagation
+/// speed `soi_km_per_ms`: the packet travels at most rtt/2 in one direction.
+constexpr double rtt_to_max_distance_km(double rtt_ms,
+                                        double soi_km_per_ms) noexcept {
+  return rtt_ms / 2.0 * soi_km_per_ms;
+}
+
+/// Minimum physically possible RTT between two points `distance_km` apart,
+/// assuming propagation at `soi_km_per_ms` (2/3 c unless stated otherwise).
+constexpr double distance_to_min_rtt_ms(
+    double distance_km, double soi_km_per_ms = kSoiTwoThirdsKmPerMs) noexcept {
+  return 2.0 * distance_km / soi_km_per_ms;
+}
+
+/// Speed-of-Internet violation test used by the Section 4.3 sanitiser: an
+/// observed RTT is impossible if it is below the great-circle minimum.
+constexpr bool violates_soi(double rtt_ms, double distance_km,
+                            double soi_km_per_ms = kSoiTwoThirdsKmPerMs) noexcept {
+  return rtt_ms < distance_to_min_rtt_ms(distance_km, soi_km_per_ms);
+}
+
+}  // namespace geoloc::geo

@@ -1,0 +1,33 @@
+// Spherical disks ("small circles"): the constraint primitive of CBG.
+// A vantage point with RTT r to the target constrains the target to the
+// disk centred at the VP with radius rtt_to_max_distance_km(r).
+#pragma once
+
+#include "geo/geodesy.h"
+#include "geo/geopoint.h"
+
+namespace geoloc::geo {
+
+/// A closed disk on the sphere: all points within `radius_km` great-circle
+/// kilometres of `center`.
+struct Disk {
+  GeoPoint center;
+  double radius_km = 0.0;
+
+  [[nodiscard]] bool contains(const GeoPoint& p) const noexcept {
+    return distance_km(center, p) <= radius_km;
+  }
+
+  /// True when this disk lies entirely inside `other`, making `other`
+  /// redundant as an intersection constraint.
+  [[nodiscard]] bool inside(const Disk& other) const noexcept {
+    return distance_km(center, other.center) + radius_km <= other.radius_km;
+  }
+
+  /// True when the two disks share no point.
+  [[nodiscard]] bool disjoint(const Disk& other) const noexcept {
+    return distance_km(center, other.center) > radius_km + other.radius_km;
+  }
+};
+
+}  // namespace geoloc::geo

@@ -1,0 +1,14 @@
+#include "geo/geopoint.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace geoloc::geo {
+
+std::string to_string(const GeoPoint& p) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(4) << p.lat_deg << ',' << p.lon_deg;
+  return os.str();
+}
+
+}  // namespace geoloc::geo

@@ -1,0 +1,47 @@
+// Geographic coordinates. All angles are degrees in the public API; radians
+// appear only inside geodesy kernels.
+#pragma once
+
+#include <cmath>
+#include <numbers>
+#include <string>
+
+namespace geoloc::geo {
+
+constexpr double kPi = std::numbers::pi;
+
+constexpr double deg_to_rad(double deg) noexcept { return deg * kPi / 180.0; }
+constexpr double rad_to_deg(double rad) noexcept { return rad * 180.0 / kPi; }
+
+/// A point on the Earth's surface (spherical model).
+struct GeoPoint {
+  double lat_deg = 0.0;  ///< latitude in [-90, 90]
+  double lon_deg = 0.0;  ///< longitude in [-180, 180)
+
+  /// True when latitude/longitude are inside their valid ranges.
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return lat_deg >= -90.0 && lat_deg <= 90.0 && lon_deg >= -180.0 &&
+           lon_deg < 180.0 && !std::isnan(lat_deg) && !std::isnan(lon_deg);
+  }
+
+  friend constexpr bool operator==(const GeoPoint&, const GeoPoint&) = default;
+};
+
+/// Normalize longitude into [-180, 180).
+constexpr double normalize_lon(double lon_deg) noexcept {
+  while (lon_deg >= 180.0) lon_deg -= 360.0;
+  while (lon_deg < -180.0) lon_deg += 360.0;
+  return lon_deg;
+}
+
+/// Clamp latitude into [-90, 90].
+constexpr double clamp_lat(double lat_deg) noexcept {
+  if (lat_deg > 90.0) return 90.0;
+  if (lat_deg < -90.0) return -90.0;
+  return lat_deg;
+}
+
+/// "48.8566,2.3522" — used by tables and debug output.
+std::string to_string(const GeoPoint& p);
+
+}  // namespace geoloc::geo

@@ -1,0 +1,49 @@
+// Reverse-geocoding stand-in for the local Nominatim instance of the
+// replication (the street-level original used Geonames). Maps coordinates
+// to zip codes over a deterministic grid of postal zones (~5 km cells), and
+// counts queries so pipelines can charge the cost model with the real
+// study's observed 8-queries-per-second rate limit.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geo/geopoint.h"
+
+namespace geoloc::landmark {
+
+class MappingService {
+ public:
+  /// `cell_deg` controls the zip-zone size: 0.045 deg ~ 5 km.
+  explicit MappingService(double cell_deg = 0.045) : cell_deg_(cell_deg) {}
+
+  /// Zip code of the zone containing `p`, e.g. "Z02924x04105".
+  [[nodiscard]] std::string reverse_geocode(const geo::GeoPoint& p) const;
+
+  /// Same mapping without counting a query — for internal dataset
+  /// construction (the ecosystem labelling websites), not pipeline use.
+  [[nodiscard]] std::string zone_of(const geo::GeoPoint& p) const;
+
+  /// The zone and its 8 neighbours — the Overpass-style "amenities with a
+  /// website around this area" query footprint used by the landmark
+  /// harvester. Returns {zip} for a malformed zone string.
+  [[nodiscard]] std::vector<std::string> neighbor_zones(
+      const std::string& zip) const;
+
+  [[nodiscard]] std::uint64_t query_count() const noexcept {
+    return queries_.load(std::memory_order_relaxed);
+  }
+  void reset_query_count() noexcept {
+    queries_.store(0, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] double cell_deg() const noexcept { return cell_deg_; }
+
+ private:
+  double cell_deg_;
+  mutable std::atomic<std::uint64_t> queries_{0};
+};
+
+}  // namespace geoloc::landmark

@@ -1,0 +1,63 @@
+#include "net/ipv4.h"
+
+#include <charconv>
+#include <sstream>
+
+namespace geoloc::net {
+
+namespace {
+
+/// Parse a decimal integer in [0, max]; advances `text` past the digits.
+std::optional<std::uint32_t> parse_uint(std::string_view& text,
+                                        std::uint32_t max) {
+  std::uint32_t v = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc{} || ptr == begin || v > max) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return v;
+}
+
+}  // namespace
+
+std::optional<IPv4Address> IPv4Address::parse(std::string_view text) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto octet = parse_uint(text, 255);
+    if (!octet) return std::nullopt;
+    value = (value << 8) | *octet;
+    if (i < 3) {
+      if (text.empty() || text.front() != '.') return std::nullopt;
+      text.remove_prefix(1);
+    }
+  }
+  if (!text.empty()) return std::nullopt;
+  return IPv4Address{value};
+}
+
+std::string IPv4Address::to_string() const {
+  std::ostringstream os;
+  os << static_cast<int>(octet(0)) << '.' << static_cast<int>(octet(1)) << '.'
+     << static_cast<int>(octet(2)) << '.' << static_cast<int>(octet(3));
+  return os.str();
+}
+
+std::optional<Prefix> Prefix::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv4Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::string_view len_text = text.substr(slash + 1);
+  const auto len = parse_uint(len_text, 32);
+  if (!len || !len_text.empty()) return std::nullopt;
+  return Prefix{*addr, static_cast<int>(*len)};
+}
+
+std::string Prefix::to_string() const {
+  std::ostringstream os;
+  os << network().to_string() << '/' << length_;
+  return os.str();
+}
+
+}  // namespace geoloc::net

@@ -1,0 +1,98 @@
+// IPv4 addresses, prefixes and AS numbers. The reproduction is IPv4-only,
+// like the paper (Section 2.1: representative selection relies on /24
+// density, which does not transfer to IPv6).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace geoloc::net {
+
+/// An IPv4 address stored host-order for arithmetic convenience.
+class IPv4Address {
+ public:
+  constexpr IPv4Address() = default;
+  constexpr explicit IPv4Address(std::uint32_t value) noexcept : value_(value) {}
+  constexpr IPv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                        std::uint8_t d) noexcept
+      : value_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | d) {}
+
+  /// Parse dotted-quad notation; returns nullopt on malformed input.
+  static std::optional<IPv4Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint32_t value() const noexcept { return value_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const noexcept {
+    return static_cast<std::uint8_t>(value_ >> (8 * (3 - i)));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPv4Address&,
+                                    const IPv4Address&) = default;
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+/// A CIDR prefix.
+class Prefix {
+ public:
+  constexpr Prefix() = default;
+  /// Host bits of `address` below `length` are zeroed.
+  constexpr Prefix(IPv4Address address, int length) noexcept
+      : length_(length),
+        network_(length == 0 ? 0 : (address.value() & mask(length))) {}
+
+  /// Parse "a.b.c.d/len"; returns nullopt on malformed input.
+  static std::optional<Prefix> parse(std::string_view text);
+
+  [[nodiscard]] constexpr IPv4Address network() const noexcept {
+    return IPv4Address{network_};
+  }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  [[nodiscard]] constexpr bool contains(IPv4Address a) const noexcept {
+    return length_ == 0 || (a.value() & mask(length_)) == network_;
+  }
+  [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept {
+    return other.length_ >= length_ && contains(other.network());
+  }
+
+  /// Number of addresses covered.
+  [[nodiscard]] constexpr std::uint64_t size() const noexcept {
+    return 1ULL << (32 - length_);
+  }
+
+  /// The i-th address inside the prefix. Precondition: i < size().
+  [[nodiscard]] constexpr IPv4Address address_at(std::uint32_t i) const noexcept {
+    return IPv4Address{network_ + i};
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix&, const Prefix&) = default;
+
+  static constexpr std::uint32_t mask(int length) noexcept {
+    return length == 0 ? 0 : ~std::uint32_t{0} << (32 - length);
+  }
+
+ private:
+  int length_ = 0;
+  std::uint32_t network_ = 0;
+};
+
+/// The /24 containing `a` — the granularity at which the million-scale
+/// paper picks representatives.
+constexpr Prefix slash24_of(IPv4Address a) noexcept { return Prefix{a, 24}; }
+
+/// An autonomous-system number.
+struct Asn {
+  std::uint32_t value = 0;
+  friend constexpr auto operator<=>(const Asn&, const Asn&) = default;
+};
+
+}  // namespace geoloc::net

@@ -1,0 +1,133 @@
+#include "net/ipv6.h"
+
+#include <charconv>
+#include <cstdio>
+#include <vector>
+
+namespace geoloc::net {
+
+namespace {
+
+/// Parse one hex group (1-4 digits); advances `text`.
+std::optional<std::uint16_t> parse_group(std::string_view& text) {
+  std::uint32_t v = 0;
+  const char* begin = text.data();
+  const char* end = text.data() + std::min<std::size_t>(text.size(), 4);
+  const auto [ptr, ec] = std::from_chars(begin, end, v, 16);
+  if (ec != std::errc{} || ptr == begin) return std::nullopt;
+  text.remove_prefix(static_cast<std::size_t>(ptr - begin));
+  return static_cast<std::uint16_t>(v);
+}
+
+IPv6Address from_groups(const std::array<std::uint16_t, 8>& g) {
+  std::uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 4; ++i) hi = (hi << 16) | g[static_cast<std::size_t>(i)];
+  for (int i = 4; i < 8; ++i) lo = (lo << 16) | g[static_cast<std::size_t>(i)];
+  return {hi, lo};
+}
+
+}  // namespace
+
+std::optional<IPv6Address> IPv6Address::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+
+  // Split on "::" (at most one occurrence).
+  const auto gap = text.find("::");
+  std::string_view head = text, tail;
+  bool has_gap = false;
+  if (gap != std::string_view::npos) {
+    has_gap = true;
+    head = text.substr(0, gap);
+    tail = text.substr(gap + 2);
+    if (tail.find("::") != std::string_view::npos) return std::nullopt;
+  }
+
+  auto parse_side = [](std::string_view side,
+                       std::vector<std::uint16_t>& out) {
+    if (side.empty()) return true;
+    for (;;) {
+      const auto g = parse_group(side);
+      if (!g) return false;
+      out.push_back(*g);
+      if (side.empty()) return true;
+      if (side.front() != ':') return false;
+      side.remove_prefix(1);
+      if (side.empty()) return false;  // trailing single ':'
+    }
+  };
+
+  std::vector<std::uint16_t> front, back;
+  if (!parse_side(head, front)) return std::nullopt;
+  if (has_gap && !parse_side(tail, back)) return std::nullopt;
+
+  std::array<std::uint16_t, 8> groups{};
+  if (has_gap) {
+    if (front.size() + back.size() > 7) return std::nullopt;
+    for (std::size_t i = 0; i < front.size(); ++i) groups[i] = front[i];
+    for (std::size_t i = 0; i < back.size(); ++i) {
+      groups[8 - back.size() + i] = back[i];
+    }
+  } else {
+    if (front.size() != 8) return std::nullopt;
+    for (std::size_t i = 0; i < 8; ++i) groups[i] = front[i];
+  }
+  return from_groups(groups);
+}
+
+std::string IPv6Address::to_string() const {
+  // RFC 5952: compress the longest run of >= 2 zero groups; lowercase hex.
+  int best_start = -1, best_len = 0;
+  for (int i = 0; i < 8;) {
+    if (group(i) != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < 8 && group(j) == 0) ++j;
+    if (j - i > best_len) {
+      best_len = j - i;
+      best_start = i;
+    }
+    i = j;
+  }
+  if (best_len < 2) best_start = -1;
+
+  char buf[48];
+  int pos = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (i == best_start) {
+      // One ':' marks the gap; the previous group already wrote its own
+      // separator (or we add it for a leading gap).
+      buf[pos++] = ':';
+      if (i == 0) buf[pos++] = ':';
+      i += best_len - 1;
+      continue;
+    }
+    pos += std::snprintf(buf + pos, sizeof buf - static_cast<std::size_t>(pos),
+                         "%x", group(i));
+    if (i != 7) buf[pos++] = ':';
+  }
+  return std::string(buf, static_cast<std::size_t>(pos));
+}
+
+std::optional<Prefix6> Prefix6::parse(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto addr = IPv6Address::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  const std::string_view len_text = text.substr(slash + 1);
+  std::uint32_t len = 0;
+  const auto [ptr, ec] =
+      std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+  if (ec != std::errc{} || ptr != len_text.data() + len_text.size() ||
+      len > 128) {
+    return std::nullopt;
+  }
+  return Prefix6{*addr, static_cast<int>(len)};
+}
+
+std::string Prefix6::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace geoloc::net

@@ -1,0 +1,93 @@
+// IPv6 addresses and prefixes — groundwork for the paper's declared future
+// work (Section 2.1): the million-scale VP selection does not transfer to
+// IPv6 because /24-style representative discovery fails in a space where a
+// single /64 outnumbers the whole IPv4 Internet. See
+// bench_ext_ipv6_sparsity for the quantified argument.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace geoloc::net {
+
+/// A 128-bit IPv6 address.
+class IPv6Address {
+ public:
+  constexpr IPv6Address() = default;
+  constexpr IPv6Address(std::uint64_t hi, std::uint64_t lo) noexcept
+      : hi_(hi), lo_(lo) {}
+
+  /// Parse RFC 4291 text (hex groups with optional "::" compression).
+  /// Embedded-IPv4 notation is not supported.
+  static std::optional<IPv6Address> parse(std::string_view text);
+
+  [[nodiscard]] constexpr std::uint64_t hi() const noexcept { return hi_; }
+  [[nodiscard]] constexpr std::uint64_t lo() const noexcept { return lo_; }
+
+  /// The i-th 16-bit group (0 = most significant).
+  [[nodiscard]] constexpr std::uint16_t group(int i) const noexcept {
+    const std::uint64_t word = i < 4 ? hi_ : lo_;
+    return static_cast<std::uint16_t>(word >> (16 * (3 - (i & 3))));
+  }
+
+  /// RFC 5952 canonical text (lowercase, longest zero run compressed).
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const IPv6Address&,
+                                    const IPv6Address&) = default;
+
+ private:
+  std::uint64_t hi_ = 0;
+  std::uint64_t lo_ = 0;
+};
+
+/// An IPv6 CIDR prefix.
+class Prefix6 {
+ public:
+  constexpr Prefix6() = default;
+  constexpr Prefix6(IPv6Address address, int length) noexcept
+      : length_(length), network_(mask(address, length)) {}
+
+  static std::optional<Prefix6> parse(std::string_view text);
+
+  [[nodiscard]] constexpr IPv6Address network() const noexcept {
+    return network_;
+  }
+  [[nodiscard]] constexpr int length() const noexcept { return length_; }
+
+  [[nodiscard]] constexpr bool contains(const IPv6Address& a) const noexcept {
+    return mask(a, length_) == network_;
+  }
+
+  /// log2 of the number of addresses covered (the count itself overflows
+  /// any integer for short prefixes).
+  [[nodiscard]] constexpr int size_log2() const noexcept {
+    return 128 - length_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(const Prefix6&, const Prefix6&) = default;
+
+ private:
+  static constexpr IPv6Address mask(const IPv6Address& a, int len) noexcept {
+    if (len <= 0) return {};
+    if (len >= 128) return a;
+    if (len >= 64) {
+      const int low_bits = len - 64;
+      const std::uint64_t m =
+          low_bits == 0 ? 0 : ~std::uint64_t{0} << (64 - low_bits);
+      return {a.hi(), a.lo() & m};
+    }
+    return {a.hi() & (~std::uint64_t{0} << (64 - len)), 0};
+  }
+
+  int length_ = 0;
+  IPv6Address network_;
+};
+
+}  // namespace geoloc::net

@@ -1,0 +1,91 @@
+// Longest-prefix-match table: a binary (path-uncompressed) trie from CIDR
+// prefixes to values. Used for the simulated BGP table (landmark/target
+// same-prefix analysis, Section 5.2.3) and for the prefix-keyed commercial
+// geolocation databases (Section 6).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+
+namespace geoloc::net {
+
+/// Maps prefixes to values with longest-prefix-match lookup.
+/// Inserting the same prefix twice overwrites the stored value.
+template <typename Value>
+class PrefixTable {
+ public:
+  PrefixTable() : root_(std::make_unique<Node>()) {}
+
+  /// Insert or overwrite.
+  void insert(const Prefix& prefix, Value value) {
+    Node* node = root_.get();
+    const std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      auto& child = node->children[bit];
+      if (!child) child = std::make_unique<Node>();
+      node = child.get();
+    }
+    if (!node->entry) ++size_;
+    node->entry = std::pair<Prefix, Value>{prefix, std::move(value)};
+  }
+
+  /// Longest-prefix match for an address.
+  [[nodiscard]] std::optional<std::pair<Prefix, Value>> lookup(
+      IPv4Address address) const {
+    const Node* node = root_.get();
+    std::optional<std::pair<Prefix, Value>> best = node->entry;
+    const std::uint32_t bits = address.value();
+    for (int depth = 0; depth < 32 && node; ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (node && node->entry) best = node->entry;
+    }
+    return best;
+  }
+
+  /// Exact-prefix fetch (no LPM).
+  [[nodiscard]] const Value* find_exact(const Prefix& prefix) const {
+    const Node* node = root_.get();
+    const std::uint32_t bits = prefix.network().value();
+    for (int depth = 0; depth < prefix.length(); ++depth) {
+      const int bit = (bits >> (31 - depth)) & 1;
+      node = node->children[bit].get();
+      if (!node) return nullptr;
+    }
+    return node->entry ? &node->entry->second : nullptr;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Visit every (prefix, value) pair in network order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    visit(root_.get(), fn);
+  }
+
+ private:
+  struct Node {
+    std::optional<std::pair<Prefix, Value>> entry;
+    std::unique_ptr<Node> children[2];
+  };
+
+  template <typename Fn>
+  static void visit(const Node* node, Fn& fn) {
+    if (!node) return;
+    if (node->entry) fn(node->entry->first, node->entry->second);
+    visit(node->children[0].get(), fn);
+    visit(node->children[1].get(), fn);
+  }
+
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace geoloc::net

@@ -1,0 +1,27 @@
+#include "scenario/presets.h"
+
+namespace geoloc::scenario {
+
+ScenarioConfig paper_config(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.seed = seed;
+  return c;  // the struct defaults ARE the paper-scale configuration
+}
+
+ScenarioConfig small_config(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.catalog.anchor_quota = {/*af=*/3, /*as=*/20, /*eu=*/60, /*na=*/18,
+                            /*oc=*/3, /*sa=*/5};
+  c.catalog.anchors_misgeolocated = 3;
+  c.catalog.probes_kept = 800;
+  c.catalog.probes_misgeolocated = 8;
+  c.catalog.anchor_as_pool = 80;
+  c.catalog.probe_as_pool = 300;
+  c.world.satellites_per_city = 1.2;
+  c.web.websites_per_1k_pop = 0.08;
+  c.web.max_websites_per_place = 1'200;
+  return c;
+}
+
+}  // namespace geoloc::scenario

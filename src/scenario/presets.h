@@ -1,0 +1,19 @@
+// Ready-made scenario configurations.
+#pragma once
+
+#include "scenario/scenario.h"
+
+namespace geoloc::scenario {
+
+/// The paper-scale configuration: 723 sanitised anchors (732 generated, 9
+/// misgeolocated), 10,000 sanitised probes (10,096 generated, 96
+/// misgeolocated), full web ecosystem. This is the configuration every
+/// bench binary uses.
+ScenarioConfig paper_config(std::uint64_t seed = 20230415);
+
+/// A miniature configuration for unit/integration tests and quick demos:
+/// ~100 anchors, ~800 probes, a thinned web ecosystem. Same code paths,
+/// seconds instead of minutes.
+ScenarioConfig small_config(std::uint64_t seed = 42);
+
+}  // namespace geoloc::scenario

@@ -1,0 +1,51 @@
+#include "scenario/rtt_matrix.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace geoloc::scenario {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x47454F4C4F433031ULL;  // "GEOLOC01"
+
+struct FileCloser {
+  void operator()(std::FILE* f) const noexcept {
+    if (f) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+bool RttMatrix::save(const std::string& path, std::uint64_t tag) const {
+  FilePtr f{std::fopen(path.c_str(), "wb")};
+  if (!f) return false;
+  const std::uint64_t header[4] = {kMagic, tag, rows_, cols_};
+  if (std::fwrite(header, sizeof header, 1, f.get()) != 1) return false;
+  if (!data_.empty() &&
+      std::fwrite(data_.data(), sizeof(float), data_.size(), f.get()) !=
+          data_.size()) {
+    return false;
+  }
+  return true;
+}
+
+bool RttMatrix::load(const std::string& path, std::uint64_t tag) {
+  FilePtr f{std::fopen(path.c_str(), "rb")};
+  if (!f) return false;
+  std::uint64_t header[4] = {};
+  if (std::fread(header, sizeof header, 1, f.get()) != 1) return false;
+  if (header[0] != kMagic || header[1] != tag) return false;
+  rows_ = static_cast<std::size_t>(header[2]);
+  cols_ = static_cast<std::size_t>(header[3]);
+  data_.assign(rows_ * cols_, 0.0F);
+  if (!data_.empty() &&
+      std::fread(data_.data(), sizeof(float), data_.size(), f.get()) !=
+          data_.size()) {
+    data_.clear();
+    rows_ = cols_ = 0;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace geoloc::scenario

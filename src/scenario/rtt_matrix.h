@@ -1,0 +1,47 @@
+// Dense VP x target RTT matrices — the tier-1 measurement campaigns of both
+// replicated papers, materialised once and shared by every experiment.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace geoloc::scenario {
+
+/// Row-major dense matrix of minimum RTTs in milliseconds.
+/// NaN encodes "no response" (unresponsive destination or total loss).
+class RttMatrix {
+ public:
+  RttMatrix() = default;
+  RttMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(rows * cols, std::numeric_limits<float>::quiet_NaN()) {}
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] float at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  void set(std::size_t r, std::size_t c, float v) { data_[r * cols_ + c] = v; }
+
+  [[nodiscard]] static bool is_missing(float v) noexcept {
+    return std::isnan(v);
+  }
+
+  /// Binary (de)serialisation for the scenario disk cache. `tag` guards
+  /// against mixing caches from different configurations.
+  bool save(const std::string& path, std::uint64_t tag) const;
+  bool load(const std::string& path, std::uint64_t tag);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<float> data_;
+};
+
+}  // namespace geoloc::scenario

@@ -1,0 +1,42 @@
+// City gazetteer: the geographic scaffold of the simulated Internet.
+//
+// The real study places 723 RIPE Atlas anchors in 441 cities and ~10k probes
+// across 172 countries. Our world model places hosts in (a) an embedded
+// catalogue of real cities with real coordinates and approximate populations,
+// and (b) procedurally generated satellite towns around them (see
+// sim/world.h), which refine the population-density surface and provide the
+// long tail of locations.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "geo/geopoint.h"
+
+namespace geoloc::sim {
+
+/// Continent codes following the paper's Figure 4 split.
+enum class Continent : std::uint8_t { AF, AS, EU, NA, OC, SA };
+
+/// Two-letter label, e.g. "EU".
+std::string_view to_string(Continent c) noexcept;
+
+/// All six continents, in the paper's figure order (AS, AF, OC, NA, EU, SA).
+std::span<const Continent> all_continents() noexcept;
+
+/// One gazetteer entry.
+struct CityRecord {
+  std::string_view name;
+  std::string_view country;  ///< ISO-3166 alpha-2
+  Continent continent;
+  double lat_deg;
+  double lon_deg;
+  double population_k;  ///< metro population, thousands (approximate)
+};
+
+/// The embedded real-city catalogue, sorted by continent then name.
+std::span<const CityRecord> gazetteer() noexcept;
+
+}  // namespace geoloc::sim

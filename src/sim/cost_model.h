@@ -1,0 +1,70 @@
+// Simulated wall-clock accounting (paper Figure 6c and Section 5.2.5).
+//
+// Nothing in the library reads the real clock for logic; elapsed time is a
+// *model output*. Each expensive step of a pipeline reports its cost here:
+// measurement API rounds (minutes on RIPE Atlas), rate-limited reverse
+// geocoding queries (~8/s on the public Overpass/Nominatim setup), and
+// website locality tests (1 DNS query + 2 wgets each, run with bounded
+// parallelism).
+#pragma once
+
+#include <cstdint>
+
+namespace geoloc::sim {
+
+struct CostModelConfig {
+  double api_round_seconds = 180.0;      ///< one Atlas measurement round
+  double geocode_rate_per_second = 8.0;  ///< observed Nominatim/Overpass limit
+  double dns_query_seconds = 0.08;
+  double wget_seconds = 0.35;
+  int web_test_parallelism = 32;         ///< the paper's 32-core harness
+};
+
+/// Accumulates the simulated elapsed time and event counts of one pipeline
+/// run. Value type: copy it to snapshot, subtract snapshots for deltas.
+class CostModel {
+ public:
+  explicit CostModel(const CostModelConfig& config = {}) : config_(config) {}
+
+  void charge_api_round() {
+    seconds_ += config_.api_round_seconds;
+    ++api_rounds_;
+  }
+
+  void charge_geocode_queries(std::uint64_t n) {
+    seconds_ += static_cast<double>(n) / config_.geocode_rate_per_second;
+    geocode_queries_ += n;
+  }
+
+  /// One locality test = 1 DNS query + 2 wgets, amortised over the
+  /// configured parallelism.
+  void charge_web_tests(std::uint64_t n) {
+    const double per_test =
+        config_.dns_query_seconds + 2.0 * config_.wget_seconds;
+    seconds_ += static_cast<double>(n) * per_test /
+                static_cast<double>(config_.web_test_parallelism);
+    web_tests_ += n;
+  }
+
+  void charge_seconds(double s) { seconds_ += s; }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept { return seconds_; }
+  [[nodiscard]] std::uint64_t api_rounds() const noexcept { return api_rounds_; }
+  [[nodiscard]] std::uint64_t geocode_queries() const noexcept {
+    return geocode_queries_;
+  }
+  [[nodiscard]] std::uint64_t web_tests() const noexcept { return web_tests_; }
+
+  [[nodiscard]] const CostModelConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  CostModelConfig config_;
+  double seconds_ = 0.0;
+  std::uint64_t api_rounds_ = 0;
+  std::uint64_t geocode_queries_ = 0;
+  std::uint64_t web_tests_ = 0;
+};
+
+}  // namespace geoloc::sim

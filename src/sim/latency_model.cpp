@@ -1,0 +1,115 @@
+#include "sim/latency_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/constants.h"
+#include "geo/geodesy.h"
+
+namespace geoloc::sim {
+
+LatencyModel::LatencyModel(const World& world, const LatencyModelConfig& config)
+    : world_(&world),
+      config_(config),
+      seed_(world.rng().fork("latency").seed()) {}
+
+util::Pcg32 LatencyModel::pair_gen(HostId a, HostId b,
+                                   std::string_view label) const {
+  // Unordered pair so RTT(a,b) == RTT(b,a) for the deterministic parts —
+  // except for explicitly directional labels, where callers pass (src, hop).
+  const std::uint64_t lo = std::min(a, b);
+  const std::uint64_t hi = std::max(a, b);
+  std::uint64_t s = seed_ ^ util::hash_label(label) ^ (lo * 0x9e3779b97f4a7c15ULL) ^
+                    (hi * 0xc2b2ae3d27d4eb4fULL);
+  return util::Pcg32{util::splitmix64(s)};
+}
+
+util::Pcg32 LatencyModel::city_pair_gen(HostId a, HostId b,
+                                        std::string_view label) const {
+  const std::uint64_t ca = world_->place(world_->host(a).place).parent;
+  const std::uint64_t cb = world_->place(world_->host(b).place).parent;
+  const std::uint64_t lo = std::min(ca, cb);
+  const std::uint64_t hi = std::max(ca, cb);
+  std::uint64_t s = seed_ ^ util::hash_label(label) ^
+                    (lo * 0x9e3779b97f4a7c15ULL) ^ (hi * 0xc2b2ae3d27d4eb4fULL);
+  return util::Pcg32{util::splitmix64(s)};
+}
+
+double LatencyModel::pair_inflation(HostId a, HostId b) const {
+  auto cgen = city_pair_gen(a, b, "inflation");
+  auto hgen = pair_gen(a, b, "inflation-host");
+  const double raw =
+      cgen.lognormal(config_.inflation_mu, config_.inflation_sigma) *
+      hgen.lognormal(0.0, config_.inflation_host_sigma);
+  const double d = geo::distance_km(world_->host(a).true_location,
+                                    world_->host(b).true_location);
+  const double short_boost =
+      1.0 + config_.short_path_boost_km / (d + config_.short_path_floor_km);
+  return std::max(config_.min_inflation, raw * short_boost);
+}
+
+double LatencyModel::base_rtt_ms(HostId a, HostId b) const {
+  const Host& ha = world_->host(a);
+  const Host& hb = world_->host(b);
+  const double d = geo::distance_km(ha.true_location, hb.true_location);
+  const double prop = geo::distance_to_min_rtt_ms(d);
+  // Overhead: path-level (city pair, fewer devices on short paths) plus a
+  // host-local component.
+  auto cgen = city_pair_gen(a, b, "overhead-city");
+  auto lgen = pair_gen(a, b, "overhead-local");
+  const double dist_scale = 0.25 + 0.75 * std::min(1.0, d / 500.0);
+  const double overhead =
+      cgen.exponential(config_.overhead_mean_ms) * dist_scale +
+      lgen.exponential(config_.overhead_local_mean_ms);
+  // Tromboning penalties; waived for intra-city traffic where the city has
+  // a local exchange.
+  double penalty = 0.0;
+  const bool same_city =
+      world_->place(ha.place).parent == world_->place(hb.place).parent;
+  if (!(same_city && world_->has_local_peering(ha.place))) {
+    penalty = world_->access_penalty_ms(ha.place) +
+              world_->access_penalty_ms(hb.place);
+  }
+  return prop * pair_inflation(a, b) + overhead + ha.last_mile_ms +
+         hb.last_mile_ms + penalty;
+}
+
+double LatencyModel::sample_rtt_ms(HostId a, HostId b,
+                                   util::Pcg32& gen) const {
+  return base_rtt_ms(a, b) + gen.exponential(config_.jitter_mean_ms);
+}
+
+std::optional<double> LatencyModel::min_rtt_ms(HostId src, HostId dst,
+                                               int packets,
+                                               util::Pcg32& gen) const {
+  if (!world_->host(dst).responsive) return std::nullopt;
+  const double base = base_rtt_ms(src, dst);
+  std::optional<double> best;
+  for (int i = 0; i < packets; ++i) {
+    if (gen.chance(config_.loss_rate)) continue;
+    const double rtt = base + gen.exponential(config_.jitter_mean_ms);
+    if (!best || rtt < *best) best = rtt;
+  }
+  return best;
+}
+
+double LatencyModel::router_hop_rtt_ms(HostId src, HostId hop,
+                                       util::Pcg32& gen) const {
+  // Directional: the reverse path router->src is generally not the forward
+  // path reversed, so the hop RTT is the pair base skewed by a deterministic
+  // per-(src,hop) factor...
+  auto agen = pair_gen(src, hop, "hop-asym");
+  // ...fold in direction by hashing src into the label stream explicitly.
+  for (std::uint32_t k = 0; k < (src & 3u); ++k) agen();
+  const double asym = agen.lognormal(0.0, config_.router_asym_sigma);
+  // ...plus the router's ICMP generation delay (control-plane, heavy tail).
+  double icmp = gen.exponential(config_.router_icmp_mean_ms);
+  if (gen.chance(config_.router_icmp_tail_prob)) {
+    icmp += gen.pareto(config_.router_icmp_tail_scale_ms,
+                       config_.router_icmp_tail_alpha);
+  }
+  return base_rtt_ms(src, hop) * asym + icmp +
+         gen.exponential(config_.jitter_mean_ms);
+}
+
+}  // namespace geoloc::sim

@@ -1,0 +1,103 @@
+// RTT synthesis between simulated hosts.
+//
+// Model (DESIGN.md "SOI-safe latency model"):
+//
+//   RTT(a,b) = prop(d_true(a,b)) * inflation(a,b)        // path circuitousness
+//            + overhead(a,b)                             // serialization, hops
+//            + last_mile(a) + last_mile(b)               // access delay
+//            + jitter                                    // per measurement
+//
+// with prop(d) the 2/3-c great-circle minimum, inflation >= min_inflation > 1
+// and everything else non-negative — so an RTT can never violate the speed
+// of Internet with respect to the hosts' *true* locations. Hosts whose
+// *reported* location is wrong are exactly the ones the paper's Section 4.3
+// sanitiser catches.
+//
+// The deterministic components (inflation, overhead, asymmetry) are seeded
+// per host pair, so repeated measurements of a pair are consistent up to
+// jitter, like a real path.
+#pragma once
+
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace geoloc::sim {
+
+struct LatencyModelConfig {
+  double min_inflation = 1.05;     ///< floor on path circuitousness
+  /// Path circuitousness is a property of the route between two metros, so
+  /// the bulk of it is drawn per *city pair*; a small per-host-pair factor
+  /// captures intra-metro differences. Two hosts of the same city pair thus
+  /// see nearly the same inflation — which is what keeps the street-level
+  /// D1/D2 subtraction meaningful at all.
+  double inflation_mu = 0.24;      ///< city-pair lognormal location
+  double inflation_sigma = 0.20;   ///< city-pair lognormal scale
+  double inflation_host_sigma = 0.05;  ///< per-host-pair lognormal scale
+  /// Extra multiplicative inflation applied to short paths: real short paths
+  /// detour through metro POPs, so the *relative* inflation grows as the
+  /// geodesic shrinks. Multiplier = 1 + short_path_boost_km / (d + short_path_floor_km).
+  double short_path_boost_km = 30.0;
+  double short_path_floor_km = 35.0;
+  /// Additive overhead, also split into a city-pair part (scaled down for
+  /// short paths, which cross fewer devices) and a host-local part.
+  double overhead_mean_ms = 0.8;        ///< city-pair component (exponential)
+  double overhead_local_mean_ms = 0.15; ///< host-pair component (exponential)
+  double jitter_mean_ms = 0.12;    ///< per-measurement additive jitter (exponential)
+  double loss_rate = 0.006;        ///< per-packet loss probability
+  /// Reverse-path asymmetry of router hop RTTs (lognormal sigma of the
+  /// per-(src,router) multiplier). Drives the D1+D2 noise of Section 5.2.3.
+  double router_asym_sigma = 0.25;
+  /// Router ICMP generation delay: exponential mean + Pareto tail.
+  double router_icmp_mean_ms = 6.5;
+  double router_icmp_tail_scale_ms = 0.6;
+  double router_icmp_tail_alpha = 1.6;
+  double router_icmp_tail_prob = 0.35;
+};
+
+/// Synthesises RTT samples. Thread-safe: all methods are const and callers
+/// supply their own generator for the per-measurement randomness.
+class LatencyModel {
+ public:
+  LatencyModel(const World& world, const LatencyModelConfig& config = {});
+
+  /// Deterministic RTT floor for the pair: everything except jitter.
+  [[nodiscard]] double base_rtt_ms(HostId a, HostId b) const;
+
+  /// One echo-request sample (base + jitter). Does not model loss.
+  [[nodiscard]] double sample_rtt_ms(HostId a, HostId b,
+                                     util::Pcg32& gen) const;
+
+  /// Minimum of `packets` samples with loss; returns nullopt when the
+  /// destination is unresponsive or every packet was lost.
+  [[nodiscard]] std::optional<double> min_rtt_ms(HostId src, HostId dst,
+                                                 int packets,
+                                                 util::Pcg32& gen) const;
+
+  /// The RTT a traceroute from `src` reports for intermediate router `hop`:
+  /// base RTT skewed by reverse-path asymmetry plus the router's ICMP
+  /// generation delay. Noisier than an end-to-end ping by construction.
+  [[nodiscard]] double router_hop_rtt_ms(HostId src, HostId hop,
+                                         util::Pcg32& gen) const;
+
+  /// Deterministic path-circuitousness multiplier for the pair (>= 1).
+  [[nodiscard]] double pair_inflation(HostId a, HostId b) const;
+
+  [[nodiscard]] const LatencyModelConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] const World& world() const noexcept { return *world_; }
+
+ private:
+  [[nodiscard]] util::Pcg32 pair_gen(HostId a, HostId b,
+                                     std::string_view label) const;
+  /// Generator keyed on the unordered pair of *parent cities* — the
+  /// path-level randomness shared by all host pairs of a city pair.
+  [[nodiscard]] util::Pcg32 city_pair_gen(HostId a, HostId b,
+                                          std::string_view label) const;
+
+  const World* world_;
+  LatencyModelConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace geoloc::sim

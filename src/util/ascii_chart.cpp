@@ -1,0 +1,192 @@
+#include "util/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "util/stats.h"
+
+namespace geoloc::util {
+
+namespace {
+
+constexpr const char kMarkers[] = {'*', '+', 'o', 'x', '#', '@'};
+constexpr int kMarkerCount = static_cast<int>(sizeof(kMarkers));
+
+struct Axis {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool log = false;
+
+  /// Map a value to a column/row in [0, extent).
+  [[nodiscard]] int to_cell(double v, int extent) const {
+    double a = lo, b = hi, x = v;
+    if (log) {
+      a = std::log10(lo);
+      b = std::log10(hi);
+      x = std::log10(std::max(v, lo));
+    }
+    if (b <= a) return 0;
+    const double t = std::clamp((x - a) / (b - a), 0.0, 1.0);
+    return std::min(extent - 1, static_cast<int>(t * extent));
+  }
+
+  [[nodiscard]] double cell_value(int cell, int extent) const {
+    const double t = static_cast<double>(cell) / std::max(1, extent - 1);
+    if (log) {
+      const double a = std::log10(lo), b = std::log10(hi);
+      return std::pow(10.0, a + t * (b - a));
+    }
+    return lo + t * (hi - lo);
+  }
+};
+
+std::string format_tick(double v) {
+  std::ostringstream os;
+  if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    os << std::scientific << std::setprecision(0) << v;
+  } else {
+    os << std::fixed << std::setprecision(v < 10 ? 1 : 0) << v;
+  }
+  return os.str();
+}
+
+void draw_x_axis(std::ostringstream& os, const Axis& x, int width,
+                 const std::string& label) {
+  os << '+' << std::string(static_cast<std::size_t>(width), '-') << "\n ";
+  // Ticks at 0%, 25%, 50%, 75%, 100% of the axis.
+  std::string ticks(static_cast<std::size_t>(width) + 1, ' ');
+  for (int i = 0; i <= 4; ++i) {
+    const int col = i * (width - 1) / 4;
+    const std::string t = format_tick(x.cell_value(col, width));
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      const std::size_t pos = static_cast<std::size_t>(col) + j;
+      if (pos < ticks.size()) ticks[pos] = t[j];
+    }
+  }
+  os << ticks << "\n " << std::string(static_cast<std::size_t>(width / 2 - 4), ' ')
+     << '[' << label << "]\n";
+}
+
+}  // namespace
+
+std::string render_cdf_chart(const std::vector<CdfSeries>& series,
+                             const ChartOptions& options) {
+  Axis x;
+  x.log = options.log_x;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s.samples) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) {
+    lo = 0.0;
+    hi = 1.0;
+  }
+  x.lo = options.min_x != 0.0 ? options.min_x : lo;
+  x.hi = options.max_x != 0.0 ? options.max_x : hi;
+  if (x.log) x.lo = std::max(x.lo, 0.1);
+  if (x.hi <= x.lo) x.hi = x.lo + 1.0;
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % kMarkerCount];
+    auto cdf = empirical_cdf(series[si].samples);
+    for (int col = 0; col < w; ++col) {
+      const double value = x.cell_value(col, w);
+      // CDF at `value`.
+      const auto it = std::upper_bound(
+          cdf.begin(), cdf.end(), value,
+          [](double v, const CdfPoint& p) { return v < p.value; });
+      const double frac = (it == cdf.begin()) ? 0.0 : std::prev(it)->cumulative;
+      const int row =
+          std::min(h - 1, static_cast<int>((1.0 - frac) * (h - 1) + 0.5));
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  for (int row = 0; row < h; ++row) {
+    const double frac = 1.0 - static_cast<double>(row) / (h - 1);
+    os << std::fixed << std::setprecision(2) << std::setw(4) << frac << " |"
+       << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << "     ";
+  draw_x_axis(os, x, w, options.x_label);
+  os << "  legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kMarkers[si % kMarkerCount] << "=" << series[si].label;
+  }
+  os << '\n';
+  return os.str();
+}
+
+std::string render_scatter_chart(const std::vector<ScatterSeries>& series,
+                                 const ScatterOptions& options) {
+  Axis x, y;
+  x.log = options.log_x;
+  y.log = options.log_y;
+  double xlo = std::numeric_limits<double>::infinity(), xhi = -xlo;
+  double ylo = std::numeric_limits<double>::infinity(), yhi = -ylo;
+  for (const auto& s : series) {
+    for (double v : s.xs) {
+      xlo = std::min(xlo, v);
+      xhi = std::max(xhi, v);
+    }
+    for (double v : s.ys) {
+      ylo = std::min(ylo, v);
+      yhi = std::max(yhi, v);
+    }
+  }
+  if (!std::isfinite(xlo)) {
+    xlo = 0.0;
+    xhi = 1.0;
+    ylo = 0.0;
+    yhi = 1.0;
+  }
+  x.lo = x.log ? std::max(xlo, 0.1) : xlo;
+  x.hi = std::max(xhi, x.lo * 1.001 + 1e-9);
+  y.lo = y.log ? std::max(ylo, 0.1) : ylo;
+  y.hi = std::max(yhi, y.lo * 1.001 + 1e-9);
+
+  const int w = options.width;
+  const int h = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char mark = kMarkers[si % kMarkerCount];
+    const auto& s = series[si];
+    const std::size_t n = std::min(s.xs.size(), s.ys.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const int col = x.to_cell(s.xs[i], w);
+      const int row = h - 1 - y.to_cell(s.ys[i], h);
+      grid[static_cast<std::size_t>(row)][static_cast<std::size_t>(col)] = mark;
+    }
+  }
+
+  std::ostringstream os;
+  for (int row = 0; row < h; ++row) {
+    const double yv = y.cell_value(h - 1 - row, h);
+    os << std::setw(8) << format_tick(yv) << " |"
+       << grid[static_cast<std::size_t>(row)] << '\n';
+  }
+  os << "         ";
+  draw_x_axis(os, x, w, options.x_label);
+  os << "  y: [" << options.y_label << "]   legend:";
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    os << "  " << kMarkers[si % kMarkerCount] << "=" << series[si].label;
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace geoloc::util

@@ -1,0 +1,52 @@
+// Text rendering of the paper's figures: multi-series CDF charts on a
+// logarithmic x axis, plus scatter plots. Benches use these so a terminal
+// run visually reproduces each figure's shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace geoloc::util {
+
+/// One named series of raw samples to be drawn as an empirical CDF.
+struct CdfSeries {
+  std::string label;
+  std::vector<double> samples;
+};
+
+struct ChartOptions {
+  int width = 72;        ///< plot columns
+  int height = 20;       ///< plot rows
+  bool log_x = true;     ///< logarithmic x axis (the paper's default)
+  double min_x = 0.0;    ///< 0 = auto (from data; log axes clamp to >= 0.1)
+  double max_x = 0.0;    ///< 0 = auto
+  std::string x_label = "x";
+  std::string y_label = "CDF";
+};
+
+/// Render empirical CDFs of all series over a shared axis.
+/// Series are drawn with the characters '*', '+', 'o', 'x', '#', '@' in order.
+std::string render_cdf_chart(const std::vector<CdfSeries>& series,
+                             const ChartOptions& options = {});
+
+/// One named series of (x, y) points for a scatter plot.
+struct ScatterSeries {
+  std::string label;
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+struct ScatterOptions {
+  int width = 72;
+  int height = 24;
+  bool log_x = true;
+  bool log_y = true;
+  std::string x_label = "x";
+  std::string y_label = "y";
+};
+
+/// Render a scatter plot of all series over shared axes.
+std::string render_scatter_chart(const std::vector<ScatterSeries>& series,
+                                 const ScatterOptions& options = {});
+
+}  // namespace geoloc::util

@@ -1,0 +1,74 @@
+#include "util/csv.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+
+namespace geoloc::util {
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path)
+    : out_(std::make_unique<std::ofstream>(path)) {}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (!ok()) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) *out_ << ',';
+    *out_ << csv_escape(cells[i]);
+  }
+  *out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+  std::vector<std::string> copy;
+  copy.reserve(cells.size());
+  for (std::string_view c : cells) copy.emplace_back(c);
+  row(copy);
+}
+
+void CsvWriter::numeric_row(const std::vector<double>& values) {
+  if (!ok()) return;
+  std::ostringstream os;
+  os.precision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) os << ',';
+    os << values[i];
+  }
+  *out_ << os.str() << '\n';
+  ++rows_;
+}
+
+std::optional<std::string> export_dir_from_env() {
+  const char* dir = std::getenv("GEOLOC_EXPORT_DIR");
+  if (!dir || !*dir) return std::nullopt;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return std::nullopt;
+  return std::string(dir);
+}
+
+std::optional<CsvWriter> maybe_csv(const std::string& name) {
+  const auto dir = export_dir_from_env();
+  if (!dir) return std::nullopt;
+  CsvWriter w(*dir + "/" + name + ".csv");
+  if (!w.ok()) return std::nullopt;
+  return w;
+}
+
+}  // namespace geoloc::util

@@ -1,0 +1,51 @@
+// Minimal CSV writing, so every figure's data can be exported for external
+// plotting (set GEOLOC_EXPORT_DIR when running the bench binaries).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geoloc::util {
+
+/// Escape a field per RFC 4180 (quote when it contains comma/quote/newline).
+std::string csv_escape(std::string_view field);
+
+/// Streams rows to a .csv file. Move-only; flushes on destruction.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; `ok()` reports failure instead of throwing
+  /// so exports stay best-effort in bench binaries.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(CsvWriter&&) = default;
+  CsvWriter& operator=(CsvWriter&&) = default;
+
+  [[nodiscard]] bool ok() const { return out_ && out_->good(); }
+
+  void row(const std::vector<std::string>& cells);
+  void row(std::initializer_list<std::string_view> cells);
+
+  /// Numeric convenience: writes doubles with full round-trip precision.
+  void numeric_row(const std::vector<double>& values);
+
+  [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  std::unique_ptr<std::ofstream> out_;
+  std::size_t rows_ = 0;
+};
+
+/// The export directory from GEOLOC_EXPORT_DIR (created if needed);
+/// nullopt when exporting is off.
+std::optional<std::string> export_dir_from_env();
+
+/// Convenience used by benches: open "<export-dir>/<name>.csv" when
+/// exporting is enabled.
+std::optional<CsvWriter> maybe_csv(const std::string& name);
+
+}  // namespace geoloc::util

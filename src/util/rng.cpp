@@ -1,0 +1,32 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace geoloc::util {
+
+double Pcg32::normal() noexcept {
+  // Marsaglia polar method.
+  for (;;) {
+    const double u = uniform(-1.0, 1.0);
+    const double v = uniform(-1.0, 1.0);
+    const double s = u * u + v * v;
+    if (s > 0.0 && s < 1.0) {
+      return u * std::sqrt(-2.0 * std::log(s) / s);
+    }
+  }
+}
+
+double Pcg32::lognormal(double mu, double sigma) noexcept {
+  return std::exp(normal(mu, sigma));
+}
+
+double Pcg32::exponential(double mean) noexcept {
+  // Inverse CDF; uniform() < 1 so log argument is > 0.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Pcg32::pareto(double x_m, double alpha) noexcept {
+  return x_m / std::pow(1.0 - uniform(), 1.0 / alpha);
+}
+
+}  // namespace geoloc::util

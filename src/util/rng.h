@@ -1,0 +1,153 @@
+// Deterministic random-number generation for the whole reproduction.
+//
+// Every stochastic component of the simulation draws from a seeded hierarchy
+// rooted at a single scenario seed, so that datasets, measurements and
+// experiment results are reproducible bit-for-bit across runs and platforms.
+// Nothing in src/ may use std::random_device or the wall clock for logic.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string_view>
+
+namespace geoloc::util {
+
+/// SplitMix64: used for seeding and for hashing labels into substream seeds.
+/// Reference: Steele, Lea, Flood — "Fast splittable pseudorandom number
+/// generators" (OOPSLA 2014).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a hash of a label, used to derive independent named substreams.
+constexpr std::uint64_t hash_label(std::string_view label) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : label) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// PCG32 (pcg32_oneseq): small, fast, statistically strong generator.
+/// Reference: O'Neill — "PCG: A Family of Simple Fast Space-Efficient
+/// Statistically Good Algorithms for Random Number Generation" (2014).
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() noexcept : Pcg32(0x853c49e6748fea9bULL) {}
+
+  constexpr explicit Pcg32(std::uint64_t seed) noexcept : state_(0) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() noexcept {
+    // 53 random bits -> double mantissa.
+    const std::uint64_t hi = next();
+    const std::uint64_t lo = next();
+    const std::uint64_t bits = ((hi << 32) | lo) >> 11;
+    return static_cast<double>(bits) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). Lemire's nearly-divisionless method is
+  /// overkill here; a simple rejection-free multiply-shift keeps bias below
+  /// 2^-32 which is irrelevant for simulation purposes.
+  constexpr std::uint32_t bounded(std::uint32_t bound) noexcept {
+    const std::uint64_t m = static_cast<std::uint64_t>(next()) * bound;
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// Uniform size_t index in [0, n). Precondition: n > 0.
+  constexpr std::size_t index(std::size_t n) noexcept {
+    if (n <= std::numeric_limits<std::uint32_t>::max()) {
+      return bounded(static_cast<std::uint32_t>(n));
+    }
+    const std::uint64_t r =
+        (static_cast<std::uint64_t>(next()) << 32) | next();
+    return static_cast<std::size_t>(r % n);
+  }
+
+  /// Bernoulli trial with probability p.
+  constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Marsaglia polar method (no cached spare to stay
+  /// stateless w.r.t. interleaving of calls).
+  double normal() noexcept;
+
+  /// Normal with given mean and standard deviation.
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) noexcept;
+
+  /// Exponential with given mean (= 1/lambda).
+  double exponential(double mean) noexcept;
+
+  /// Pareto (Lomax-style heavy tail) with scale x_m and shape alpha.
+  double pareto(double x_m, double alpha) noexcept;
+
+ private:
+  constexpr result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + 1442695040888963407ULL;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18) ^ old) >> 27);
+    const auto rot = static_cast<std::uint32_t>(old >> 59);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  std::uint64_t state_;
+};
+
+/// A node in the deterministic seed hierarchy. A stream can mint named or
+/// indexed child streams whose sequences are independent of the order in
+/// which siblings are created or consumed.
+class RngStream {
+ public:
+  constexpr explicit RngStream(std::uint64_t seed) noexcept : seed_(seed) {}
+
+  /// Child stream for a named component, e.g. fork("latency").
+  constexpr RngStream fork(std::string_view label) const noexcept {
+    std::uint64_t s = seed_ ^ hash_label(label);
+    return RngStream{splitmix64(s)};
+  }
+
+  /// Child stream for an indexed entity, e.g. fork("probe", 1234).
+  constexpr RngStream fork(std::string_view label,
+                           std::uint64_t index) const noexcept {
+    std::uint64_t s = seed_ ^ hash_label(label) ^ (index * 0x9e3779b97f4a7c15ULL);
+    return RngStream{splitmix64(s)};
+  }
+
+  /// Materialise a generator positioned at this node.
+  constexpr Pcg32 gen() const noexcept { return Pcg32{seed_}; }
+
+  constexpr std::uint64_t seed() const noexcept { return seed_; }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace geoloc::util

@@ -1,0 +1,147 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <sstream>
+
+namespace geoloc::util {
+
+namespace {
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+}  // namespace
+
+double mean(std::span<const double> xs) noexcept {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) noexcept {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return kNaN;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double min_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return kNaN;
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) noexcept {
+  if (xs.empty()) return kNaN;
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double fraction_below(std::span<const double> xs, double threshold) noexcept {
+  if (xs.empty()) return 0.0;
+  const auto n = static_cast<double>(
+      std::count_if(xs.begin(), xs.end(),
+                    [threshold](double x) { return x <= threshold; }));
+  return n / static_cast<double>(xs.size());
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  const std::size_t n = xs.size();
+  if (n != ys.size() || n < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys) {
+  LinearFit fit;
+  const std::size_t n = xs.size();
+  if (n != ys.size() || n < 2) return fit;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r2 = (syy == 0.0) ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(xs.size());
+  const auto n = static_cast<double>(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    cdf.push_back({xs[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+std::vector<CdfPoint> decimated_cdf(std::vector<double> xs,
+                                    std::size_t max_points) {
+  auto full = empirical_cdf(std::move(xs));
+  if (max_points < 2 || full.size() <= max_points) return full;
+  std::vector<CdfPoint> out;
+  out.reserve(max_points);
+  const double step = static_cast<double>(full.size() - 1) /
+                      static_cast<double>(max_points - 1);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        std::llround(step * static_cast<double>(i)));
+    out.push_back(full[std::min(idx, full.size() - 1)]);
+  }
+  return out;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.count = xs.size();
+  if (xs.empty()) return s;
+  s.min = min_of(xs);
+  s.p25 = percentile(xs, 25.0);
+  s.median = percentile(xs, 50.0);
+  s.p75 = percentile(xs, 75.0);
+  s.p90 = percentile(xs, 90.0);
+  s.max = max_of(xs);
+  s.mean = mean(xs);
+  return s;
+}
+
+std::string to_string(const Summary& s) {
+  std::ostringstream os;
+  os << "n=" << s.count << " min=" << s.min << " p25=" << s.p25
+     << " median=" << s.median << " p75=" << s.p75 << " p90=" << s.p90
+     << " max=" << s.max << " mean=" << s.mean;
+  return os.str();
+}
+
+}  // namespace geoloc::util

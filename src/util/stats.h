@@ -1,0 +1,78 @@
+// Descriptive statistics used throughout the evaluation: medians,
+// percentiles, empirical CDFs, Pearson correlation and least-squares fits.
+// All functions are pure; sample vectors are taken by span/value and never
+// mutated in place unless documented.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace geoloc::util {
+
+/// Arithmetic mean. Returns 0 for an empty sample.
+double mean(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
+double stddev(std::span<const double> xs) noexcept;
+
+/// Interpolated percentile (q in [0, 100]) of an *unsorted* sample.
+/// Uses the linear interpolation between closest ranks (type-7, the numpy
+/// default). Returns NaN for an empty sample.
+double percentile(std::span<const double> xs, double q);
+
+/// Median, i.e. percentile(xs, 50).
+double median(std::span<const double> xs);
+
+/// Minimum / maximum. Return NaN for an empty sample.
+double min_of(std::span<const double> xs) noexcept;
+double max_of(std::span<const double> xs) noexcept;
+
+/// Fraction of samples <= threshold, i.e. the empirical CDF at `threshold`.
+double fraction_below(std::span<const double> xs, double threshold) noexcept;
+
+/// Pearson product-moment correlation coefficient.
+/// Returns 0 when either sample has zero variance or fewer than 2 points.
+/// Precondition: xs.size() == ys.size().
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Ordinary least squares fit y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  ///< coefficient of determination
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative = 0.0;  ///< fraction of samples <= value, in (0, 1]
+};
+
+/// Full empirical CDF: one point per sample, sorted ascending.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
+
+/// CDF decimated to at most `max_points` points (keeps first/last); intended
+/// for rendering paper figures as text without emitting 10k rows.
+std::vector<CdfPoint> decimated_cdf(std::vector<double> xs,
+                                    std::size_t max_points);
+
+/// Five-number-style summary used in experiment reports.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double p25 = 0.0;
+  double median = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+};
+Summary summarize(std::span<const double> xs);
+
+/// Render a summary on one line, e.g. for log output.
+std::string to_string(const Summary& s);
+
+}  // namespace geoloc::util

@@ -1,0 +1,43 @@
+// Minimal column-aligned text table, used by every bench binary to print the
+// rows the paper's tables and figures report.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace geoloc::util {
+
+/// Column-aligned text table with an optional title and header row.
+///
+/// Usage:
+///   TextTable t{"Figure 3c"};
+///   t.header({"VPs in first step", "Measurements"});
+///   t.row({"500", "2.88M"});
+///   std::cout << t.render();
+class TextTable {
+ public:
+  TextTable() = default;
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void header(std::vector<std::string> cells);
+  void row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Format a fraction (0..1) as a percentage string, e.g. "13.2%".
+  static std::string pct(double fraction, int precision = 1);
+
+  /// Render with box-drawing-free ASCII so output diffs cleanly.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace geoloc::util

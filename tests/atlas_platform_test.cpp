@@ -1,0 +1,106 @@
+#include "atlas/platform.h"
+
+#include <gtest/gtest.h>
+
+#include "test_scenario.h"
+
+namespace geoloc::atlas {
+namespace {
+
+class PlatformTest : public ::testing::Test {
+ protected:
+  PlatformTest()
+      : scenario_(geoloc::testing::small_scenario()),
+        platform_(std::make_unique<Platform>(scenario_.world(),
+                                             scenario_.latency())) {}
+
+  const scenario::Scenario& scenario_;
+  std::unique_ptr<Platform> platform_;
+};
+
+TEST_F(PlatformTest, PingMetersCreditsAndCounters) {
+  const auto vp = scenario_.vps()[1];
+  const auto target = scenario_.targets()[0];
+  const PingMeasurement m = platform_->ping(vp, target);
+  EXPECT_EQ(m.vp, vp);
+  EXPECT_EQ(m.target, target);
+  EXPECT_TRUE(m.min_rtt_ms.has_value());
+  EXPECT_EQ(m.packets_sent, platform_->config().ping_packets);
+  EXPECT_EQ(platform_->usage().pings, 1u);
+  EXPECT_EQ(platform_->usage().ping_packets,
+            static_cast<std::uint64_t>(platform_->config().ping_packets));
+  EXPECT_GT(platform_->usage().credits, 0u);
+}
+
+TEST_F(PlatformTest, ExplicitPacketCount) {
+  const PingMeasurement m =
+      platform_->ping(scenario_.vps()[0], scenario_.targets()[1], 1);
+  EXPECT_EQ(m.packets_sent, 1);
+}
+
+TEST_F(PlatformTest, TracerouteChargesFlatRate) {
+  const auto before = platform_->usage().credits;
+  const sim::Traceroute tr =
+      platform_->traceroute(scenario_.vps()[2], scenario_.targets()[0]);
+  EXPECT_FALSE(tr.hops.empty());
+  EXPECT_EQ(platform_->usage().traceroutes, 1u);
+  EXPECT_EQ(platform_->usage().credits - before,
+            platform_->config().credits.per_traceroute);
+}
+
+TEST_F(PlatformTest, PingFromAllCoversEveryVp) {
+  std::vector<sim::HostId> vps(scenario_.vps().begin(),
+                               scenario_.vps().begin() + 20);
+  const auto results = platform_->ping_from_all(vps, scenario_.targets()[0]);
+  EXPECT_EQ(results.size(), 20u);
+  EXPECT_EQ(platform_->usage().pings, 20u);
+}
+
+TEST_F(PlatformTest, ResetUsageClearsCounters) {
+  platform_->ping(scenario_.vps()[0], scenario_.targets()[0]);
+  platform_->reset_usage();
+  EXPECT_EQ(platform_->usage().pings, 0u);
+  EXPECT_EQ(platform_->usage().credits, 0u);
+}
+
+TEST_F(PlatformTest, ProbingRatesFollowClassBands) {
+  const auto& cfg = platform_->config();
+  // Anchors (the first rows of the VP set) sit in the anchor band.
+  const double anchor_pps = platform_->probing_rate_pps(scenario_.targets()[0]);
+  EXPECT_GE(anchor_pps, cfg.anchor_pps_min);
+  EXPECT_LE(anchor_pps, cfg.anchor_pps_max);
+  // Probes sit in the probe band, an order of magnitude below 500 pps.
+  const double probe_pps =
+      platform_->probing_rate_pps(scenario_.probe_sanitisation().kept[0]);
+  EXPECT_GE(probe_pps, cfg.probe_pps_min);
+  EXPECT_LE(probe_pps, cfg.probe_pps_max);
+}
+
+TEST_F(PlatformTest, ProbingRateIsDeterministicPerHost) {
+  const auto vp = scenario_.vps()[3];
+  EXPECT_DOUBLE_EQ(platform_->probing_rate_pps(vp),
+                   platform_->probing_rate_pps(vp));
+}
+
+TEST(Deployability, OriginalAlgorithmDoesNotFitAtlasRates) {
+  // Section 5.1.3: probing every routable /24 from every VP is months of
+  // dedicated probing at probe rates, versus days at the 2012 study's
+  // 500 pps — the reason the paper could not geolocate millions of IPs.
+  const DeployabilityAnswer a = analyze_deployability({});
+  EXPECT_GT(a.packets_per_vp, 1e8 / 10.0);
+  EXPECT_GT(a.days_at_probe_rate, 30.0);        // months at 4-12 pps
+  EXPECT_LT(a.days_at_original_rate, a.days_at_probe_rate / 10.0);
+  EXPECT_GT(a.total_packets, 1e11);
+}
+
+TEST(Deployability, ScalesLinearlyWithPrefixes) {
+  DeployabilityQuestion q;
+  q.target_prefixes = 1'000;
+  const auto small = analyze_deployability(q);
+  q.target_prefixes = 2'000;
+  const auto big = analyze_deployability(q);
+  EXPECT_NEAR(big.packets_per_vp, 2.0 * small.packets_per_vp, 1.0);
+}
+
+}  // namespace
+}  // namespace geoloc::atlas

@@ -1,0 +1,101 @@
+#include "atlas/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "test_scenario.h"
+
+namespace geoloc::atlas {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : platform_(small_scenario().world(), small_scenario().latency()),
+        scheduler_(platform_) {}
+
+  Platform platform_;
+  MeasurementScheduler scheduler_;
+};
+
+TEST_F(SchedulerTest, EmptyPlanIsFree) {
+  const CampaignPlan p = scheduler_.plan({});
+  EXPECT_EQ(p.measurements, 0u);
+  EXPECT_EQ(p.rounds, 0u);
+  EXPECT_EQ(p.credits, 0u);
+  EXPECT_DOUBLE_EQ(p.duration_s, 0.0);
+}
+
+TEST_F(SchedulerTest, CreditsMatchPolicy) {
+  const auto& s = small_scenario();
+  std::vector<MeasurementRequest> reqs{
+      {s.vps()[0], s.targets()[0], MeasurementKind::Ping, 3},
+      {s.vps()[1], s.targets()[0], MeasurementKind::Traceroute, 0},
+  };
+  const CampaignPlan p = scheduler_.plan(reqs);
+  const auto& credits = platform_.config().credits;
+  EXPECT_EQ(p.credits, credits.per_ping_packet * 3 + credits.per_traceroute);
+  EXPECT_EQ(p.measurements, 2u);
+}
+
+TEST_F(SchedulerTest, RoundsFollowBatchSize) {
+  const auto& s = small_scenario();
+  SchedulerConfig cfg;
+  cfg.batch_size = 10;
+  const MeasurementScheduler tight(platform_, cfg);
+  std::vector<MeasurementRequest> reqs(
+      25, {s.vps()[0], s.targets()[0], MeasurementKind::Ping, 1});
+  const CampaignPlan p = tight.plan(reqs);
+  EXPECT_EQ(p.rounds, 3u);
+  EXPECT_GE(p.duration_s, 3.0 * cfg.round_overhead_s);
+}
+
+TEST_F(SchedulerTest, DurationBoundByTheSlowestVp) {
+  // One probe sending 1200 packets at 4-12 pps needs 100-300 s on top of
+  // the round overhead.
+  const auto& s = small_scenario();
+  const sim::HostId probe = s.probe_sanitisation().kept[0];
+  std::vector<MeasurementRequest> reqs(
+      400, {probe, s.targets()[0], MeasurementKind::Ping, 3});
+  const CampaignPlan p = scheduler_.plan(reqs);
+  const double pps = platform_.probing_rate_pps(probe);
+  EXPECT_NEAR(p.duration_s,
+              1200.0 / pps + scheduler_.config().round_overhead_s, 1e-6);
+}
+
+TEST_F(SchedulerTest, ParallelVpsDoNotAddUp) {
+  // The same packet volume spread over many VPs is much faster than
+  // concentrated on one.
+  const auto& s = small_scenario();
+  std::vector<MeasurementRequest> spread, concentrated;
+  for (int i = 0; i < 200; ++i) {
+    spread.push_back({s.vps()[static_cast<std::size_t>(i) % 100],
+                      s.targets()[0], MeasurementKind::Ping, 3});
+    concentrated.push_back(
+        {s.vps()[0], s.targets()[0], MeasurementKind::Ping, 3});
+  }
+  EXPECT_LT(scheduler_.plan(spread).duration_s,
+            scheduler_.plan(concentrated).duration_s);
+}
+
+TEST_F(SchedulerTest, FullMeshMatchesManualCount) {
+  const auto& s = small_scenario();
+  const std::span<const sim::HostId> vps(s.vps().data(), 20);
+  const std::span<const sim::HostId> targets(s.targets().data(), 5);
+  const CampaignPlan p = scheduler_.plan_full_mesh(vps, targets, 3);
+  EXPECT_EQ(p.measurements, 100u);
+  EXPECT_EQ(p.packets, 300u);
+}
+
+TEST_F(SchedulerTest, TraceroutePacketsAreEstimated) {
+  const auto& s = small_scenario();
+  std::vector<MeasurementRequest> reqs{
+      {s.vps()[0], s.targets()[0], MeasurementKind::Traceroute, 0}};
+  const CampaignPlan p = scheduler_.plan(reqs);
+  EXPECT_EQ(p.packets,
+            static_cast<std::uint64_t>(scheduler_.config().traceroute_packets));
+}
+
+}  // namespace
+}  // namespace geoloc::atlas

@@ -1,0 +1,86 @@
+#include "core/geodb.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "geo/geodesy.h"
+#include "test_scenario.h"
+#include "util/stats.h"
+
+namespace geoloc::core {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+std::vector<double> errors_of(const GeoDatabase& db) {
+  const auto& s = small_scenario();
+  std::vector<double> errors;
+  for (sim::HostId t : s.targets()) {
+    const auto entry = db.lookup(s.world().host(t).addr);
+    if (!entry) continue;
+    errors.push_back(geo::distance_km(entry->location,
+                                      s.world().host(t).true_location));
+  }
+  return errors;
+}
+
+TEST(GeoDb, CoversEveryTarget) {
+  const auto db = GeoDatabase::build(small_scenario(), GeoDbProfile::IPinfo);
+  EXPECT_EQ(errors_of(db).size(), small_scenario().targets().size());
+}
+
+TEST(GeoDb, UnknownAddressMisses) {
+  const auto db = GeoDatabase::build(small_scenario(), GeoDbProfile::IPinfo);
+  EXPECT_FALSE(db.lookup(net::IPv4Address{250, 250, 250, 250}).has_value());
+}
+
+TEST(GeoDb, IPinfoBeatsMaxMindAtCityLevel) {
+  // Figure 7's ordering: IPinfo > MaxMind free at the 40 km threshold.
+  const auto ipinfo = GeoDatabase::build(small_scenario(), GeoDbProfile::IPinfo);
+  const auto maxmind =
+      GeoDatabase::build(small_scenario(), GeoDbProfile::MaxMindFree);
+  const double ip_city = eval::city_level_fraction(errors_of(ipinfo));
+  const double mm_city = eval::city_level_fraction(errors_of(maxmind));
+  EXPECT_GT(ip_city, mm_city + 0.15);
+  EXPECT_GT(ip_city, 0.8);   // paper: 89%
+  EXPECT_LT(mm_city, 0.75);  // paper: 55%
+  EXPECT_GT(mm_city, 0.35);
+}
+
+TEST(GeoDb, EntriesCarryProvenance) {
+  const auto db = GeoDatabase::build(small_scenario(), GeoDbProfile::IPinfo);
+  int with_source = 0;
+  for (sim::HostId t : small_scenario().targets()) {
+    const auto entry = db.lookup(small_scenario().world().host(t).addr);
+    ASSERT_TRUE(entry.has_value());
+    with_source += !entry->source.empty();
+  }
+  EXPECT_EQ(with_source,
+            static_cast<int>(small_scenario().targets().size()));
+}
+
+TEST(GeoDb, IPinfoSourcesIncludeLatencyAndHints) {
+  const auto db = GeoDatabase::build(small_scenario(), GeoDbProfile::IPinfo);
+  std::set<std::string_view> sources;
+  for (sim::HostId t : small_scenario().targets()) {
+    sources.insert(db.lookup(small_scenario().world().host(t).addr)->source);
+  }
+  EXPECT_TRUE(sources.contains("latency"));
+  EXPECT_TRUE(sources.contains("geofeed") || sources.contains("dns"));
+}
+
+TEST(GeoDb, BuildsAreDeterministic) {
+  const auto a = GeoDatabase::build(small_scenario(), GeoDbProfile::IPinfo);
+  const auto b = GeoDatabase::build(small_scenario(), GeoDbProfile::IPinfo);
+  const auto addr =
+      small_scenario().world().host(small_scenario().targets()[0]).addr;
+  EXPECT_EQ(a.lookup(addr)->location, b.lookup(addr)->location);
+}
+
+TEST(GeoDb, ProfileNames) {
+  EXPECT_EQ(to_string(GeoDbProfile::IPinfo), "IPinfo");
+  EXPECT_EQ(to_string(GeoDbProfile::MaxMindFree), "MaxMind (Free)");
+}
+
+}  // namespace
+}  // namespace geoloc::core

@@ -1,0 +1,168 @@
+#include "core/million_scale.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "eval/metrics.h"
+#include "geo/geodesy.h"
+#include "test_scenario.h"
+#include "util/stats.h"
+
+namespace geoloc::core {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+TEST(MillionScale, SelectionReturnsKRows) {
+  const auto& s = small_scenario();
+  const MillionScale ms(s);
+  for (int k : {1, 3, 10}) {
+    const auto rows = ms.select_vps_by_representatives(0, k);
+    EXPECT_EQ(rows.size(), static_cast<std::size_t>(k));
+    const std::set<std::size_t> unique(rows.begin(), rows.end());
+    EXPECT_EQ(unique.size(), rows.size());
+  }
+}
+
+TEST(MillionScale, SelectionNeverPicksTheTargetItself) {
+  const auto& s = small_scenario();
+  const MillionScale ms(s);
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    for (std::size_t row : ms.select_vps_by_representatives(col, 3)) {
+      EXPECT_NE(s.vps()[row], s.targets()[col]);
+    }
+  }
+}
+
+TEST(MillionScale, SelectionIsSortedByRepresentativeRtt) {
+  const auto& s = small_scenario();
+  const MillionScale ms(s);
+  const auto rows = ms.select_vps_by_representatives(5, 10);
+  const auto& reps = s.representative_rtts();
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_LE(reps.at(rows[i - 1], 5), reps.at(rows[i], 5));
+  }
+}
+
+TEST(MillionScale, SelectedVpsAreGeographicallyClose) {
+  // The whole premise of the paper: low representative RTT implies
+  // geographic proximity. The single best VP must usually be much closer
+  // than a random VP.
+  const auto& s = small_scenario();
+  const MillionScale ms(s);
+  std::vector<double> chosen_d;
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const auto rows = ms.select_vps_by_representatives(col, 1);
+    ASSERT_FALSE(rows.empty());
+    chosen_d.push_back(geo::distance_km(
+        s.world().host(s.vps()[rows[0]]).true_location,
+        s.world().host(s.targets()[col]).true_location));
+  }
+  EXPECT_LT(util::median(chosen_d), 100.0);
+}
+
+TEST(MillionScale, GeolocateWithSelectedVpsIsAccurate) {
+  const auto& s = small_scenario();
+  const MillionScale ms(s);
+  std::vector<double> errors;
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const auto rows = ms.select_vps_by_representatives(col, 10);
+    const CbgResult r = ms.geolocate(rows, col);
+    if (!r.ok) continue;
+    errors.push_back(ms.error_km(r.estimate, col));
+  }
+  ASSERT_GT(errors.size(), s.targets().size() * 9 / 10);
+  EXPECT_LT(util::median(errors), 150.0);
+}
+
+TEST(MillionScale, ObservationsSkipSelfAndMissing) {
+  const auto& s = small_scenario();
+  const MillionScale ms(s);
+  std::vector<std::size_t> rows;
+  for (std::size_t r = 0; r < s.vps().size(); ++r) rows.push_back(r);
+  const auto obs = ms.observations(rows, 0);
+  EXPECT_LT(obs.size(), s.vps().size());       // at least self excluded
+  EXPECT_GE(obs.size(), s.vps().size() - 10);  // but only a handful missing
+}
+
+TEST(GreedyCoverage, PrefixesNestAndAreUnique) {
+  const auto& s = small_scenario();
+  const auto big = greedy_coverage_rows(s, 50);
+  const auto small = greedy_coverage_rows(s, 20);
+  ASSERT_EQ(big.size(), 50u);
+  ASSERT_EQ(small.size(), 20u);
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small[i], big[i]);  // greedy sequence nests
+  }
+  const std::set<std::size_t> unique(big.begin(), big.end());
+  EXPECT_EQ(unique.size(), big.size());
+}
+
+TEST(GreedyCoverage, SpreadsAcrossContinents) {
+  const auto& s = small_scenario();
+  const auto rows = greedy_coverage_rows(s, 30);
+  std::set<sim::Continent> continents;
+  for (std::size_t r : rows) {
+    continents.insert(
+        s.world().place(s.world().host(s.vps()[r]).place).continent);
+  }
+  EXPECT_GE(continents.size(), 5u);
+}
+
+TEST(GreedyCoverage, CountClampedToPopulation) {
+  const auto& s = small_scenario();
+  const auto rows = greedy_coverage_rows(s, s.vps().size() + 100);
+  EXPECT_EQ(rows.size(), s.vps().size());
+  EXPECT_TRUE(greedy_coverage_rows(s, 0).empty());
+}
+
+TEST(TwoStep, RunProducesEstimateAndAccounting) {
+  const auto& s = small_scenario();
+  const TwoStepSelector selector(s, greedy_coverage_rows(s, 50));
+  const MillionScale ms(s);
+  int ok = 0;
+  std::vector<double> errors;
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const TwoStepOutcome o = selector.run(col);
+    if (!o.ok) continue;
+    ++ok;
+    EXPECT_GT(o.step1_pings, 0u);
+    EXPECT_GT(o.step2_pings, 0u);
+    EXPECT_EQ(o.final_pings, 1u);
+    EXPECT_GT(o.region_vps, 0u);
+    EXPECT_NE(s.vps()[o.chosen_row], s.targets()[col]);
+    errors.push_back(ms.error_km(o.estimate, col));
+  }
+  EXPECT_GT(ok, static_cast<int>(s.targets().size() * 9 / 10));
+  EXPECT_LT(util::median(errors), 200.0);
+}
+
+TEST(TwoStep, CostsFarBelowOriginalAlgorithm) {
+  const auto& s = small_scenario();
+  const TwoStepSelector selector(s, greedy_coverage_rows(s, 50));
+  std::uint64_t total = 0;
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const TwoStepOutcome o = selector.run(col);
+    total += o.step1_pings + o.step2_pings + o.final_pings;
+  }
+  EXPECT_LT(total, original_algorithm_pings(s) / 2);
+}
+
+TEST(TwoStep, Step1CostBoundedBySubsetSize) {
+  const auto& s = small_scenario();
+  const TwoStepSelector selector(s, greedy_coverage_rows(s, 25));
+  const TwoStepOutcome o = selector.run(0);
+  EXPECT_LE(o.step1_pings, 25u * 3u);
+}
+
+TEST(OriginalAlgorithmPings, MatchesFormula) {
+  const auto& s = small_scenario();
+  EXPECT_EQ(original_algorithm_pings(s),
+            static_cast<std::uint64_t>(s.vps().size()) * 3u *
+                s.targets().size());
+}
+
+}  // namespace
+}  // namespace geoloc::core

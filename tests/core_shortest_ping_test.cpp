@@ -1,0 +1,37 @@
+#include "core/shortest_ping.h"
+
+#include <gtest/gtest.h>
+
+namespace geoloc::core {
+namespace {
+
+TEST(ShortestPing, EmptyIsNullopt) {
+  EXPECT_FALSE(shortest_ping({}).has_value());
+}
+
+TEST(ShortestPing, PicksTheMinimumRtt) {
+  const std::vector<VpObservation> obs{
+      {{10.0, 10.0}, 30.0}, {{20.0, 20.0}, 5.0}, {{30.0, 30.0}, 12.0}};
+  const auto r = shortest_ping(obs);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->winner_index, 1u);
+  EXPECT_DOUBLE_EQ(r->min_rtt_ms, 5.0);
+  EXPECT_EQ(r->estimate, (geo::GeoPoint{20.0, 20.0}));
+}
+
+TEST(ShortestPing, SingleObservation) {
+  const std::vector<VpObservation> obs{{{1.0, 2.0}, 7.0}};
+  const auto r = shortest_ping(obs);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->winner_index, 0u);
+}
+
+TEST(ShortestPing, TiesGoToTheFirst) {
+  const std::vector<VpObservation> obs{{{1.0, 1.0}, 5.0}, {{2.0, 2.0}, 5.0}};
+  const auto r = shortest_ping(obs);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->winner_index, 0u);
+}
+
+}  // namespace
+}  // namespace geoloc::core

@@ -1,0 +1,43 @@
+#include "core/single_radius.h"
+
+#include <gtest/gtest.h>
+
+namespace geoloc::core {
+namespace {
+
+TEST(SingleRadius, AnswersWithinBudget) {
+  const std::vector<VpObservation> obs{{{10.0, 10.0}, 25.0},
+                                       {{20.0, 20.0}, 4.0}};
+  const auto r = single_radius(obs);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->winner_index, 1u);
+  EXPECT_DOUBLE_EQ(r->min_rtt_ms, 4.0);
+}
+
+TEST(SingleRadius, AbstainsBeyondBudget) {
+  const std::vector<VpObservation> obs{{{10.0, 10.0}, 25.0},
+                                       {{20.0, 20.0}, 12.0}};
+  EXPECT_FALSE(single_radius(obs).has_value());
+}
+
+TEST(SingleRadius, BudgetIsConfigurable) {
+  const std::vector<VpObservation> obs{{{10.0, 10.0}, 12.0}};
+  SingleRadiusConfig wide;
+  wide.max_rtt_ms = 15.0;
+  EXPECT_TRUE(single_radius(obs, wide).has_value());
+  SingleRadiusConfig narrow;
+  narrow.max_rtt_ms = 5.0;
+  EXPECT_FALSE(single_radius(obs, narrow).has_value());
+}
+
+TEST(SingleRadius, EmptyAbstains) {
+  EXPECT_FALSE(single_radius({}).has_value());
+}
+
+TEST(SingleRadius, BoundaryIsInclusive) {
+  const std::vector<VpObservation> obs{{{1.0, 1.0}, 10.0}};
+  EXPECT_TRUE(single_radius(obs).has_value());
+}
+
+}  // namespace
+}  // namespace geoloc::core

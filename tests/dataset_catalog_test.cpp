@@ -1,0 +1,141 @@
+#include "dataset/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/geodesy.h"
+#include "test_scenario.h"
+
+namespace geoloc::dataset {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+TEST(Catalog, GeneratesRequestedCounts) {
+  const auto& s = small_scenario();
+  const auto& cfg = s.config().catalog;
+  EXPECT_EQ(s.catalog().anchors.size(),
+            static_cast<std::size_t>(cfg.anchor_quota.total() +
+                                     cfg.anchors_misgeolocated));
+  EXPECT_EQ(s.catalog().probes.size(),
+            static_cast<std::size_t>(cfg.probes_kept +
+                                     cfg.probes_misgeolocated));
+}
+
+TEST(Catalog, ContinentQuotasAreExactForCleanAnchors) {
+  const auto& s = small_scenario();
+  const auto& cfg = s.config().catalog;
+  std::unordered_map<sim::Continent, int> counts;
+  for (sim::HostId id : s.catalog().anchors) {
+    if (s.world().host(id).misgeolocated) continue;
+    counts[s.world().place(s.world().host(id).place).continent]++;
+  }
+  for (sim::Continent c : sim::all_continents()) {
+    EXPECT_EQ(counts[c], cfg.anchor_quota.of(c)) << to_string(c);
+  }
+}
+
+TEST(Catalog, ExactlyTheConfiguredHostsAreMisgeolocated) {
+  const auto& s = small_scenario();
+  const auto& cfg = s.config().catalog;
+  int anchors_bad = 0, probes_bad = 0;
+  for (sim::HostId id : s.catalog().anchors) {
+    anchors_bad += s.world().host(id).misgeolocated;
+  }
+  for (sim::HostId id : s.catalog().probes) {
+    probes_bad += s.world().host(id).misgeolocated;
+  }
+  EXPECT_EQ(anchors_bad, cfg.anchors_misgeolocated);
+  EXPECT_EQ(probes_bad, cfg.probes_misgeolocated);
+}
+
+TEST(Catalog, MisgeolocatedHostsMovedFarEnough) {
+  const auto& s = small_scenario();
+  for (sim::HostId id : s.catalog().anchors) {
+    const sim::Host& h = s.world().host(id);
+    if (!h.misgeolocated) continue;
+    EXPECT_GE(geo::distance_km(h.true_location, h.reported_location),
+              s.config().catalog.misgeolocation_min_km * 0.99);
+  }
+}
+
+TEST(Catalog, AnchorsAreAnchorsProbesAreProbes) {
+  const auto& s = small_scenario();
+  for (sim::HostId id : s.catalog().anchors) {
+    EXPECT_EQ(s.world().host(id).kind, sim::HostKind::Anchor);
+  }
+  for (sim::HostId id : s.catalog().probes) {
+    EXPECT_EQ(s.world().host(id).kind, sim::HostKind::Probe);
+  }
+}
+
+TEST(Catalog, AnchorAddressesAreUniqueSites) {
+  const auto& s = small_scenario();
+  std::set<std::uint32_t> slash24s;
+  for (sim::HostId id : s.catalog().anchors) {
+    const auto p = net::slash24_of(s.world().host(id).addr);
+    EXPECT_TRUE(slash24s.insert(p.network().value()).second)
+        << "anchor /24 reused: " << p.to_string();
+  }
+}
+
+TEST(Catalog, HostsHaveValidLocationsAndPlaces) {
+  const auto& s = small_scenario();
+  for (sim::HostId id : s.catalog().anchors) {
+    const sim::Host& h = s.world().host(id);
+    EXPECT_TRUE(h.true_location.valid());
+    EXPECT_LT(h.place, s.world().places().size());
+    EXPECT_GE(h.last_mile_ms, 0.0);
+  }
+}
+
+TEST(Catalog, AnchorsAreBgpRoutable) {
+  const auto& s = small_scenario();
+  for (sim::HostId id : s.catalog().anchors) {
+    const auto origin = s.world().bgp_lookup(s.world().host(id).addr);
+    ASSERT_TRUE(origin.has_value());
+    EXPECT_EQ(origin->second.value, s.world().host(id).asn.value);
+  }
+}
+
+TEST(Catalog, AsCategoryMixResemblesTable2) {
+  // Use the full paper-scale distribution only loosely at small scale:
+  // Access must dominate probes; anchors must be spread across categories.
+  const auto& s = small_scenario();
+  auto probe_counts = count_by_as_category(s.world(), s.catalog().probes);
+  auto anchor_counts = count_by_as_category(s.world(), s.catalog().anchors);
+  const double probes = static_cast<double>(s.catalog().probes.size());
+  EXPECT_GT(probe_counts[sim::AsCategory::Access] / probes, 0.6);
+  EXPECT_GE(anchor_counts.size(), 4u);
+  EXPECT_GT(anchor_counts[sim::AsCategory::Content], 0);
+  EXPECT_GT(anchor_counts[sim::AsCategory::TransitAccess], 0);
+}
+
+TEST(Catalog, SectorDistributionDominatedByIT) {
+  const auto& s = small_scenario();
+  auto sectors = count_by_as_sector(s.world(), s.catalog().anchors);
+  int total = 0;
+  for (const auto& [sector, n] : sectors) total += n;
+  // Section 4.4.1: ~72% "Computer and Information Technology" (sector 0);
+  // the small scenario's 80-AS pool leaves room for sampling noise.
+  EXPECT_GT(static_cast<double>(sectors[0]) / total, 0.5);
+}
+
+TEST(Catalog, DeterministicAcrossBuilds) {
+  auto cfg = scenario::small_config();
+  cfg.cache_dir = "";
+  const scenario::Scenario s1(cfg);
+  const scenario::Scenario s2(cfg);
+  ASSERT_EQ(s1.catalog().anchors.size(), s2.catalog().anchors.size());
+  for (std::size_t i = 0; i < s1.catalog().anchors.size(); ++i) {
+    const auto& h1 = s1.world().host(s1.catalog().anchors[i]);
+    const auto& h2 = s2.world().host(s2.catalog().anchors[i]);
+    EXPECT_EQ(h1.addr, h2.addr);
+    EXPECT_EQ(h1.true_location, h2.true_location);
+    EXPECT_DOUBLE_EQ(h1.last_mile_ms, h2.last_mile_ms);
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::dataset

@@ -1,0 +1,58 @@
+#include "dataset/ipv6_sparsity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace geoloc::dataset {
+namespace {
+
+TEST(Ipv6Sparsity, Ipv4Slash24IsCertain) {
+  SparsityQuestion q;
+  q.prefix_size_log2 = 8;  // a /24: 256 addresses
+  q.responsive_hosts = 3;
+  const SparsityAnswer a = analyze_sparsity(q);
+  EXPECT_DOUBLE_EQ(a.addresses, 256.0);
+  EXPECT_DOUBLE_EQ(a.prefix_coverage, 1.0);  // the whole /24 fits the budget
+  EXPECT_NEAR(a.p_at_least_one, 1.0 - std::exp(-3.0), 1e-12);
+}
+
+TEST(Ipv6Sparsity, Slash64IsHopeless) {
+  SparsityQuestion q;  // defaults: /64, 1e4 hosts, 500 pps, 30 days
+  const SparsityAnswer a = analyze_sparsity(q);
+  EXPECT_LT(a.expected_hits, 1e-6);
+  EXPECT_LT(a.p_at_least_one, 1e-6);
+  EXPECT_LT(a.prefix_coverage, 1e-7);
+}
+
+TEST(Ipv6Sparsity, HitsScaleWithBudgetAndDensity) {
+  SparsityQuestion q;
+  q.prefix_size_log2 = 40;
+  q.responsive_hosts = 1e6;
+  const SparsityAnswer base = analyze_sparsity(q);
+  q.budget_seconds *= 2;
+  const SparsityAnswer longer = analyze_sparsity(q);
+  EXPECT_NEAR(longer.expected_hits, 2.0 * base.expected_hits, 1e-9);
+  q.responsive_hosts *= 10;
+  const SparsityAnswer denser = analyze_sparsity(q);
+  EXPECT_NEAR(denser.expected_hits, 20.0 * base.expected_hits, 1e-6);
+}
+
+TEST(Ipv6Sparsity, DensityCappedAtOne) {
+  SparsityQuestion q;
+  q.prefix_size_log2 = 4;  // 16 addresses
+  q.responsive_hosts = 100;
+  const SparsityAnswer a = analyze_sparsity(q);
+  EXPECT_DOUBLE_EQ(a.responsive_density, 1.0);
+}
+
+TEST(Ipv6Sparsity, ProbesCappedAtPrefixSize) {
+  SparsityQuestion q;
+  q.prefix_size_log2 = 8;
+  q.probe_rate_pps = 1e9;
+  const SparsityAnswer a = analyze_sparsity(q);
+  EXPECT_DOUBLE_EQ(a.probes_sent, 256.0);
+}
+
+}  // namespace
+}  // namespace geoloc::dataset

@@ -1,0 +1,72 @@
+#include "dataset/population_grid.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+#include "test_scenario.h"
+
+namespace geoloc::dataset {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+const PopulationGrid& grid() {
+  static const PopulationGrid g(small_scenario().world());
+  return g;
+}
+
+geo::GeoPoint city_centre(std::string_view name) {
+  for (const auto& p : small_scenario().world().places()) {
+    if (p.name == name) return p.location;
+  }
+  ADD_FAILURE() << "city not found: " << name;
+  return {};
+}
+
+TEST(PopulationGrid, DenseInMetroSparseInOcean) {
+  const double paris = grid().density_per_km2(city_centre("Paris"));
+  const double ocean = grid().density_per_km2(geo::GeoPoint{-45.0, -140.0});
+  EXPECT_GT(paris, 1'000.0);
+  EXPECT_LT(ocean, 10.0);
+  EXPECT_GT(paris / ocean, 100.0);
+}
+
+TEST(PopulationGrid, RuralFloorApplies) {
+  const PopulationGridConfig cfg;
+  EXPECT_GE(grid().density_per_km2(geo::GeoPoint{-45.0, -140.0}),
+            cfg.rural_floor_per_km2);
+}
+
+TEST(PopulationGrid, DensityDecaysWithDistanceFromCentre) {
+  const geo::GeoPoint centre = city_centre("Paris");
+  const double at0 = grid().density_per_km2(centre);
+  const double at10 = grid().density_per_km2(geo::destination(centre, 90, 10));
+  const double at60 = grid().density_per_km2(geo::destination(centre, 90, 60));
+  EXPECT_GT(at0, at10);
+  EXPECT_GT(at10, at60);
+}
+
+TEST(PopulationGrid, BiggerCitiesDenser) {
+  EXPECT_GT(grid().density_per_km2(city_centre("Tokyo")),
+            grid().density_per_km2(city_centre("Reykjavik")));
+}
+
+TEST(PopulationGrid, SnappingMakesNearbyQueriesAgree) {
+  const geo::GeoPoint centre = city_centre("Berlin");
+  const geo::GeoPoint nudged{centre.lat_deg + 1e-4, centre.lon_deg + 1e-4};
+  EXPECT_DOUBLE_EQ(grid().density_per_km2(centre),
+                   grid().density_per_km2(nudged));
+}
+
+TEST(PopulationGrid, EveryTargetHasFiniteDensity) {
+  const auto& s = small_scenario();
+  for (sim::HostId t : s.targets()) {
+    const double d =
+        grid().density_per_km2(s.world().host(t).true_location);
+    EXPECT_TRUE(std::isfinite(d));
+    EXPECT_GT(d, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::dataset

@@ -1,0 +1,87 @@
+// Tests of the Section 4.3 sanitiser: the speed-of-Internet mesh filter
+// must remove exactly the misgeolocated hosts and nothing else.
+#include "dataset/sanitize.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "test_scenario.h"
+
+namespace geoloc::dataset {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+TEST(SanitizeAnchors, RemovesExactlyTheMisgeolocated) {
+  const auto& s = small_scenario();
+  const auto& result = s.anchor_sanitisation();
+  EXPECT_EQ(result.removed.size(),
+            static_cast<std::size_t>(s.config().catalog.anchors_misgeolocated));
+  for (sim::HostId id : result.removed) {
+    EXPECT_TRUE(s.world().host(id).misgeolocated)
+        << "sanitiser removed a correctly geolocated anchor";
+  }
+  for (sim::HostId id : result.kept) {
+    EXPECT_FALSE(s.world().host(id).misgeolocated);
+  }
+}
+
+TEST(SanitizeProbes, RemovesExactlyTheMisgeolocated) {
+  const auto& s = small_scenario();
+  const auto& result = s.probe_sanitisation();
+  EXPECT_EQ(result.removed.size(),
+            static_cast<std::size_t>(s.config().catalog.probes_misgeolocated));
+  for (sim::HostId id : result.removed) {
+    EXPECT_TRUE(s.world().host(id).misgeolocated);
+  }
+}
+
+TEST(Sanitize, KeptPlusRemovedIsInput) {
+  const auto& s = small_scenario();
+  const auto& r = s.anchor_sanitisation();
+  std::unordered_set<sim::HostId> all(r.kept.begin(), r.kept.end());
+  all.insert(r.removed.begin(), r.removed.end());
+  EXPECT_EQ(all.size(), s.catalog().anchors.size());
+}
+
+TEST(Sanitize, ViolationsWereObserved) {
+  const auto& s = small_scenario();
+  EXPECT_GT(s.anchor_sanitisation().violating_pairs, 0u);
+  EXPECT_GT(s.probe_sanitisation().violating_pairs, 0u);
+}
+
+TEST(Sanitize, CleanInputIsUntouched) {
+  // A catalogue without misgeolocations must survive unharmed.
+  auto cfg = scenario::small_config(/*seed=*/55);
+  cfg.cache_dir = "";
+  cfg.catalog.anchors_misgeolocated = 0;
+  cfg.catalog.probes_misgeolocated = 0;
+  cfg.build_web = false;
+  const scenario::Scenario s = scenario::Scenario::without_web(cfg);
+  EXPECT_TRUE(s.anchor_sanitisation().removed.empty());
+  EXPECT_TRUE(s.probe_sanitisation().removed.empty());
+  EXPECT_EQ(s.anchor_sanitisation().violating_pairs, 0u);
+}
+
+TEST(Sanitize, StricterSoiRemovesMore) {
+  // With an unphysically low assumed speed, even honest pairs violate.
+  const auto& s = small_scenario();
+  SanitizeConfig strict;
+  strict.soi_km_per_ms = 10.0;  // absurd: 10 km/ms
+  const auto result =
+      sanitize_anchors(s.latency(), s.catalog().anchors, strict);
+  EXPECT_GT(result.removed.size(),
+            static_cast<std::size_t>(s.config().catalog.anchors_misgeolocated));
+}
+
+TEST(Sanitize, IterativeRemovalIsDeterministic) {
+  const auto& s = small_scenario();
+  const auto r1 = sanitize_anchors(s.latency(), s.catalog().anchors);
+  const auto r2 = sanitize_anchors(s.latency(), s.catalog().anchors);
+  EXPECT_EQ(r1.removed, r2.removed);
+  EXPECT_EQ(r1.kept, r2.kept);
+}
+
+}  // namespace
+}  // namespace geoloc::dataset

@@ -1,0 +1,127 @@
+// Integration tests of the experiment runners on the small scenario — each
+// asserting the *shape* the corresponding paper figure relies on.
+#include "eval/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include "core/million_scale.h"
+#include "eval/metrics.h"
+#include "test_scenario.h"
+#include "util/stats.h"
+
+namespace geoloc::eval {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+TEST(AllVpErrors, OnePerTargetAndCached) {
+  const auto& s = small_scenario();
+  const auto& errors = all_vp_errors(s);
+  EXPECT_EQ(errors.size(), s.targets().size());
+  // Second call returns the cached vector (same address).
+  EXPECT_EQ(&all_vp_errors(s), &errors);
+}
+
+TEST(AllVpErrors, MostTargetsResolve) {
+  const auto& errors = all_vp_errors(small_scenario());
+  int failures = 0;
+  for (double e : errors) failures += e < 0.0;
+  EXPECT_LT(failures, static_cast<int>(errors.size() / 20));
+}
+
+TEST(SubsetSweep, ErrorDecreasesWithSubsetSize) {
+  // Figure 2a's shape: more VPs, lower median error.
+  const auto& s = small_scenario();
+  const int sizes[] = {10, 100, 800};
+  const auto sweep = run_subset_size_sweep(s, sizes, /*trials=*/5);
+  ASSERT_EQ(sweep.size(), 3u);
+  const double at10 = util::median(sweep[0].trial_median_errors_km);
+  const double at100 = util::median(sweep[1].trial_median_errors_km);
+  const double at800 = util::median(sweep[2].trial_median_errors_km);
+  EXPECT_GT(at10, at100);
+  EXPECT_GT(at100, at800);
+}
+
+TEST(SubsetSweep, TrialsVaryForSmallSubsets) {
+  const auto& s = small_scenario();
+  const int sizes[] = {20};
+  const auto sweep = run_subset_size_sweep(s, sizes, /*trials=*/6);
+  const auto& medians = sweep[0].trial_median_errors_km;
+  ASSERT_EQ(medians.size(), 6u);
+  EXPECT_GT(util::max_of(medians) - util::min_of(medians), 1.0);
+}
+
+TEST(RemoveCloseVps, ErrorGrowsWithExclusionRadius) {
+  // Figure 2c's shape: removing close VPs destroys accuracy.
+  const auto& s = small_scenario();
+  const double radii[] = {0.0, 40.0, 500.0};
+  const auto sweep = run_remove_close_vps(s, radii);
+  ASSERT_EQ(sweep.size(), 3u);
+  const double all = util::median(sweep[0].errors_km);
+  const double no40 = util::median(sweep[1].errors_km);
+  const double no500 = util::median(sweep[2].errors_km);
+  EXPECT_GT(no40, all * 1.5);
+  EXPECT_GT(no500, no40);
+  // City-level accuracy collapses once same-city VPs are gone.
+  EXPECT_LT(city_level_fraction(sweep[1].errors_km),
+            city_level_fraction(sweep[0].errors_km));
+}
+
+TEST(RepSelection, FewChosenVpsMatchAllVps) {
+  // Figure 3a's shape: 10 representative-selected VPs ~ the full set.
+  const auto& s = small_scenario();
+  const int ks[] = {1, 10, 0};
+  const auto sweep = run_rep_selection(s, ks);
+  ASSERT_EQ(sweep.size(), 3u);
+  const double k10 = util::median(sweep[1].errors_km);
+  const double all = util::median(sweep[2].errors_km);
+  EXPECT_LT(k10, all * 2.5);
+  EXPECT_LT(all, k10 * 2.5);
+}
+
+TEST(TwoStepSweep, AccuracyFlatCostNot) {
+  // Figures 3b/3c: accuracy is insensitive to the first-step size while
+  // the measurement cost is far below the original algorithm's.
+  const auto& s = small_scenario();
+  const int sizes[] = {10, 50, 200};
+  const auto sweep = run_two_step_sweep(s, sizes);
+  ASSERT_EQ(sweep.size(), 3u);
+  const std::uint64_t original = core::original_algorithm_pings(s);
+  for (const auto& sw : sweep) {
+    EXPECT_LT(sw.total_pings, original / 2);
+    EXPECT_LT(sw.failed_targets, s.targets().size() / 10);
+  }
+  const double m0 = util::median(sweep[0].errors_km);
+  const double m2 = util::median(sweep[2].errors_km);
+  EXPECT_LT(std::abs(m0 - m2), std::max(m0, m2));  // same order of magnitude
+}
+
+TEST(PerContinent, PartitionsAllResolvedTargets) {
+  const auto& s = small_scenario();
+  const auto per_continent = run_per_continent(s);
+  ASSERT_EQ(per_continent.size(), 6u);
+  std::size_t total = 0;
+  for (const auto& ce : per_continent) total += ce.errors_km.size();
+  std::size_t resolved = 0;
+  for (double e : all_vp_errors(s)) resolved += e >= 0.0;
+  EXPECT_EQ(total, resolved);
+}
+
+TEST(TrialsFromEnv, FallbackWhenUnset) {
+  unsetenv("GEOLOC_TRIALS");
+  EXPECT_EQ(trials_from_env(17), 17);
+  setenv("GEOLOC_TRIALS", "5", 1);
+  EXPECT_EQ(trials_from_env(17), 5);
+  setenv("GEOLOC_TRIALS", "garbage", 1);
+  EXPECT_EQ(trials_from_env(17), 17);
+  unsetenv("GEOLOC_TRIALS");
+}
+
+TEST(Metrics, ThresholdHelpers) {
+  const std::vector<double> errors{0.5, 10.0, 39.9, 41.0, 500.0};
+  EXPECT_DOUBLE_EQ(city_level_fraction(errors), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(street_level_fraction(errors), 1.0 / 5.0);
+}
+
+}  // namespace
+}  // namespace geoloc::eval

@@ -1,0 +1,134 @@
+#include "geo/geodesy.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "geo/constants.h"
+#include "util/rng.h"
+
+namespace geoloc::geo {
+namespace {
+
+constexpr GeoPoint kParis{48.8566, 2.3522};
+constexpr GeoPoint kNewYork{40.7128, -74.0060};
+constexpr GeoPoint kSydney{-33.8688, 151.2093};
+constexpr GeoPoint kToulouse{43.6047, 1.4442};
+
+TEST(GeoPoint, Validation) {
+  EXPECT_TRUE(kParis.valid());
+  EXPECT_FALSE((GeoPoint{91.0, 0.0}).valid());
+  EXPECT_FALSE((GeoPoint{0.0, 180.0}).valid());
+  EXPECT_TRUE((GeoPoint{0.0, -180.0}).valid());
+}
+
+TEST(GeoPoint, NormalizeLon) {
+  EXPECT_DOUBLE_EQ(normalize_lon(190.0), -170.0);
+  EXPECT_DOUBLE_EQ(normalize_lon(-185.0), 175.0);
+  EXPECT_DOUBLE_EQ(normalize_lon(45.0), 45.0);
+}
+
+TEST(Distance, KnownCityPairs) {
+  // Reference distances (great circle, spherical Earth).
+  EXPECT_NEAR(distance_km(kParis, kNewYork), 5837.0, 25.0);
+  EXPECT_NEAR(distance_km(kParis, kToulouse), 589.0, 10.0);
+  EXPECT_NEAR(distance_km(kNewYork, kSydney), 15990.0, 60.0);
+}
+
+TEST(Distance, IdentityAndSymmetry) {
+  EXPECT_DOUBLE_EQ(distance_km(kParis, kParis), 0.0);
+  EXPECT_DOUBLE_EQ(distance_km(kParis, kSydney), distance_km(kSydney, kParis));
+}
+
+TEST(Distance, AntipodalIsHalfCircumference) {
+  const GeoPoint a{0.0, 0.0};
+  const GeoPoint b{0.0, -180.0 + 1e-9};
+  EXPECT_NEAR(distance_km(a, b), kPi * kEarthRadiusKm, 1.0);
+}
+
+TEST(Bearing, CardinalDirections) {
+  const GeoPoint origin{0.0, 0.0};
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint{1.0, 0.0}), 0.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint{0.0, 1.0}), 90.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint{-1.0, 0.0}), 180.0, 1e-9);
+  EXPECT_NEAR(initial_bearing_deg(origin, GeoPoint{0.0, -1.0}), 270.0, 1e-9);
+}
+
+TEST(Destination, RoundTripsWithDistanceAndBearing) {
+  auto gen = util::Pcg32{123};
+  for (int i = 0; i < 500; ++i) {
+    const GeoPoint origin{gen.uniform(-80.0, 80.0), gen.uniform(-179.0, 179.0)};
+    const double bearing = gen.uniform(0.0, 360.0);
+    const double dist = gen.uniform(0.1, 5'000.0);
+    const GeoPoint dest = destination(origin, bearing, dist);
+    EXPECT_NEAR(distance_km(origin, dest), dist, dist * 1e-9 + 1e-6)
+        << "origin=" << to_string(origin) << " bearing=" << bearing;
+  }
+}
+
+TEST(Destination, ZeroDistanceIsIdentity) {
+  const GeoPoint dest = destination(kParis, 123.0, 0.0);
+  EXPECT_NEAR(dest.lat_deg, kParis.lat_deg, 1e-12);
+  EXPECT_NEAR(dest.lon_deg, kParis.lon_deg, 1e-12);
+}
+
+TEST(Destination, CrossesAntimeridianCleanly) {
+  const GeoPoint fiji{-18.0, 179.5};
+  const GeoPoint east = destination(fiji, 90.0, 200.0);
+  EXPECT_TRUE(east.valid());
+  EXPECT_LT(east.lon_deg, 0.0);  // wrapped into the western hemisphere
+}
+
+TEST(Midpoint, IsEquidistant) {
+  const GeoPoint mid = midpoint(kParis, kNewYork);
+  EXPECT_NEAR(distance_km(mid, kParis), distance_km(mid, kNewYork), 1e-6);
+}
+
+TEST(Centroid, EmptyAndSingle) {
+  EXPECT_EQ(centroid({}), (GeoPoint{}));
+  const std::vector<GeoPoint> one{kSydney};
+  const GeoPoint c = centroid(one);
+  EXPECT_NEAR(c.lat_deg, kSydney.lat_deg, 1e-9);
+  EXPECT_NEAR(c.lon_deg, kSydney.lon_deg, 1e-9);
+}
+
+TEST(Centroid, SymmetricPointsAverageOut) {
+  const std::vector<GeoPoint> pts{{10.0, 20.0}, {-10.0, 20.0}};
+  const GeoPoint c = centroid(pts);
+  EXPECT_NEAR(c.lat_deg, 0.0, 1e-9);
+  EXPECT_NEAR(c.lon_deg, 20.0, 1e-9);
+}
+
+TEST(Centroid, StaysInsideCluster) {
+  auto gen = util::Pcg32{9};
+  for (int trial = 0; trial < 50; ++trial) {
+    const GeoPoint center{gen.uniform(-60.0, 60.0), gen.uniform(-170.0, 170.0)};
+    std::vector<GeoPoint> pts;
+    for (int i = 0; i < 20; ++i) {
+      pts.push_back(
+          destination(center, gen.uniform(0.0, 360.0), gen.uniform(0.0, 50.0)));
+    }
+    EXPECT_LT(distance_km(centroid(pts), center), 50.0);
+  }
+}
+
+TEST(Constants, SpeedConversionsAreConsistent) {
+  // 100 km at 2/3 c -> RTT -> back to distance.
+  const double rtt = distance_to_min_rtt_ms(100.0);
+  EXPECT_NEAR(rtt_to_max_distance_km(rtt, kSoiTwoThirdsKmPerMs), 100.0, 1e-9);
+  // 4/9 c gives a smaller radius for the same RTT.
+  EXPECT_LT(rtt_to_max_distance_km(rtt, kSoiFourNinthsKmPerMs), 100.0);
+}
+
+TEST(Constants, SoiViolationDetection) {
+  const double rtt = distance_to_min_rtt_ms(1'000.0);
+  EXPECT_FALSE(violates_soi(rtt * 1.01, 1'000.0));
+  EXPECT_TRUE(violates_soi(rtt * 0.99, 1'000.0));
+}
+
+TEST(ToString, FormatsLatLon) {
+  EXPECT_EQ(to_string(GeoPoint{48.8566, 2.3522}), "48.8566,2.3522");
+}
+
+}  // namespace
+}  // namespace geoloc::geo

@@ -1,0 +1,148 @@
+// Unit and property tests for the CBG region engine (disk intersection).
+#include "geo/region.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "util/rng.h"
+
+namespace geoloc::geo {
+namespace {
+
+constexpr GeoPoint kParis{48.8566, 2.3522};
+constexpr GeoPoint kLyon{45.7640, 4.8357};
+constexpr GeoPoint kSydney{-33.8688, 151.2093};
+
+TEST(Disk, ContainsItsCenterAndBoundary) {
+  const Disk d{kParis, 100.0};
+  EXPECT_TRUE(d.contains(kParis));
+  EXPECT_TRUE(d.contains(destination(kParis, 42.0, 99.9)));
+  EXPECT_FALSE(d.contains(destination(kParis, 42.0, 100.5)));
+}
+
+TEST(Disk, InsideAndDisjoint) {
+  const Disk small{kParis, 50.0};
+  const Disk big{kParis, 500.0};
+  const Disk far{kSydney, 100.0};
+  EXPECT_TRUE(small.inside(big));
+  EXPECT_FALSE(big.inside(small));
+  EXPECT_TRUE(small.disjoint(far));
+  EXPECT_FALSE(small.disjoint(big));
+}
+
+TEST(PruneDominated, RemovesCoveringDisks) {
+  const std::vector<Disk> disks{{kParis, 40.0}, {kParis, 4'000.0},
+                                {kLyon, 5'000.0}};
+  const auto kept = prune_dominated(disks);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_DOUBLE_EQ(kept[0].radius_km, 40.0);
+}
+
+TEST(PruneDominated, KeepsGenuineConstraints) {
+  // Two overlapping disks, neither containing the other.
+  const std::vector<Disk> disks{{kParis, 300.0}, {kLyon, 300.0}};
+  EXPECT_EQ(prune_dominated(disks).size(), 2u);
+}
+
+TEST(PruneDominated, SortsByRadius) {
+  const std::vector<Disk> disks{{kLyon, 300.0}, {kParis, 200.0}};
+  const auto kept = prune_dominated(disks);
+  ASSERT_EQ(kept.size(), 2u);
+  EXPECT_LE(kept[0].radius_km, kept[1].radius_km);
+}
+
+TEST(IntersectDisks, EmptyInputYieldsEmptyRegion) {
+  EXPECT_TRUE(intersect_disks({}).empty);
+}
+
+TEST(IntersectDisks, SingleDiskCentroidIsCenter) {
+  const std::vector<Disk> disks{{kParis, 200.0}};
+  const Region r = intersect_disks(disks);
+  ASSERT_FALSE(r.empty);
+  EXPECT_LT(distance_km(r.centroid, kParis), 5.0);
+  EXPECT_NEAR(r.area_km2, kPi * 200.0 * 200.0, 0.15 * kPi * 200.0 * 200.0);
+}
+
+TEST(IntersectDisks, DisjointDisksAreEmpty) {
+  const std::vector<Disk> disks{{kParis, 100.0}, {kSydney, 100.0}};
+  EXPECT_TRUE(intersect_disks(disks).empty);
+}
+
+TEST(IntersectDisks, LensCentroidBetweenCenters) {
+  // Paris and Lyon are ~392 km apart; 250-km disks form a lens between them.
+  const std::vector<Disk> disks{{kParis, 250.0}, {kLyon, 250.0}};
+  const Region r = intersect_disks(disks);
+  ASSERT_FALSE(r.empty);
+  EXPECT_TRUE(region_contains(disks, r.centroid));
+  const GeoPoint mid = midpoint(kParis, kLyon);
+  EXPECT_LT(distance_km(r.centroid, mid), 60.0);
+}
+
+TEST(IntersectDisks, RefinementShrinksRadius) {
+  const std::vector<Disk> disks{{kParis, 250.0}, {kLyon, 250.0}};
+  RegionOptions coarse;
+  coarse.refine_levels = 0;
+  RegionOptions fine;
+  fine.refine_levels = 2;
+  const Region rc = intersect_disks(disks, coarse);
+  const Region rf = intersect_disks(disks, fine);
+  ASSERT_FALSE(rc.empty);
+  ASSERT_FALSE(rf.empty);
+  // Refinement must not move the centroid much, and samples get denser.
+  EXPECT_LT(distance_km(rc.centroid, rf.centroid), 40.0);
+}
+
+TEST(IntersectDisks, ThinLensFoundByRetry) {
+  // Nearly-disjoint disks leave a sliver; the double-resolution retry must
+  // find it rather than declaring emptiness.
+  const double d = distance_km(kParis, kLyon);
+  const std::vector<Disk> disks{{kParis, d * 0.52}, {kLyon, d * 0.505}};
+  const Region r = intersect_disks(disks);
+  EXPECT_FALSE(r.empty);
+}
+
+TEST(RegionContains, MatchesDiskTest) {
+  const std::vector<Disk> disks{{kParis, 300.0}, {kLyon, 300.0}};
+  EXPECT_TRUE(region_contains(disks, midpoint(kParis, kLyon)));
+  EXPECT_FALSE(region_contains(disks, kSydney));
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: for random constraint sets that are known to contain a
+// ground-truth point (radii >= distance to the point), the region must be
+// non-empty, contain the point among the constraints, and the centroid must
+// stay within the smallest disk's diameter of the truth.
+class RegionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RegionProperty, SoundConstraintsYieldSoundCentroid) {
+  auto gen = util::Pcg32{GetParam()};
+  const GeoPoint truth{gen.uniform(-60.0, 60.0), gen.uniform(-170.0, 170.0)};
+
+  std::vector<Disk> disks;
+  const int n = 3 + static_cast<int>(gen.bounded(10));
+  double min_radius = 1e9;
+  for (int i = 0; i < n; ++i) {
+    const double vp_dist = gen.uniform(5.0, 2'000.0);
+    const GeoPoint vp = destination(truth, gen.uniform(0.0, 360.0), vp_dist);
+    // Radius always covers the truth (slack mimics SOI-safe RTT inflation).
+    const double radius = vp_dist * gen.uniform(1.02, 1.8) + gen.uniform(5.0, 80.0);
+    disks.push_back(Disk{vp, radius});
+    min_radius = std::min(min_radius, radius);
+  }
+
+  const Region region = intersect_disks(disks);
+  ASSERT_FALSE(region.empty);
+  EXPECT_TRUE(region_contains(disks, truth));
+  // The centroid cannot leave the feasible region, which is inside the
+  // smallest disk; so it is within 2 * min_radius of the truth.
+  EXPECT_LE(distance_km(region.centroid, truth), 2.0 * min_radius + 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomConstraintSets, RegionProperty,
+                         ::testing::Range<std::uint64_t>(1, 33));
+
+}  // namespace
+}  // namespace geoloc::geo

@@ -1,0 +1,166 @@
+// Cross-module integration: the relationships between techniques that the
+// paper's narrative depends on, checked end-to-end on the small scenario.
+#include <gtest/gtest.h>
+
+#include "core/geodb.h"
+#include "core/million_scale.h"
+#include "core/multi_round.h"
+#include "core/shortest_ping.h"
+#include "core/single_radius.h"
+#include "core/street_level.h"
+#include "eval/experiments.h"
+#include "eval/metrics.h"
+#include "eval/street_campaign.h"
+#include "geo/geodesy.h"
+#include "test_scenario.h"
+#include "util/stats.h"
+
+namespace geoloc {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+std::vector<std::size_t> all_rows(const scenario::Scenario& s) {
+  std::vector<std::size_t> rows(s.vps().size());
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  return rows;
+}
+
+TEST(Integration, CbgAndShortestPingAgreeInOrderOfMagnitude) {
+  // The paper's footnote: "results with shortest ping are similar".
+  const auto& s = small_scenario();
+  const core::MillionScale tools(s);
+  const auto rows = all_rows(s);
+  std::vector<double> cbg, sp;
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const auto obs = tools.observations(rows, col);
+    const auto c = core::cbg_geolocate(obs);
+    const auto p = core::shortest_ping(obs);
+    if (c.ok && p) {
+      cbg.push_back(tools.error_km(c.estimate, col));
+      sp.push_back(tools.error_km(p->estimate, col));
+    }
+  }
+  const double mc = util::median(cbg), mp = util::median(sp);
+  EXPECT_LT(mc, mp * 3.0);
+  EXPECT_LT(mp, mc * 3.0);
+}
+
+TEST(Integration, SingleRadiusAnsweredSubsetIsMoreAccurate) {
+  // Abstention buys precision: where single-radius answers, its error is
+  // bounded by the RTT budget's disk.
+  const auto& s = small_scenario();
+  const core::MillionScale tools(s);
+  const auto rows = all_rows(s);
+  std::vector<double> answered;
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const auto obs = tools.observations(rows, col);
+    if (const auto r = core::single_radius(obs)) {
+      answered.push_back(tools.error_km(r->estimate, col));
+      EXPECT_LE(answered.back(),
+                geo::rtt_to_max_distance_km(r->min_rtt_ms,
+                                            geo::kSoiTwoThirdsKmPerMs) +
+                    1.0);
+    }
+  }
+  ASSERT_GT(answered.size(), 10u);
+  std::vector<double> cbg;
+  for (double e : eval::all_vp_errors(s)) {
+    if (e >= 0) cbg.push_back(e);
+  }
+  EXPECT_LE(util::median(answered), util::median(cbg) * 1.5);
+}
+
+TEST(Integration, TwoStepAndMultiRoundAgree) {
+  // Multi-round with rounds=2 is structurally the paper's two-step scheme;
+  // both pick VPs from the same machinery and should land close together.
+  const auto& s = small_scenario();
+  const core::MillionScale tools(s);
+  const auto greedy = core::greedy_coverage_rows(s, 50);
+  const core::TwoStepSelector two_step(s, greedy);
+  core::MultiRoundConfig cfg;
+  cfg.rounds = 2;
+  cfg.first_round_size = 50;
+  const core::MultiRoundSelector multi(s, cfg);
+
+  std::vector<double> ts_err, mr_err;
+  for (std::size_t col = 0; col < s.targets().size(); ++col) {
+    const auto a = two_step.run(col);
+    const auto b = multi.run(col);
+    if (a.ok) ts_err.push_back(tools.error_km(a.estimate, col));
+    if (b.ok) mr_err.push_back(tools.error_km(b.estimate, col));
+  }
+  EXPECT_LT(std::abs(util::median(ts_err) - util::median(mr_err)),
+            std::max(util::median(ts_err), util::median(mr_err)));
+}
+
+TEST(Integration, GeoDbOrderingMatchesFigure7) {
+  const auto& s = small_scenario();
+  auto errors_of = [&](core::GeoDbProfile p) {
+    const auto db = core::GeoDatabase::build(s, p);
+    std::vector<double> e;
+    for (sim::HostId t : s.targets()) {
+      const auto hit = db.lookup(s.world().host(t).addr);
+      if (hit) {
+        e.push_back(geo::distance_km(hit->location,
+                                     s.world().host(t).true_location));
+      }
+    }
+    return e;
+  };
+  const double ipinfo =
+      eval::city_level_fraction(errors_of(core::GeoDbProfile::IPinfo));
+  const double maxmind =
+      eval::city_level_fraction(errors_of(core::GeoDbProfile::MaxMindFree));
+  std::vector<double> cbg;
+  for (double e : eval::all_vp_errors(s)) {
+    if (e >= 0) cbg.push_back(e);
+  }
+  // Figure 7 ordering: IPinfo > CBG > MaxMind at city level.
+  EXPECT_GT(ipinfo, eval::city_level_fraction(cbg));
+  EXPECT_GT(eval::city_level_fraction(cbg), maxmind);
+}
+
+TEST(Integration, StreetCampaignConsistentWithDirectRuns) {
+  const auto& s = small_scenario();
+  const auto& camp = eval::street_campaign(s);
+  const core::StreetLevel street(s);
+  for (std::size_t col : {0u, 3u, 9u}) {
+    const auto run = street.geolocate(col);
+    EXPECT_NEAR(camp.records[col].street_error_km,
+                eval::error_km(s, col, run.estimate), 0.5);
+    EXPECT_EQ(camp.records[col].tier_reached, run.tier_reached);
+  }
+}
+
+TEST(Integration, BaselineSummaryIsSane) {
+  // The paper's Section 7.1 baseline: most targets city-level, a minority
+  // street-level, using the best of CBG/street-level.
+  const auto& s = small_scenario();
+  const auto& camp = eval::street_campaign(s);
+  std::vector<double> best;
+  for (const auto& r : camp.records) {
+    double e = r.street_error_km;
+    if (r.cbg_error_km >= 0) e = std::min(e, double{r.cbg_error_km});
+    best.push_back(e);
+  }
+  EXPECT_GT(eval::city_level_fraction(best), 0.25);
+  EXPECT_LT(eval::street_level_fraction(best), 0.5);
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  // Two scenarios from the same config agree on a full street-level run.
+  auto cfg = scenario::small_config(/*seed=*/321);
+  cfg.cache_dir = "";
+  const scenario::Scenario s1(cfg);
+  const scenario::Scenario s2(cfg);
+  const core::StreetLevel a(s1), b(s2);
+  const auto ra = a.geolocate(4);
+  const auto rb = b.geolocate(4);
+  EXPECT_EQ(ra.estimate, rb.estimate);
+  EXPECT_EQ(ra.traceroutes, rb.traceroutes);
+  EXPECT_EQ(ra.tier2.websites_tested, rb.tier2.websites_tested);
+}
+
+}  // namespace
+}  // namespace geoloc

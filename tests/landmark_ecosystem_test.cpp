@@ -1,0 +1,132 @@
+#include "landmark/ecosystem.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+#include "test_scenario.h"
+
+namespace geoloc::landmark {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+const WebEcosystem& eco() { return small_scenario().web(); }
+
+TEST(Ecosystem, GeneratesWebsites) {
+  EXPECT_GT(eco().total_count(), 10'000u);
+  EXPECT_GT(eco().passing_count(), 100u);
+}
+
+TEST(Ecosystem, PassRateIsAFewPercent) {
+  // Paper Section 5.2.2: 2.5% of tested websites pass the locally-hosted
+  // tests; our ecosystem is calibrated to the same order.
+  const double rate = static_cast<double>(eco().passing_count()) /
+                      static_cast<double>(eco().total_count());
+  EXPECT_GT(rate, 0.01);
+  EXPECT_LT(rate, 0.10);
+}
+
+TEST(Ecosystem, PassingImpliesAllThreeTestsPass) {
+  const auto& s = small_scenario();
+  const auto& mapping = s.mapping();
+  for (const Website& w : eco().websites()) {
+    const bool zip_ok = w.recorded_zip == mapping.zone_of(w.poi_location);
+    const bool expected = zip_ok && !w.chain && !w.detected_nonlocal;
+    EXPECT_EQ(w.passes_tests, expected) << "website " << w.id;
+  }
+}
+
+TEST(Ecosystem, PassingSitesHaveServers) {
+  for (const Website& w : eco().websites()) {
+    if (w.passes_tests) {
+      ASSERT_NE(w.server, sim::kInvalidHost);
+      EXPECT_EQ(small_scenario().world().host(w.server).kind,
+                sim::HostKind::WebServer);
+    } else {
+      EXPECT_EQ(w.server, sim::kInvalidHost);
+    }
+  }
+}
+
+TEST(Ecosystem, LocalServersSitAtThePoi) {
+  const auto& world = small_scenario().world();
+  for (const Website& w : eco().websites()) {
+    if (!w.passes_tests || w.hosting != HostingType::Local) continue;
+    EXPECT_LT(geo::distance_km(world.host(w.server).true_location,
+                               w.poi_location),
+              0.001);
+  }
+}
+
+TEST(Ecosystem, FalseLandmarksServeFromFarAway) {
+  // CDN/remote sites that slipped through the tests must generally serve
+  // from far away — they are the poison in the tier-3 mapping.
+  const auto& world = small_scenario().world();
+  int false_landmarks = 0, far_served = 0;
+  for (const Website& w : eco().websites()) {
+    if (!w.passes_tests || w.hosting == HostingType::Local) continue;
+    ++false_landmarks;
+    if (geo::distance_km(world.host(w.server).true_location, w.poi_location) >
+        50.0) {
+      ++far_served;
+    }
+  }
+  ASSERT_GT(false_landmarks, 0);
+  EXPECT_GT(static_cast<double>(far_served) / false_landmarks, 0.5);
+}
+
+TEST(Ecosystem, HostingMixMatchesConfig) {
+  const auto& cfg = small_scenario().config().web;
+  std::size_t local = 0, cdn = 0, remote = 0;
+  for (const Website& w : eco().websites()) {
+    switch (w.hosting) {
+      case HostingType::Local: ++local; break;
+      case HostingType::Cdn: ++cdn; break;
+      case HostingType::RemoteDatacenter: ++remote; break;
+    }
+  }
+  const double n = static_cast<double>(eco().total_count());
+  EXPECT_NEAR(local / n, cfg.local_share, 0.02);
+  EXPECT_NEAR(cdn / n, cfg.cdn_share, 0.02);
+  EXPECT_NEAR(remote / n, 1.0 - cfg.local_share - cfg.cdn_share, 0.02);
+}
+
+TEST(Ecosystem, WebsitesInZipIndexIsConsistent) {
+  int checked = 0;
+  for (const Website& w : eco().websites()) {
+    const auto in_zip = eco().websites_in_zip(w.recorded_zip);
+    EXPECT_NE(std::find(in_zip.begin(), in_zip.end(), w.id), in_zip.end());
+    if (++checked > 500) break;
+  }
+  EXPECT_TRUE(eco().websites_in_zip("Z99999x99999").empty());
+}
+
+TEST(Ecosystem, PassingNearFindsOnlyPassingWithinRadius) {
+  const auto& world = small_scenario().world();
+  const geo::GeoPoint paris = [&] {
+    for (const auto& p : world.places()) {
+      if (p.name == "Paris") return p.location;
+    }
+    return geo::GeoPoint{};
+  }();
+  for (WebsiteId id : eco().passing_near(paris, 30.0)) {
+    EXPECT_TRUE(eco().website(id).passes_tests);
+    EXPECT_LE(geo::distance_km(eco().website(id).poi_location, paris), 30.0);
+  }
+}
+
+TEST(Ecosystem, PassingNearRadiusMonotone) {
+  const auto& world = small_scenario().world();
+  const geo::GeoPoint p = world.places()[0].location;
+  EXPECT_LE(eco().passing_near(p, 10.0).size(),
+            eco().passing_near(p, 50.0).size());
+}
+
+TEST(Ecosystem, HostingTypeNames) {
+  EXPECT_EQ(to_string(HostingType::Local), "local");
+  EXPECT_EQ(to_string(HostingType::Cdn), "cdn");
+  EXPECT_EQ(to_string(HostingType::RemoteDatacenter), "remote");
+}
+
+}  // namespace
+}  // namespace geoloc::landmark

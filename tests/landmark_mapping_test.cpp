@@ -1,0 +1,86 @@
+#include "landmark/mapping_service.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "geo/geodesy.h"
+
+namespace geoloc::landmark {
+namespace {
+
+TEST(MappingService, SamePointSameZone) {
+  MappingService m;
+  const geo::GeoPoint p{48.8566, 2.3522};
+  EXPECT_EQ(m.zone_of(p), m.zone_of(p));
+}
+
+TEST(MappingService, NearbyPointsShareZoneFarPointsDoNot) {
+  MappingService m;
+  const geo::GeoPoint p{48.8566, 2.3522};
+  const geo::GeoPoint near = geo::destination(p, 0.0, 0.2);
+  const geo::GeoPoint far = geo::destination(p, 0.0, 50.0);
+  // 0.2 km almost always stays within a ~5 km cell (cell-straddling pairs
+  // exist, but not for this fixed point).
+  EXPECT_EQ(m.zone_of(p), m.zone_of(near));
+  EXPECT_NE(m.zone_of(p), m.zone_of(far));
+}
+
+TEST(MappingService, ZoneFormat) {
+  MappingService m;
+  const std::string z = m.zone_of(geo::GeoPoint{0.0, 0.0});
+  EXPECT_EQ(z.size(), 12u);
+  EXPECT_EQ(z[0], 'Z');
+  EXPECT_EQ(z[6], 'x');
+}
+
+TEST(MappingService, ReverseGeocodeCountsQueries) {
+  MappingService m;
+  EXPECT_EQ(m.query_count(), 0u);
+  (void)m.reverse_geocode(geo::GeoPoint{10.0, 10.0});
+  (void)m.reverse_geocode(geo::GeoPoint{11.0, 11.0});
+  EXPECT_EQ(m.query_count(), 2u);
+  (void)m.zone_of(geo::GeoPoint{12.0, 12.0});  // internal use: not counted
+  EXPECT_EQ(m.query_count(), 2u);
+  m.reset_query_count();
+  EXPECT_EQ(m.query_count(), 0u);
+}
+
+TEST(MappingService, NeighborZonesAreNineAndUnique) {
+  MappingService m;
+  const std::string z = m.zone_of(geo::GeoPoint{48.85, 2.35});
+  const auto zones = m.neighbor_zones(z);
+  EXPECT_EQ(zones.size(), 9u);
+  const std::set<std::string> unique(zones.begin(), zones.end());
+  EXPECT_EQ(unique.size(), 9u);
+  EXPECT_NE(std::find(zones.begin(), zones.end(), z), zones.end());
+}
+
+TEST(MappingService, NeighborZonesCoverAdjacentPoints) {
+  MappingService m;
+  const geo::GeoPoint p{48.85, 2.35};
+  const auto zones = m.neighbor_zones(m.zone_of(p));
+  // A point ~4 km away lands in one of the 9 zones.
+  const std::string other = m.zone_of(geo::destination(p, 45.0, 4.0));
+  EXPECT_NE(std::find(zones.begin(), zones.end(), other), zones.end());
+}
+
+TEST(MappingService, MalformedZoneFallsBack) {
+  MappingService m;
+  const auto zones = m.neighbor_zones("garbage");
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_EQ(zones[0], "garbage");
+}
+
+TEST(MappingService, CellSizeIsConfigurable) {
+  MappingService coarse{0.5};
+  MappingService fine{0.01};
+  // Off cell boundaries: 40.0/-74.0 sits exactly on a 0.5-degree edge.
+  const geo::GeoPoint p{40.13, -74.12};
+  const geo::GeoPoint q = geo::destination(p, 90.0, 3.0);
+  EXPECT_EQ(coarse.zone_of(p), coarse.zone_of(q));
+  EXPECT_NE(fine.zone_of(p), fine.zone_of(q));
+}
+
+}  // namespace
+}  // namespace geoloc::landmark

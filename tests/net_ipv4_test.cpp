@@ -1,0 +1,107 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+namespace geoloc::net {
+namespace {
+
+TEST(IPv4Address, ParseValid) {
+  const auto a = IPv4Address::parse("192.168.1.42");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->octet(0), 192);
+  EXPECT_EQ(a->octet(1), 168);
+  EXPECT_EQ(a->octet(2), 1);
+  EXPECT_EQ(a->octet(3), 42);
+  EXPECT_EQ(a->to_string(), "192.168.1.42");
+}
+
+TEST(IPv4Address, ParseBoundaries) {
+  EXPECT_TRUE(IPv4Address::parse("0.0.0.0").has_value());
+  EXPECT_TRUE(IPv4Address::parse("255.255.255.255").has_value());
+}
+
+TEST(IPv4Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPv4Address::parse("").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(IPv4Address::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.x").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1..2.3").has_value());
+  EXPECT_FALSE(IPv4Address::parse(" 1.2.3.4").has_value());
+  EXPECT_FALSE(IPv4Address::parse("1.2.3.4 ").has_value());
+  EXPECT_FALSE(IPv4Address::parse("-1.2.3.4").has_value());
+}
+
+TEST(IPv4Address, RoundTripsThroughValue) {
+  const IPv4Address a{10, 20, 30, 40};
+  EXPECT_EQ(IPv4Address{a.value()}, a);
+  EXPECT_EQ(IPv4Address::parse(a.to_string()), a);
+}
+
+TEST(IPv4Address, Ordering) {
+  EXPECT_LT(IPv4Address(1, 0, 0, 0), IPv4Address(2, 0, 0, 0));
+  EXPECT_LT(IPv4Address(1, 0, 0, 1), IPv4Address(1, 0, 1, 0));
+}
+
+TEST(Prefix, MasksHostBits) {
+  const Prefix p{IPv4Address{192, 168, 1, 42}, 24};
+  EXPECT_EQ(p.network().to_string(), "192.168.1.0");
+  EXPECT_EQ(p.length(), 24);
+  EXPECT_EQ(p.to_string(), "192.168.1.0/24");
+}
+
+TEST(Prefix, ContainsAddresses) {
+  const Prefix p{IPv4Address{10, 0, 0, 0}, 8};
+  EXPECT_TRUE(p.contains(IPv4Address(10, 200, 3, 4)));
+  EXPECT_FALSE(p.contains(IPv4Address(11, 0, 0, 0)));
+}
+
+TEST(Prefix, ContainsPrefixes) {
+  const Prefix p16{IPv4Address{10, 1, 0, 0}, 16};
+  const Prefix p24{IPv4Address{10, 1, 2, 0}, 24};
+  EXPECT_TRUE(p16.contains(p24));
+  EXPECT_FALSE(p24.contains(p16));
+  EXPECT_TRUE(p16.contains(p16));
+}
+
+TEST(Prefix, ZeroLengthCoversEverything) {
+  const Prefix all{IPv4Address{}, 0};
+  EXPECT_TRUE(all.contains(IPv4Address(255, 255, 255, 255)));
+  EXPECT_EQ(all.size(), 1ULL << 32);
+}
+
+TEST(Prefix, SizeAndAddressAt) {
+  const Prefix p{IPv4Address{10, 0, 0, 0}, 24};
+  EXPECT_EQ(p.size(), 256u);
+  EXPECT_EQ(p.address_at(0).to_string(), "10.0.0.0");
+  EXPECT_EQ(p.address_at(255).to_string(), "10.0.0.255");
+}
+
+TEST(Prefix, ParseValidAndInvalid) {
+  const auto p = Prefix::parse("172.16.0.0/12");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 12);
+  EXPECT_FALSE(Prefix::parse("172.16.0.0").has_value());
+  EXPECT_FALSE(Prefix::parse("172.16.0.0/33").has_value());
+  EXPECT_FALSE(Prefix::parse("172.16.0.0/x").has_value());
+  EXPECT_FALSE(Prefix::parse("999.16.0.0/8").has_value());
+}
+
+TEST(Prefix, ParseNormalizesHostBits) {
+  const auto p = Prefix::parse("192.168.1.42/24");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->network().to_string(), "192.168.1.0");
+}
+
+TEST(Slash24, OfAddress) {
+  const Prefix p = slash24_of(IPv4Address(8, 8, 8, 8));
+  EXPECT_EQ(p.to_string(), "8.8.8.0/24");
+}
+
+TEST(Asn, Comparison) {
+  EXPECT_EQ((Asn{100}), (Asn{100}));
+  EXPECT_LT((Asn{100}), (Asn{200}));
+}
+
+}  // namespace
+}  // namespace geoloc::net

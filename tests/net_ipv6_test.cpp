@@ -1,0 +1,111 @@
+#include "net/ipv6.h"
+
+#include <gtest/gtest.h>
+
+namespace geoloc::net {
+namespace {
+
+TEST(IPv6Address, ParseFullForm) {
+  const auto a =
+      IPv6Address::parse("2001:0db8:0000:0000:0000:0000:0000:0001");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  EXPECT_EQ(a->group(7), 0x0001);
+}
+
+TEST(IPv6Address, ParseCompressedForms) {
+  EXPECT_EQ(IPv6Address::parse("::"), (IPv6Address{0, 0}));
+  EXPECT_EQ(IPv6Address::parse("::1"), (IPv6Address{0, 1}));
+  const auto a = IPv6Address::parse("2001:db8::1");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->group(0), 0x2001);
+  EXPECT_EQ(a->group(1), 0x0db8);
+  EXPECT_EQ(a->group(7), 1);
+  const auto b = IPv6Address::parse("fe80::");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->group(0), 0xfe80);
+  EXPECT_EQ(b->lo(), 0u);
+}
+
+TEST(IPv6Address, ParseRejectsMalformed) {
+  EXPECT_FALSE(IPv6Address::parse("").has_value());
+  EXPECT_FALSE(IPv6Address::parse(":::").has_value());
+  EXPECT_FALSE(IPv6Address::parse("1:2:3").has_value());
+  EXPECT_FALSE(IPv6Address::parse("1:2:3:4:5:6:7:8:9").has_value());
+  EXPECT_FALSE(IPv6Address::parse("2001:db8::1::2").has_value());
+  EXPECT_FALSE(IPv6Address::parse("g001::").has_value());
+  EXPECT_FALSE(IPv6Address::parse("12345::").has_value());
+  EXPECT_FALSE(IPv6Address::parse("1:2:3:4:5:6:7:").has_value());
+}
+
+TEST(IPv6Address, ToStringCanonical) {
+  EXPECT_EQ(IPv6Address(0, 0).to_string(), "::");
+  EXPECT_EQ(IPv6Address(0, 1).to_string(), "::1");
+  EXPECT_EQ(IPv6Address::parse("2001:db8::1")->to_string(), "2001:db8::1");
+  EXPECT_EQ(IPv6Address::parse("fe80::")->to_string(), "fe80::");
+  EXPECT_EQ(IPv6Address::parse("1:2:3:4:5:6:7:8")->to_string(),
+            "1:2:3:4:5:6:7:8");
+  // Longest zero run wins; a single zero group is not compressed.
+  EXPECT_EQ(IPv6Address::parse("2001:0:0:1:0:0:0:1")->to_string(),
+            "2001:0:0:1::1");
+  EXPECT_EQ(IPv6Address::parse("1:0:2:3:4:5:6:7")->to_string(),
+            "1:0:2:3:4:5:6:7");
+}
+
+TEST(IPv6Address, RoundTrip) {
+  for (const char* text :
+       {"::", "::1", "2001:db8::1", "fe80::1234", "1:2:3:4:5:6:7:8",
+        "2001:db8:85a3::8a2e:370:7334", "ff02::2"}) {
+    const auto a = IPv6Address::parse(text);
+    ASSERT_TRUE(a.has_value()) << text;
+    EXPECT_EQ(IPv6Address::parse(a->to_string()), a) << text;
+  }
+}
+
+TEST(IPv6Address, Ordering) {
+  EXPECT_LT(*IPv6Address::parse("::1"), *IPv6Address::parse("::2"));
+  EXPECT_LT(*IPv6Address::parse("2001::"), *IPv6Address::parse("2002::"));
+}
+
+TEST(Prefix6, MasksAndContains) {
+  const auto p = Prefix6::parse("2001:db8::/32");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 32);
+  EXPECT_TRUE(p->contains(*IPv6Address::parse("2001:db8:1234::1")));
+  EXPECT_FALSE(p->contains(*IPv6Address::parse("2001:db9::1")));
+  EXPECT_EQ(p->to_string(), "2001:db8::/32");
+}
+
+TEST(Prefix6, MaskingBelow64Bits) {
+  const Prefix6 p{*IPv6Address::parse("2001:db8::ffff"), 96};
+  EXPECT_EQ(p.network().to_string(), "2001:db8::");
+  // Differs only in the host part (last 32 bits): contained.
+  EXPECT_TRUE(p.contains(*IPv6Address::parse("2001:db8::abcd")));
+  // Differs inside the /96 (bit 95): not contained.
+  EXPECT_FALSE(p.contains(*IPv6Address::parse("2001:db8::1:0:0")));
+}
+
+TEST(Prefix6, EdgeLengths) {
+  const Prefix6 all{*IPv6Address::parse("ffff::"), 0};
+  EXPECT_TRUE(all.contains(*IPv6Address::parse("::1")));
+  EXPECT_EQ(all.size_log2(), 128);
+  const Prefix6 host{*IPv6Address::parse("2001:db8::1"), 128};
+  EXPECT_TRUE(host.contains(*IPv6Address::parse("2001:db8::1")));
+  EXPECT_FALSE(host.contains(*IPv6Address::parse("2001:db8::2")));
+  EXPECT_EQ(host.size_log2(), 0);
+}
+
+TEST(Prefix6, ParseRejectsBadLengths) {
+  EXPECT_FALSE(Prefix6::parse("2001:db8::/129").has_value());
+  EXPECT_FALSE(Prefix6::parse("2001:db8::").has_value());
+  EXPECT_FALSE(Prefix6::parse("2001:db8::/x").has_value());
+}
+
+TEST(Prefix6, SizeLog2) {
+  EXPECT_EQ(Prefix6::parse("::/64")->size_log2(), 64);
+  EXPECT_EQ(Prefix6::parse("::/48")->size_log2(), 80);
+}
+
+}  // namespace
+}  // namespace geoloc::net

@@ -1,0 +1,92 @@
+#include "net/prefix_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace geoloc::net {
+namespace {
+
+IPv4Address ip(const char* s) { return *IPv4Address::parse(s); }
+Prefix pfx(const char* s) { return *Prefix::parse(s); }
+
+TEST(PrefixTable, EmptyLookupMisses) {
+  PrefixTable<int> t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_FALSE(t.lookup(ip("1.2.3.4")).has_value());
+}
+
+TEST(PrefixTable, ExactMatch) {
+  PrefixTable<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  const auto hit = t.lookup(ip("10.1.2.3"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->second, 1);
+  EXPECT_EQ(hit->first.to_string(), "10.0.0.0/8");
+}
+
+TEST(PrefixTable, LongestPrefixWins) {
+  PrefixTable<std::string> t;
+  t.insert(pfx("10.0.0.0/8"), "eight");
+  t.insert(pfx("10.1.0.0/16"), "sixteen");
+  t.insert(pfx("10.1.2.0/24"), "twentyfour");
+  EXPECT_EQ(t.lookup(ip("10.1.2.3"))->second, "twentyfour");
+  EXPECT_EQ(t.lookup(ip("10.1.9.9"))->second, "sixteen");
+  EXPECT_EQ(t.lookup(ip("10.9.9.9"))->second, "eight");
+  EXPECT_FALSE(t.lookup(ip("11.0.0.0")).has_value());
+}
+
+TEST(PrefixTable, DefaultRouteMatchesEverything) {
+  PrefixTable<int> t;
+  t.insert(pfx("0.0.0.0/0"), 42);
+  EXPECT_EQ(t.lookup(ip("200.100.50.25"))->second, 42);
+}
+
+TEST(PrefixTable, HostRoute) {
+  PrefixTable<int> t;
+  t.insert(pfx("1.2.3.4/32"), 7);
+  EXPECT_TRUE(t.lookup(ip("1.2.3.4")).has_value());
+  EXPECT_FALSE(t.lookup(ip("1.2.3.5")).has_value());
+}
+
+TEST(PrefixTable, InsertOverwrites) {
+  PrefixTable<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("10.0.0.0/8"), 2);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.lookup(ip("10.0.0.1"))->second, 2);
+}
+
+TEST(PrefixTable, FindExactDoesNotLpm) {
+  PrefixTable<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  EXPECT_NE(t.find_exact(pfx("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(t.find_exact(pfx("10.1.0.0/16")), nullptr);
+}
+
+TEST(PrefixTable, ForEachVisitsAll) {
+  PrefixTable<int> t;
+  t.insert(pfx("10.0.0.0/8"), 1);
+  t.insert(pfx("192.168.0.0/16"), 2);
+  t.insert(pfx("10.1.0.0/16"), 3);
+  std::vector<std::string> seen;
+  t.for_each([&](const Prefix& p, int) { seen.push_back(p.to_string()); });
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(PrefixTable, ManyDisjointPrefixes) {
+  PrefixTable<std::uint32_t> t;
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    t.insert(Prefix{IPv4Address{(i + 256) << 16}, 16}, i);
+  }
+  EXPECT_EQ(t.size(), 500u);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    const auto hit = t.lookup(IPv4Address{((i + 256) << 16) | 0x1234});
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->second, i);
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::net

@@ -1,0 +1,66 @@
+#include "sim/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace geoloc::sim {
+namespace {
+
+TEST(CostModel, StartsAtZero) {
+  CostModel cost;
+  EXPECT_DOUBLE_EQ(cost.elapsed_seconds(), 0.0);
+  EXPECT_EQ(cost.api_rounds(), 0u);
+  EXPECT_EQ(cost.geocode_queries(), 0u);
+  EXPECT_EQ(cost.web_tests(), 0u);
+}
+
+TEST(CostModel, ApiRoundsAccumulate) {
+  CostModel cost;
+  cost.charge_api_round();
+  cost.charge_api_round();
+  EXPECT_EQ(cost.api_rounds(), 2u);
+  EXPECT_DOUBLE_EQ(cost.elapsed_seconds(),
+                   2.0 * cost.config().api_round_seconds);
+}
+
+TEST(CostModel, GeocodeIsRateLimited) {
+  CostModelConfig cfg;
+  cfg.geocode_rate_per_second = 8.0;  // the paper's observed limit
+  CostModel cost(cfg);
+  cost.charge_geocode_queries(878);   // the paper's median per target
+  EXPECT_EQ(cost.geocode_queries(), 878u);
+  EXPECT_NEAR(cost.elapsed_seconds(), 878.0 / 8.0, 1e-9);
+}
+
+TEST(CostModel, WebTestsAmortizedOverParallelism) {
+  CostModelConfig cfg;
+  cfg.dns_query_seconds = 0.1;
+  cfg.wget_seconds = 0.45;
+  cfg.web_test_parallelism = 10;
+  CostModel cost(cfg);
+  cost.charge_web_tests(100);
+  // per test: 0.1 + 2*0.45 = 1.0 s; 100 tests / 10 parallel = 10 s.
+  EXPECT_NEAR(cost.elapsed_seconds(), 10.0, 1e-9);
+  EXPECT_EQ(cost.web_tests(), 100u);
+}
+
+TEST(CostModel, RawSecondsAdd) {
+  CostModel cost;
+  cost.charge_seconds(3.5);
+  cost.charge_seconds(1.5);
+  EXPECT_DOUBLE_EQ(cost.elapsed_seconds(), 5.0);
+}
+
+TEST(CostModel, MixedChargesSum) {
+  CostModel cost;
+  cost.charge_api_round();
+  cost.charge_geocode_queries(80);
+  cost.charge_web_tests(320);
+  const double expected =
+      cost.config().api_round_seconds + 80.0 / cost.config().geocode_rate_per_second +
+      320.0 * (cost.config().dns_query_seconds + 2 * cost.config().wget_seconds) /
+          cost.config().web_test_parallelism;
+  EXPECT_NEAR(cost.elapsed_seconds(), expected, 1e-9);
+}
+
+}  // namespace
+}  // namespace geoloc::sim

@@ -1,0 +1,141 @@
+#include "sim/traceroute.h"
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+
+namespace geoloc::sim {
+namespace {
+
+class TracerouteTest : public ::testing::Test {
+ protected:
+  TracerouteTest() : latency_(world_) {
+    auto gen = world_.rng().fork("tr-test").gen();
+    // Distinct cities at increasing distance from city 0 for path shapes.
+    src_ = make_host(world_.cities()[0], 0x0C000001, gen);
+    same_city_dst_ = make_host(world_.cities()[0], 0x0C000002, gen);
+
+    // Find a mid-range (~1000-3000 km) and a far (> 6000 km) city.
+    const geo::GeoPoint origin = world_.place(world_.cities()[0]).location;
+    PlaceId mid = world_.cities()[0], far = world_.cities()[0];
+    for (PlaceId c : world_.cities()) {
+      const double d = geo::distance_km(world_.place(c).location, origin);
+      if (d > 1'000.0 && d < 3'000.0) mid = c;
+      if (d > 6'000.0) far = c;
+    }
+    mid_dst_ = make_host(mid, 0x0C000003, gen);
+    far_dst_ = make_host(far, 0x0C000004, gen);
+    tracer_ = std::make_unique<TracerouteEngine>(world_, latency_);
+  }
+
+  HostId make_host(PlaceId place, std::uint32_t addr, util::Pcg32& gen) {
+    Host h;
+    h.addr = net::IPv4Address{addr};
+    h.place = place;
+    h.true_location = world_.sample_location(place, 3.0, gen);
+    h.reported_location = h.true_location;
+    h.last_mile_ms = 0.3;
+    world_.router_of(place);
+    return world_.add_host(h);
+  }
+
+  World world_;
+  LatencyModel latency_;
+  std::unique_ptr<TracerouteEngine> tracer_;
+  HostId src_ = kInvalidHost;
+  HostId same_city_dst_ = kInvalidHost;
+  HostId mid_dst_ = kInvalidHost;
+  HostId far_dst_ = kInvalidHost;
+};
+
+TEST_F(TracerouteTest, ReachesDestinationWithFinalHop) {
+  auto gen = world_.rng().fork("g1").gen();
+  const Traceroute tr = tracer_->run(src_, far_dst_, gen);
+  ASSERT_FALSE(tr.hops.empty());
+  EXPECT_TRUE(tr.reached);
+  EXPECT_EQ(tr.hops.back().host, far_dst_);
+  EXPECT_TRUE(tr.destination_rtt_ms().has_value());
+}
+
+TEST_F(TracerouteTest, SameCityPathIsShort) {
+  auto gen = world_.rng().fork("g2").gen();
+  const Traceroute tr = tracer_->run(src_, same_city_dst_, gen);
+  // access router + destination (both hosts share the place).
+  EXPECT_LE(tr.hops.size(), 3u);
+}
+
+TEST_F(TracerouteTest, LongHaulHasWaypoints) {
+  auto gen = world_.rng().fork("g3").gen();
+  const Traceroute near = tracer_->run(src_, mid_dst_, gen);
+  const Traceroute far = tracer_->run(src_, far_dst_, gen);
+  EXPECT_GE(far.hops.size(), near.hops.size());
+  EXPECT_GE(far.hops.size(), 4u);  // src router, waypoint(s), dst router, dst
+}
+
+TEST_F(TracerouteTest, PathRoutersDeterministic) {
+  EXPECT_EQ(tracer_->path_routers(src_, far_dst_),
+            tracer_->path_routers(src_, far_dst_));
+}
+
+TEST_F(TracerouteTest, RoutersAreRouterHosts) {
+  for (HostId r : tracer_->path_routers(src_, far_dst_)) {
+    EXPECT_EQ(world_.host(r).kind, HostKind::Router);
+  }
+}
+
+TEST_F(TracerouteTest, SharedPrefixForSameCityDestinations) {
+  // Two destinations in the same city: the paths from one VP must share
+  // their prefix up to that city's router — the structural assumption of
+  // the street-level D1/D2 computation (paper Figure 1c).
+  auto gen = world_.rng().fork("g4").gen();
+  Host extra;
+  extra.addr = net::IPv4Address{0x0C000005};
+  extra.place = world_.host(far_dst_).place;
+  extra.true_location =
+      world_.sample_location(extra.place, 3.0, gen);
+  extra.reported_location = extra.true_location;
+  const HostId sibling = world_.add_host(extra);
+
+  const Traceroute t1 = tracer_->run(src_, far_dst_, gen);
+  const Traceroute t2 = tracer_->run(src_, sibling, gen);
+  const auto common = TracerouteEngine::last_common_hop(t1, t2);
+  ASSERT_TRUE(common.has_value());
+  // The last common hop is the destination city's router.
+  EXPECT_EQ(world_.host(t1.hops[*common].host).place,
+            world_.host(far_dst_).place);
+}
+
+TEST_F(TracerouteTest, LastCommonHopNoneForDisjointPaths) {
+  Traceroute a, b;
+  a.hops.push_back({1, net::IPv4Address{1u}, 1.0, true});
+  b.hops.push_back({2, net::IPv4Address{2u}, 1.0, true});
+  EXPECT_FALSE(TracerouteEngine::last_common_hop(a, b).has_value());
+}
+
+TEST_F(TracerouteTest, LastCommonHopSkipsSilentHops) {
+  Traceroute a, b;
+  a.hops.push_back({1, net::IPv4Address{1u}, 1.0, true});
+  a.hops.push_back({2, net::IPv4Address{2u}, 0.0, false});
+  b.hops.push_back({1, net::IPv4Address{1u}, 1.2, true});
+  b.hops.push_back({2, net::IPv4Address{2u}, 1.5, true});
+  const auto common = TracerouteEngine::last_common_hop(a, b);
+  ASSERT_TRUE(common.has_value());
+  EXPECT_EQ(*common, 0u);  // hop 1 responded in both; hop 2 silent in `a`
+}
+
+TEST_F(TracerouteTest, SomeHopsGoSilent) {
+  auto gen = world_.rng().fork("g5").gen();
+  int silent = 0, total = 0;
+  for (int i = 0; i < 300; ++i) {
+    const Traceroute tr = tracer_->run(src_, far_dst_, gen);
+    for (const TraceHop& h : tr.hops) {
+      ++total;
+      silent += h.responded ? 0 : 1;
+    }
+  }
+  EXPECT_GT(silent, 0);
+  EXPECT_LT(static_cast<double>(silent) / total, 0.10);
+}
+
+}  // namespace
+}  // namespace geoloc::sim

@@ -1,0 +1,3 @@
+#include <gtest/gtest.h>
+
+TEST(Smoke, BuildsAndRuns) { SUCCEED(); }

@@ -1,0 +1,31 @@
+// Shared scenario fixtures. Building even the small scenario costs ~0.2 s
+// and its RTT matrices a couple of seconds, so tests share one instance per
+// process (read-only use only).
+#pragma once
+
+#include "scenario/presets.h"
+#include "scenario/scenario.h"
+
+namespace geoloc::testing {
+
+/// The miniature scenario (~100 anchors / 800 probes), shared by all tests.
+inline const scenario::Scenario& small_scenario() {
+  static const scenario::Scenario s = [] {
+    auto cfg = scenario::small_config();
+    cfg.cache_dir = "";  // tests never touch the disk cache
+    return scenario::Scenario(cfg);
+  }();
+  return s;
+}
+
+/// A second small scenario with a different seed, for determinism tests.
+inline const scenario::Scenario& small_scenario_alt_seed() {
+  static const scenario::Scenario s = [] {
+    auto cfg = scenario::small_config(/*seed=*/777);
+    cfg.cache_dir = "";
+    return scenario::Scenario(cfg);
+  }();
+  return s;
+}
+
+}  // namespace geoloc::testing

@@ -1,0 +1,70 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace geoloc::util {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(CsvEscape, PlainFieldsUntouched) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape("42.5"), "42.5");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriter, WritesRows) {
+  const std::string path = ::testing::TempDir() + "csv-test.csv";
+  {
+    CsvWriter w(path);
+    ASSERT_TRUE(w.ok());
+    w.row({"name", "value"});
+    w.row({"a,b", "2"});
+    w.numeric_row({1.5, 2.25});
+    EXPECT_EQ(w.rows_written(), 3u);
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content, "name,value\n\"a,b\",2\n1.5,2.25\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, BadPathReportsNotOk) {
+  CsvWriter w("/nonexistent-dir/file.csv");
+  EXPECT_FALSE(w.ok());
+  w.row({"x"});  // must not crash
+  EXPECT_EQ(w.rows_written(), 0u);
+}
+
+TEST(CsvExportEnv, RespectsEnvironment) {
+  unsetenv("GEOLOC_EXPORT_DIR");
+  EXPECT_FALSE(export_dir_from_env().has_value());
+  EXPECT_FALSE(maybe_csv("test").has_value());
+
+  const std::string dir = ::testing::TempDir() + "geoloc-export-test";
+  setenv("GEOLOC_EXPORT_DIR", dir.c_str(), 1);
+  const auto got = export_dir_from_env();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(*got, dir);
+  auto w = maybe_csv("probe");
+  ASSERT_TRUE(w.has_value());
+  EXPECT_TRUE(w->ok());
+  unsetenv("GEOLOC_EXPORT_DIR");
+}
+
+}  // namespace
+}  // namespace geoloc::util

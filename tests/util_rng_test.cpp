@@ -1,0 +1,168 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace geoloc::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  std::uint64_t s1 = 42, s2 = 42;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+TEST(SplitMix64, AdvancesState) {
+  std::uint64_t s = 42;
+  const auto a = splitmix64(s);
+  const auto b = splitmix64(s);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashLabel, DistinctLabelsDistinctHashes) {
+  EXPECT_NE(hash_label("latency"), hash_label("catalog"));
+  EXPECT_NE(hash_label("a"), hash_label("b"));
+  EXPECT_EQ(hash_label("latency"), hash_label("latency"));
+}
+
+TEST(Pcg32, SameSeedSameSequence) {
+  Pcg32 a{123}, b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a{1}, b{2};
+  int diff = 0;
+  for (int i = 0; i < 32; ++i) diff += a() != b();
+  EXPECT_GT(diff, 24);
+}
+
+TEST(Pcg32, UniformInUnitInterval) {
+  Pcg32 g{7};
+  for (int i = 0; i < 10'000; ++i) {
+    const double u = g.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Pcg32, UniformMeanIsHalf) {
+  Pcg32 g{11};
+  double sum = 0.0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) sum += g.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Pcg32, UniformRangeRespectsBounds) {
+  Pcg32 g{13};
+  for (int i = 0; i < 1'000; ++i) {
+    const double u = g.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Pcg32, BoundedStaysInBound) {
+  Pcg32 g{17};
+  for (int i = 0; i < 10'000; ++i) EXPECT_LT(g.bounded(10), 10u);
+}
+
+TEST(Pcg32, BoundedCoversAllValues) {
+  Pcg32 g{19};
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(g.bounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Pcg32, IndexHandlesLargeN) {
+  Pcg32 g{23};
+  const std::size_t n = std::size_t{1} << 33;
+  for (int i = 0; i < 100; ++i) EXPECT_LT(g.index(n), n);
+}
+
+TEST(Pcg32, ChanceExtremes) {
+  Pcg32 g{29};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(g.chance(0.0));
+    EXPECT_TRUE(g.chance(1.0));
+  }
+}
+
+TEST(Pcg32, ChanceMatchesProbability) {
+  Pcg32 g{31};
+  int hits = 0;
+  constexpr int kN = 100'000;
+  for (int i = 0; i < kN; ++i) hits += g.chance(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Pcg32, NormalMomentsMatch) {
+  Pcg32 g{37};
+  constexpr int kN = 200'000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = g.normal();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sq / kN, 1.0, 0.03);
+}
+
+TEST(Pcg32, ExponentialMeanAndPositivity) {
+  Pcg32 g{41};
+  constexpr int kN = 100'000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double x = g.exponential(2.5);
+    ASSERT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kN, 2.5, 0.05);
+}
+
+TEST(Pcg32, LognormalMedian) {
+  Pcg32 g{43};
+  std::vector<double> xs;
+  for (int i = 0; i < 50'001; ++i) xs.push_back(g.lognormal(0.5, 0.3));
+  std::nth_element(xs.begin(), xs.begin() + 25'000, xs.end());
+  EXPECT_NEAR(xs[25'000], std::exp(0.5), 0.03);
+}
+
+TEST(Pcg32, ParetoRespectsScale) {
+  Pcg32 g{47};
+  for (int i = 0; i < 10'000; ++i) EXPECT_GE(g.pareto(1.5, 2.0), 1.5);
+}
+
+TEST(RngStream, NamedForksAreIndependent) {
+  RngStream root{99};
+  auto a = root.fork("alpha").gen();
+  auto b = root.fork("beta").gen();
+  EXPECT_NE(a(), b());
+}
+
+TEST(RngStream, ForkIsOrderIndependent) {
+  RngStream root{99};
+  const auto a1 = root.fork("alpha").seed();
+  (void)root.fork("gamma");
+  const auto a2 = root.fork("alpha").seed();
+  EXPECT_EQ(a1, a2);
+}
+
+TEST(RngStream, IndexedForksDiffer) {
+  RngStream root{5};
+  EXPECT_NE(root.fork("probe", 1).seed(), root.fork("probe", 2).seed());
+  EXPECT_EQ(root.fork("probe", 1).seed(), root.fork("probe", 1).seed());
+}
+
+TEST(RngStream, DifferentRootsDiverge) {
+  EXPECT_NE(RngStream{1}.fork("x").seed(), RngStream{2}.fork("x").seed());
+}
+
+}  // namespace
+}  // namespace geoloc::util

@@ -1,0 +1,156 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace geoloc::util {
+namespace {
+
+TEST(Mean, Basics) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stddev, KnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(stddev(xs), 2.138, 1e-3);  // sample (n-1) stddev
+}
+
+TEST(Stddev, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{5.0}), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 1.75);
+}
+
+TEST(Percentile, UnsortedInputIsFine) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 2.5);
+}
+
+TEST(Percentile, EmptyIsNaN) {
+  EXPECT_TRUE(std::isnan(percentile(std::vector<double>{}, 50.0)));
+}
+
+TEST(Median, OddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 10.0}), 2.5);
+}
+
+TEST(MinMax, Basics) {
+  const std::vector<double> xs{3.0, -1.0, 2.0};
+  EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_of(xs), 3.0);
+  EXPECT_TRUE(std::isnan(min_of(std::vector<double>{})));
+}
+
+TEST(FractionBelow, InclusiveThreshold) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(xs, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(fraction_below(std::vector<double>{}, 1.0), 0.0);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  const std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, NoVarianceIsZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> flat{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Pearson, MismatchedSizesReturnZero) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Pearson, IndependentSamplesNearZero) {
+  // Deterministic pseudo-random pair with no relation.
+  std::vector<double> xs, ys;
+  std::uint64_t s = 1;
+  for (int i = 0; i < 2'000; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    xs.push_back(static_cast<double>((s >> 33) & 0xffff));
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    ys.push_back(static_cast<double>((s >> 33) & 0xffff));
+  }
+  EXPECT_LT(std::abs(pearson(xs, ys)), 0.08);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 50; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 * i - 7.0);
+  }
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.slope, 3.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, DegenerateX) {
+  const std::vector<double> xs{2.0, 2.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+}
+
+TEST(EmpiricalCdf, SortedAndNormalized) {
+  auto cdf = empirical_cdf({3.0, 1.0, 2.0});
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].value, 3.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative, 1.0);
+  EXPECT_NEAR(cdf[0].cumulative, 1.0 / 3.0, 1e-12);
+}
+
+TEST(DecimatedCdf, KeepsEndpointsAndBound) {
+  std::vector<double> xs;
+  for (int i = 0; i < 1'000; ++i) xs.push_back(i);
+  auto cdf = decimated_cdf(xs, 11);
+  ASSERT_EQ(cdf.size(), 11u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 0.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 999.0);
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative, 1.0);
+}
+
+TEST(DecimatedCdf, SmallInputUntouched) {
+  auto cdf = decimated_cdf({1.0, 2.0}, 10);
+  EXPECT_EQ(cdf.size(), 2u);
+}
+
+TEST(Summarize, FieldsConsistent) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_LT(s.p25, s.median);
+  EXPECT_LT(s.median, s.p75);
+  EXPECT_LT(s.p75, s.p90);
+  EXPECT_FALSE(to_string(s).empty());
+}
+
+}  // namespace
+}  // namespace geoloc::util

@@ -1,0 +1,88 @@
+// Tests for the text-rendering helpers (tables and ASCII charts).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/ascii_chart.h"
+#include "util/table.h"
+
+namespace geoloc::util {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t{"Demo"};
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t;
+  t.header({"a", "b"});
+  t.row({"longvalue", "x"});
+  const std::string out = t.render();
+  // The 'b' header must start at the same column as 'x'.
+  const auto header_line = out.substr(0, out.find('\n'));
+  const auto b_pos = header_line.find('b');
+  const auto last_line_start = out.rfind('\n', out.size() - 2) + 1;
+  const auto x_pos = out.find('x', last_line_start) - last_line_start;
+  EXPECT_EQ(b_pos, x_pos);
+}
+
+TEST(TextTable, RaggedRowsDoNotCrash) {
+  TextTable t;
+  t.header({"a", "b", "c"});
+  t.row({"only-one"});
+  EXPECT_FALSE(t.render().empty());
+}
+
+TEST(TextTable, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(2.0, 0), "2");
+  EXPECT_EQ(TextTable::pct(0.132, 1), "13.2%");
+}
+
+TEST(AsciiChart, CdfChartContainsLegendAndMarks) {
+  CdfSeries s1{"fast", {1.0, 2.0, 3.0, 4.0}};
+  CdfSeries s2{"slow", {10.0, 20.0, 30.0}};
+  const std::string out = render_cdf_chart({s1, s2});
+  EXPECT_NE(out.find("fast"), std::string::npos);
+  EXPECT_NE(out.find("slow"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, EmptySeriesRenders) {
+  EXPECT_FALSE(render_cdf_chart({}).empty());
+  CdfSeries empty{"none", {}};
+  EXPECT_FALSE(render_cdf_chart({empty}).empty());
+}
+
+TEST(AsciiChart, LinearAxisOption) {
+  ChartOptions opt;
+  opt.log_x = false;
+  opt.x_label = "seconds";
+  CdfSeries s{"t", {0.0, 1.0, 2.0}};
+  const std::string out = render_cdf_chart({s}, opt);
+  EXPECT_NE(out.find("seconds"), std::string::npos);
+}
+
+TEST(AsciiChart, ScatterPlotsPoints) {
+  ScatterSeries s{"pts", {1.0, 10.0, 100.0}, {2.0, 20.0, 200.0}};
+  const std::string out = render_scatter_chart({s});
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("pts"), std::string::npos);
+}
+
+TEST(AsciiChart, ScatterHandlesEmpty) {
+  EXPECT_FALSE(render_scatter_chart({}).empty());
+}
+
+}  // namespace
+}  // namespace geoloc::util
