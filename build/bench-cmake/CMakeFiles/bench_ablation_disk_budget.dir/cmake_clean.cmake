@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_disk_budget"
+  "../bench/bench_ablation_disk_budget.pdb"
+  "CMakeFiles/bench_ablation_disk_budget.dir/bench_ablation_disk_budget.cpp.o"
+  "CMakeFiles/bench_ablation_disk_budget.dir/bench_ablation_disk_budget.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_disk_budget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_landmark_vps"
+  "../bench/bench_ablation_landmark_vps.pdb"
+  "CMakeFiles/bench_ablation_landmark_vps.dir/bench_ablation_landmark_vps.cpp.o"
+  "CMakeFiles/bench_ablation_landmark_vps.dir/bench_ablation_landmark_vps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_landmark_vps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_appendix_b_delay_estimation"
+  "../bench/bench_appendix_b_delay_estimation.pdb"
+  "CMakeFiles/bench_appendix_b_delay_estimation.dir/bench_appendix_b_delay_estimation.cpp.o"
+  "CMakeFiles/bench_appendix_b_delay_estimation.dir/bench_appendix_b_delay_estimation.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendix_b_delay_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

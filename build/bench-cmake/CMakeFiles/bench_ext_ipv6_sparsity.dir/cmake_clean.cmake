@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_ipv6_sparsity"
+  "../bench/bench_ext_ipv6_sparsity.pdb"
+  "CMakeFiles/bench_ext_ipv6_sparsity.dir/bench_ext_ipv6_sparsity.cpp.o"
+  "CMakeFiles/bench_ext_ipv6_sparsity.dir/bench_ext_ipv6_sparsity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_ipv6_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

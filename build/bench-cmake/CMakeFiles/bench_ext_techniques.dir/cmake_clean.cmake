@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_techniques"
+  "../bench/bench_ext_techniques.pdb"
+  "CMakeFiles/bench_ext_techniques.dir/bench_ext_techniques.cpp.o"
+  "CMakeFiles/bench_ext_techniques.dir/bench_ext_techniques.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_techniques.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2a_vps_vs_error"
+  "../bench/bench_fig2a_vps_vs_error.pdb"
+  "CMakeFiles/bench_fig2a_vps_vs_error.dir/bench_fig2a_vps_vs_error.cpp.o"
+  "CMakeFiles/bench_fig2a_vps_vs_error.dir/bench_fig2a_vps_vs_error.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2a_vps_vs_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2c_remove_close_vps"
+  "../bench/bench_fig2c_remove_close_vps.pdb"
+  "CMakeFiles/bench_fig2c_remove_close_vps.dir/bench_fig2c_remove_close_vps.cpp.o"
+  "CMakeFiles/bench_fig2c_remove_close_vps.dir/bench_fig2c_remove_close_vps.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2c_remove_close_vps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3b_two_step"
+  "../bench/bench_fig3b_two_step.pdb"
+  "CMakeFiles/bench_fig3b_two_step.dir/bench_fig3b_two_step.cpp.o"
+  "CMakeFiles/bench_fig3b_two_step.dir/bench_fig3b_two_step.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3b_two_step.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3c_overhead"
+  "../bench/bench_fig3c_overhead.pdb"
+  "CMakeFiles/bench_fig3c_overhead.dir/bench_fig3c_overhead.cpp.o"
+  "CMakeFiles/bench_fig3c_overhead.dir/bench_fig3c_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3c_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

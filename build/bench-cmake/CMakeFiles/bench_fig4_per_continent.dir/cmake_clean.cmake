@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_per_continent"
+  "../bench/bench_fig4_per_continent.pdb"
+  "CMakeFiles/bench_fig4_per_continent.dir/bench_fig4_per_continent.cpp.o"
+  "CMakeFiles/bench_fig4_per_continent.dir/bench_fig4_per_continent.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_per_continent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

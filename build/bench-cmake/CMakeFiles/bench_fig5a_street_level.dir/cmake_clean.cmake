@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5a_street_level"
+  "../bench/bench_fig5a_street_level.pdb"
+  "CMakeFiles/bench_fig5a_street_level.dir/bench_fig5a_street_level.cpp.o"
+  "CMakeFiles/bench_fig5a_street_level.dir/bench_fig5a_street_level.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5a_street_level.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

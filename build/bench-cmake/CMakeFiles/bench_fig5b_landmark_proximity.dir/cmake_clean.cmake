@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5b_landmark_proximity"
+  "../bench/bench_fig5b_landmark_proximity.pdb"
+  "CMakeFiles/bench_fig5b_landmark_proximity.dir/bench_fig5b_landmark_proximity.cpp.o"
+  "CMakeFiles/bench_fig5b_landmark_proximity.dir/bench_fig5b_landmark_proximity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5b_landmark_proximity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

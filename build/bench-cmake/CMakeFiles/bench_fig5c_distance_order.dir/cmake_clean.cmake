@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5c_distance_order"
+  "../bench/bench_fig5c_distance_order.pdb"
+  "CMakeFiles/bench_fig5c_distance_order.dir/bench_fig5c_distance_order.cpp.o"
+  "CMakeFiles/bench_fig5c_distance_order.dir/bench_fig5c_distance_order.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5c_distance_order.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

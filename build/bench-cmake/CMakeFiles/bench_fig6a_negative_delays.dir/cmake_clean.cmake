@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6a_negative_delays"
+  "../bench/bench_fig6a_negative_delays.pdb"
+  "CMakeFiles/bench_fig6a_negative_delays.dir/bench_fig6a_negative_delays.cpp.o"
+  "CMakeFiles/bench_fig6a_negative_delays.dir/bench_fig6a_negative_delays.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6a_negative_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

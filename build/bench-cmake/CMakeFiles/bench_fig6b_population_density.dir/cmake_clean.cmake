@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6b_population_density"
+  "../bench/bench_fig6b_population_density.pdb"
+  "CMakeFiles/bench_fig6b_population_density.dir/bench_fig6b_population_density.cpp.o"
+  "CMakeFiles/bench_fig6b_population_density.dir/bench_fig6b_population_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6b_population_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6c_time_to_geolocate"
+  "../bench/bench_fig6c_time_to_geolocate.pdb"
+  "CMakeFiles/bench_fig6c_time_to_geolocate.dir/bench_fig6c_time_to_geolocate.cpp.o"
+  "CMakeFiles/bench_fig6c_time_to_geolocate.dir/bench_fig6c_time_to_geolocate.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6c_time_to_geolocate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_geodatabases"
+  "../bench/bench_fig7_geodatabases.pdb"
+  "CMakeFiles/bench_fig7_geodatabases.dir/bench_fig7_geodatabases.cpp.o"
+  "CMakeFiles/bench_fig7_geodatabases.dir/bench_fig7_geodatabases.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_geodatabases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_target_density"
+  "../bench/bench_fig8_target_density.pdb"
+  "CMakeFiles/bench_fig8_target_density.dir/bench_fig8_target_density.cpp.o"
+  "CMakeFiles/bench_fig8_target_density.dir/bench_fig8_target_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_target_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

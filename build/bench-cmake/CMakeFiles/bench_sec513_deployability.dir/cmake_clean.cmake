@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec513_deployability"
+  "../bench/bench_sec513_deployability.pdb"
+  "CMakeFiles/bench_sec513_deployability.dir/bench_sec513_deployability.cpp.o"
+  "CMakeFiles/bench_sec513_deployability.dir/bench_sec513_deployability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec513_deployability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

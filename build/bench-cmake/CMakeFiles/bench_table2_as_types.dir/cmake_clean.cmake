@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_as_types"
+  "../bench/bench_table2_as_types.pdb"
+  "CMakeFiles/bench_table2_as_types.dir/bench_table2_as_types.cpp.o"
+  "CMakeFiles/bench_table2_as_types.dir/bench_table2_as_types.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_as_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

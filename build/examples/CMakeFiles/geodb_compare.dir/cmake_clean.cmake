@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geodb_compare.dir/geodb_compare.cpp.o"
+  "CMakeFiles/geodb_compare.dir/geodb_compare.cpp.o.d"
+  "geodb_compare"
+  "geodb_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geodb_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

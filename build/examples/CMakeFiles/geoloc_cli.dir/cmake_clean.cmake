@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geoloc_cli.dir/geoloc_cli.cpp.o"
+  "CMakeFiles/geoloc_cli.dir/geoloc_cli.cpp.o.d"
+  "geoloc_cli"
+  "geoloc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geoloc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

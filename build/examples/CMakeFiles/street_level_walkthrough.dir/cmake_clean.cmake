@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/street_level_walkthrough.dir/street_level_walkthrough.cpp.o"
+  "CMakeFiles/street_level_walkthrough.dir/street_level_walkthrough.cpp.o.d"
+  "street_level_walkthrough"
+  "street_level_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/street_level_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_selection_planner.dir/vp_selection_planner.cpp.o"
+  "CMakeFiles/vp_selection_planner.dir/vp_selection_planner.cpp.o.d"
+  "vp_selection_planner"
+  "vp_selection_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_selection_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vp_selection_planner.
+# This may be replaced when dependencies are built.

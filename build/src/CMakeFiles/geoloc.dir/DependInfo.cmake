@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/atlas/platform.cpp" "src/CMakeFiles/geoloc.dir/atlas/platform.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/atlas/platform.cpp.o.d"
+  "/root/repo/src/atlas/scheduler.cpp" "src/CMakeFiles/geoloc.dir/atlas/scheduler.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/atlas/scheduler.cpp.o.d"
+  "/root/repo/src/core/cbg.cpp" "src/CMakeFiles/geoloc.dir/core/cbg.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/core/cbg.cpp.o.d"
+  "/root/repo/src/core/geodb.cpp" "src/CMakeFiles/geoloc.dir/core/geodb.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/core/geodb.cpp.o.d"
+  "/root/repo/src/core/million_scale.cpp" "src/CMakeFiles/geoloc.dir/core/million_scale.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/core/million_scale.cpp.o.d"
+  "/root/repo/src/core/multi_round.cpp" "src/CMakeFiles/geoloc.dir/core/multi_round.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/core/multi_round.cpp.o.d"
+  "/root/repo/src/core/shortest_ping.cpp" "src/CMakeFiles/geoloc.dir/core/shortest_ping.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/core/shortest_ping.cpp.o.d"
+  "/root/repo/src/core/single_radius.cpp" "src/CMakeFiles/geoloc.dir/core/single_radius.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/core/single_radius.cpp.o.d"
+  "/root/repo/src/core/street_level.cpp" "src/CMakeFiles/geoloc.dir/core/street_level.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/core/street_level.cpp.o.d"
+  "/root/repo/src/dataset/catalog.cpp" "src/CMakeFiles/geoloc.dir/dataset/catalog.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/dataset/catalog.cpp.o.d"
+  "/root/repo/src/dataset/hitlist.cpp" "src/CMakeFiles/geoloc.dir/dataset/hitlist.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/dataset/hitlist.cpp.o.d"
+  "/root/repo/src/dataset/ipv6_sparsity.cpp" "src/CMakeFiles/geoloc.dir/dataset/ipv6_sparsity.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/dataset/ipv6_sparsity.cpp.o.d"
+  "/root/repo/src/dataset/population_grid.cpp" "src/CMakeFiles/geoloc.dir/dataset/population_grid.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/dataset/population_grid.cpp.o.d"
+  "/root/repo/src/dataset/sanitize.cpp" "src/CMakeFiles/geoloc.dir/dataset/sanitize.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/dataset/sanitize.cpp.o.d"
+  "/root/repo/src/eval/experiments.cpp" "src/CMakeFiles/geoloc.dir/eval/experiments.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/eval/experiments.cpp.o.d"
+  "/root/repo/src/eval/metrics.cpp" "src/CMakeFiles/geoloc.dir/eval/metrics.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/eval/metrics.cpp.o.d"
+  "/root/repo/src/eval/street_campaign.cpp" "src/CMakeFiles/geoloc.dir/eval/street_campaign.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/eval/street_campaign.cpp.o.d"
+  "/root/repo/src/geo/geodesy.cpp" "src/CMakeFiles/geoloc.dir/geo/geodesy.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/geo/geodesy.cpp.o.d"
+  "/root/repo/src/geo/geopoint.cpp" "src/CMakeFiles/geoloc.dir/geo/geopoint.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/geo/geopoint.cpp.o.d"
+  "/root/repo/src/geo/region.cpp" "src/CMakeFiles/geoloc.dir/geo/region.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/geo/region.cpp.o.d"
+  "/root/repo/src/landmark/ecosystem.cpp" "src/CMakeFiles/geoloc.dir/landmark/ecosystem.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/landmark/ecosystem.cpp.o.d"
+  "/root/repo/src/landmark/mapping_service.cpp" "src/CMakeFiles/geoloc.dir/landmark/mapping_service.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/landmark/mapping_service.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/CMakeFiles/geoloc.dir/net/ipv4.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/net/ipv4.cpp.o.d"
+  "/root/repo/src/net/ipv6.cpp" "src/CMakeFiles/geoloc.dir/net/ipv6.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/net/ipv6.cpp.o.d"
+  "/root/repo/src/scenario/presets.cpp" "src/CMakeFiles/geoloc.dir/scenario/presets.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/scenario/presets.cpp.o.d"
+  "/root/repo/src/scenario/rtt_matrix.cpp" "src/CMakeFiles/geoloc.dir/scenario/rtt_matrix.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/scenario/rtt_matrix.cpp.o.d"
+  "/root/repo/src/scenario/scenario.cpp" "src/CMakeFiles/geoloc.dir/scenario/scenario.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/scenario/scenario.cpp.o.d"
+  "/root/repo/src/sim/gazetteer.cpp" "src/CMakeFiles/geoloc.dir/sim/gazetteer.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/sim/gazetteer.cpp.o.d"
+  "/root/repo/src/sim/latency_model.cpp" "src/CMakeFiles/geoloc.dir/sim/latency_model.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/sim/latency_model.cpp.o.d"
+  "/root/repo/src/sim/traceroute.cpp" "src/CMakeFiles/geoloc.dir/sim/traceroute.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/sim/traceroute.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/geoloc.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/sim/world.cpp.o.d"
+  "/root/repo/src/util/ascii_chart.cpp" "src/CMakeFiles/geoloc.dir/util/ascii_chart.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/util/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/CMakeFiles/geoloc.dir/util/csv.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/util/csv.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/geoloc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/CMakeFiles/geoloc.dir/util/stats.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/geoloc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/geoloc.dir/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/atlas_platform_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/atlas_platform_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/atlas_platform_test.cpp.o.d"
+  "/root/repo/tests/atlas_scheduler_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/atlas_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/atlas_scheduler_test.cpp.o.d"
+  "/root/repo/tests/core_cbg_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/core_cbg_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/core_cbg_test.cpp.o.d"
+  "/root/repo/tests/core_geodb_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/core_geodb_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/core_geodb_test.cpp.o.d"
+  "/root/repo/tests/core_million_scale_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/core_million_scale_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/core_million_scale_test.cpp.o.d"
+  "/root/repo/tests/core_multi_round_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/core_multi_round_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/core_multi_round_test.cpp.o.d"
+  "/root/repo/tests/core_shortest_ping_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/core_shortest_ping_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/core_shortest_ping_test.cpp.o.d"
+  "/root/repo/tests/core_single_radius_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/core_single_radius_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/core_single_radius_test.cpp.o.d"
+  "/root/repo/tests/core_street_level_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/core_street_level_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/core_street_level_test.cpp.o.d"
+  "/root/repo/tests/dataset_catalog_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/dataset_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/dataset_catalog_test.cpp.o.d"
+  "/root/repo/tests/dataset_hitlist_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/dataset_hitlist_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/dataset_hitlist_test.cpp.o.d"
+  "/root/repo/tests/dataset_ipv6_sparsity_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/dataset_ipv6_sparsity_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/dataset_ipv6_sparsity_test.cpp.o.d"
+  "/root/repo/tests/dataset_population_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/dataset_population_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/dataset_population_test.cpp.o.d"
+  "/root/repo/tests/dataset_sanitize_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/dataset_sanitize_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/dataset_sanitize_test.cpp.o.d"
+  "/root/repo/tests/eval_experiments_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/eval_experiments_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/eval_experiments_test.cpp.o.d"
+  "/root/repo/tests/eval_street_campaign_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/eval_street_campaign_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/eval_street_campaign_test.cpp.o.d"
+  "/root/repo/tests/geo_geodesy_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/geo_geodesy_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/geo_geodesy_test.cpp.o.d"
+  "/root/repo/tests/geo_region_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/geo_region_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/geo_region_test.cpp.o.d"
+  "/root/repo/tests/integration_pipeline_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/integration_pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/integration_pipeline_test.cpp.o.d"
+  "/root/repo/tests/landmark_ecosystem_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/landmark_ecosystem_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/landmark_ecosystem_test.cpp.o.d"
+  "/root/repo/tests/landmark_mapping_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/landmark_mapping_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/landmark_mapping_test.cpp.o.d"
+  "/root/repo/tests/net_ipv4_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/net_ipv4_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/net_ipv4_test.cpp.o.d"
+  "/root/repo/tests/net_ipv6_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/net_ipv6_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/net_ipv6_test.cpp.o.d"
+  "/root/repo/tests/net_prefix_table_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/net_prefix_table_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/net_prefix_table_test.cpp.o.d"
+  "/root/repo/tests/property_reference_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/property_reference_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/property_reference_test.cpp.o.d"
+  "/root/repo/tests/scenario_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/scenario_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/scenario_test.cpp.o.d"
+  "/root/repo/tests/sim_cost_model_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/sim_cost_model_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/sim_cost_model_test.cpp.o.d"
+  "/root/repo/tests/sim_latency_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/sim_latency_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/sim_latency_test.cpp.o.d"
+  "/root/repo/tests/sim_traceroute_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/sim_traceroute_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/sim_traceroute_test.cpp.o.d"
+  "/root/repo/tests/sim_world_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/sim_world_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/sim_world_test.cpp.o.d"
+  "/root/repo/tests/smoke_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/smoke_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/smoke_test.cpp.o.d"
+  "/root/repo/tests/util_csv_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/util_csv_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/util_csv_test.cpp.o.d"
+  "/root/repo/tests/util_rng_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/util_rng_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/util_rng_test.cpp.o.d"
+  "/root/repo/tests/util_stats_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/util_stats_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/util_stats_test.cpp.o.d"
+  "/root/repo/tests/util_text_test.cpp" "tests/CMakeFiles/geoloc_tests.dir/util_text_test.cpp.o" "gcc" "tests/CMakeFiles/geoloc_tests.dir/util_text_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/geoloc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
