@@ -1,0 +1,213 @@
+#include "atlas/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <limits>
+
+namespace geoloc::atlas {
+
+double RetryPolicy::backoff_s(int failed_attempts) const {
+  if (failed_attempts <= 0) return 0.0;
+  const double wait =
+      initial_backoff_s *
+      std::pow(backoff_multiplier, static_cast<double>(failed_attempts - 1));
+  return std::min(wait, max_backoff_s);
+}
+
+CampaignExecutor::CampaignExecutor(Platform& platform,
+                                   const ExecutorConfig& config)
+    : platform_(&platform), config_(config) {}
+
+namespace {
+
+struct Pending {
+  MeasurementRequest req;
+  int attempts = 0;      ///< submissions so far
+  double eligible_s = 0.0;  ///< earliest time the next attempt may run
+};
+
+}  // namespace
+
+CampaignReport CampaignExecutor::execute(
+    std::span<const MeasurementRequest> requests,
+    std::span<const sim::HostId> spare_vps) {
+  CampaignReport report;
+  report.requested = requests.size();
+  if (requests.empty()) return report;
+
+  const FaultModel* faults = platform_->fault_model();
+  if (faults && !faults->enabled()) faults = nullptr;
+  const RetryPolicy& retry = config_.retry;
+  const SchedulerConfig& sched = config_.scheduler;
+
+  std::deque<Pending> queue;
+  for (const MeasurementRequest& r : requests) queue.push_back({r, 0, 0.0});
+  if (config_.collect_results) report.results.reserve(requests.size());
+
+  std::unordered_map<sim::HostId, double> rate_cache;
+  double now_s = 0.0;
+  std::uint64_t submission_counter = 0;
+  std::size_t spare_cursor = 0;
+
+  // A measurement that failed its attempt goes back to the queue with a
+  // capped-exponential wait, or is abandoned once its budget is gone.
+  auto requeue_or_abandon = [&](Pending item) {
+    if (item.attempts >= retry.max_attempts) {
+      ++report.abandoned;
+      return;
+    }
+    item.eligible_s = now_s + retry.backoff_s(item.attempts);
+    queue.push_back(item);
+  };
+
+  // Replacement VP for a measurement whose probe died: the next spare that
+  // is still on the platform (round-robin, deterministic).
+  auto find_spare = [&](double t_s) -> sim::HostId {
+    for (std::size_t i = 0; i < spare_vps.size(); ++i) {
+      const sim::HostId cand = spare_vps[(spare_cursor + i) % spare_vps.size()];
+      if (!faults || !faults->vp_abandoned(cand, t_s)) {
+        spare_cursor = (spare_cursor + i + 1) % spare_vps.size();
+        return cand;
+      }
+    }
+    return sim::kInvalidHost;
+  };
+
+  while (!queue.empty()) {
+    // Gather the round: eligible measurements, up to the batch size.
+    std::vector<Pending> round;
+    round.reserve(std::min(queue.size(), sched.batch_size));
+    {
+      std::deque<Pending> rest;
+      while (!queue.empty()) {
+        Pending item = queue.front();
+        queue.pop_front();
+        if (item.eligible_s <= now_s && round.size() < sched.batch_size) {
+          round.push_back(item);
+        } else {
+          rest.push_back(item);
+        }
+      }
+      queue = std::move(rest);
+    }
+    if (round.empty()) {
+      // Everything pending is backing off; fast-forward to the first
+      // eligible measurement and account the idle wait.
+      double next = std::numeric_limits<double>::infinity();
+      for (const Pending& p : queue) next = std::min(next, p.eligible_s);
+      report.backoff_wait_s += next - now_s;
+      now_s = next;
+      continue;
+    }
+
+    ++report.rounds;
+    const std::uint64_t round_index = report.rounds - 1;
+
+    if (faults && faults->round_fails(round_index)) {
+      // The whole submission round failed transiently (API weather). The
+      // round overhead is burnt; every measurement in it pays an attempt
+      // and backs off.
+      ++report.round_failures;
+      now_s += sched.round_overhead_s;
+      report.duration_s = now_s;
+      for (Pending& item : round) {
+        ++report.attempts;
+        if (item.attempts > 0) ++report.retries;
+        ++item.attempts;
+        requeue_or_abandon(item);
+      }
+      continue;
+    }
+
+    std::unordered_map<sim::HostId, std::uint64_t> packets_per_vp;
+    for (Pending& item : round) {
+      // Permanent churn: a dead probe never answers again, so either move
+      // the measurement to a spare or abandon it outright — retrying
+      // against a dead VP would only burn the budget.
+      if (faults && faults->vp_abandoned(item.req.vp, now_s)) {
+        const sim::HostId spare =
+            config_.reassign_dead_vps ? find_spare(now_s) : sim::kInvalidHost;
+        if (spare == sim::kInvalidHost) {
+          ++report.abandoned;
+          continue;
+        }
+        ++report.vp_reassignments;
+        item.req.vp = spare;
+      }
+
+      ++report.attempts;
+      if (item.attempts > 0) ++report.retries;
+      ++item.attempts;
+
+      // Transient outage: the probe is offline right now but will be back;
+      // defer the measurement past a backoff wait.
+      if (faults && faults->vp_in_outage(item.req.vp, now_s)) {
+        ++report.outage_deferrals;
+        requeue_or_abandon(item);
+        continue;
+      }
+
+      // Credit / rate-limit rejection: the API refused the submission.
+      // Nothing ran, nothing is billed, but the attempt is spent.
+      if (faults && faults->measurement_rejected(submission_counter++)) {
+        ++report.rejections;
+        requeue_or_abandon(item);
+        continue;
+      }
+
+      const std::uint64_t before = platform_->usage().credits;
+      if (item.req.kind == MeasurementKind::Ping) {
+        const PingMeasurement m =
+            platform_->ping(item.req.vp, item.req.target, item.req.packets);
+        const std::uint64_t cost = platform_->usage().credits - before;
+        report.credits_spent += cost;
+        packets_per_vp[item.req.vp] +=
+            static_cast<std::uint64_t>(m.packets_sent);
+        if (m.answered()) {
+          ++report.completed;
+          if (config_.collect_results) report.results.push_back(m);
+        } else {
+          ++report.no_replies;
+          report.credits_wasted += cost;
+          requeue_or_abandon(item);
+        }
+      } else {
+        const sim::Traceroute tr =
+            platform_->traceroute(item.req.vp, item.req.target);
+        const std::uint64_t cost = platform_->usage().credits - before;
+        report.credits_spent += cost;
+        packets_per_vp[item.req.vp] +=
+            static_cast<std::uint64_t>(sched.traceroute_packets);
+        if (!tr.hops.empty()) {
+          ++report.completed;
+        } else {
+          report.credits_wasted += cost;
+          requeue_or_abandon(item);
+        }
+      }
+    }
+
+    now_s += round_duration_s(*platform_, packets_per_vp, rate_cache) +
+             sched.round_overhead_s;
+    report.duration_s = now_s;
+  }
+
+  report.duration_s = now_s;
+  return report;
+}
+
+CampaignReport CampaignExecutor::execute_full_mesh(
+    std::span<const sim::HostId> vps, std::span<const sim::HostId> targets,
+    int packets, std::span<const sim::HostId> spare_vps) {
+  std::vector<MeasurementRequest> requests;
+  requests.reserve(vps.size() * targets.size());
+  for (sim::HostId vp : vps) {
+    for (sim::HostId target : targets) {
+      requests.push_back({vp, target, MeasurementKind::Ping, packets});
+    }
+  }
+  return execute(requests, spare_vps);
+}
+
+}  // namespace geoloc::atlas

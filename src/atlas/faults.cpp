@@ -1,0 +1,89 @@
+#include "atlas/faults.h"
+
+#include <algorithm>
+
+namespace geoloc::atlas {
+
+namespace {
+constexpr double kSecondsPerDay = 86'400.0;
+}  // namespace
+
+FaultModel::FaultModel(const sim::World& world, const FaultConfig& config)
+    : world_(&world), config_(config), root_(config.seed) {}
+
+util::RngStream FaultModel::stream(std::string_view label,
+                                   std::uint64_t index) const {
+  return root_.fork(label, index);
+}
+
+double FaultModel::vp_abandon_time_s(sim::HostId vp) const {
+  if (!enabled() || config_.vp_abandon_per_day <= 0.0) return kNever;
+  double hazard_per_day = config_.vp_abandon_per_day;
+  if (world_->host(vp).kind == sim::HostKind::Anchor) {
+    hazard_per_day *= config_.anchor_stability;
+    if (hazard_per_day <= 0.0) return kNever;
+  }
+  auto gen = stream("abandon", vp).gen();
+  return gen.exponential(kSecondsPerDay / hazard_per_day);
+}
+
+std::vector<OutageWindow> FaultModel::outage_windows(sim::HostId vp,
+                                                     double horizon_s) const {
+  std::vector<OutageWindow> windows;
+  if (!enabled() || config_.vp_outages_per_day <= 0.0 || horizon_s <= 0.0) {
+    return windows;
+  }
+  // Renewal process: alternating up-spells (exponential, mean set by the
+  // outage rate) and down-spells (exponential, configured mean). The
+  // sequence is a pure function of (seed, vp), so any horizon replays the
+  // same weather.
+  const double mean_up_s = kSecondsPerDay / config_.vp_outages_per_day;
+  const double mean_down_s = std::max(config_.vp_outage_mean_s, 1.0);
+  auto gen = stream("outage", vp).gen();
+  double t = 0.0;
+  while (t < horizon_s) {
+    t += gen.exponential(mean_up_s);
+    if (t >= horizon_s) break;
+    const double down = gen.exponential(mean_down_s);
+    windows.push_back({t, t + down});
+    t += down;
+  }
+  return windows;
+}
+
+bool FaultModel::vp_in_outage(sim::HostId vp, double t_s) const {
+  if (!enabled() || config_.vp_outages_per_day <= 0.0 || t_s < 0.0) {
+    return false;
+  }
+  const double mean_up_s = kSecondsPerDay / config_.vp_outages_per_day;
+  const double mean_down_s = std::max(config_.vp_outage_mean_s, 1.0);
+  auto gen = stream("outage", vp).gen();
+  double t = 0.0;
+  while (t <= t_s) {
+    t += gen.exponential(mean_up_s);  // up spell ends
+    if (t > t_s) return false;
+    t += gen.exponential(mean_down_s);  // down spell ends
+    if (t > t_s) return true;
+  }
+  return false;
+}
+
+bool FaultModel::target_unresponsive(sim::HostId target) const {
+  if (!enabled() || config_.target_unresponsive_rate <= 0.0) return false;
+  auto gen = stream("target-weather", target).gen();
+  return gen.chance(config_.target_unresponsive_rate);
+}
+
+bool FaultModel::round_fails(std::uint64_t round_index) const {
+  if (!enabled() || config_.round_failure_rate <= 0.0) return false;
+  auto gen = stream("round", round_index).gen();
+  return gen.chance(config_.round_failure_rate);
+}
+
+bool FaultModel::measurement_rejected(std::uint64_t submission_index) const {
+  if (!enabled() || config_.measurement_rejection_rate <= 0.0) return false;
+  auto gen = stream("reject", submission_index).gen();
+  return gen.chance(config_.measurement_rejection_rate);
+}
+
+}  // namespace geoloc::atlas

@@ -1,0 +1,120 @@
+// Fault injection — the platform's "weather".
+//
+// The IMC'23 campaigns only succeeded because the authors absorbed constant
+// operational failure: probes churn and disconnect mid-campaign, targets go
+// dark, and the platform rejects or rate-limits measurements (paper
+// Sections 4.1.1, 5.1.3). The simulator's only failure mode used to be
+// per-packet loss; this layer adds everything above the packet:
+//
+//   - permanent probe abandonment (churn), sampled from a per-day hazard;
+//   - transient per-VP outage windows (a renewal process of up/down spells);
+//   - per-target campaign-long unresponsiveness;
+//   - transient API-round failures (submission or collection breaks);
+//   - credit / rate-limit rejections of individual measurements.
+//
+// Everything is deterministic under `FaultConfig::seed`: the weather is a
+// pure function of (seed, host id, time) or (seed, counter), so a campaign
+// replays bit-for-bit. The layer is strictly opt-in — a default-constructed
+// FaultConfig (or the calm preset) disables every fault and leaves existing
+// experiments bit-identical.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/world.h"
+#include "util/rng.h"
+
+namespace geoloc::atlas {
+
+struct FaultConfig {
+  /// Master switch. When false, every query reports fair weather regardless
+  /// of the rates below (bit-identical to running without a fault layer).
+  bool enabled = false;
+  /// Weather seed, independent of the scenario seed so the same world can
+  /// be stressed under different skies.
+  std::uint64_t seed = 20230415;
+
+  // -- probe churn ---------------------------------------------------------
+  /// Hazard rate of permanent VP disconnection, per simulated day. Each VP
+  /// draws an exponential abandonment time; a rate of 0 keeps every VP.
+  double vp_abandon_per_day = 0.0;
+  /// Anchors are racked infrastructure, not volunteer USB sticks: they
+  /// churn at this fraction of the probe hazard.
+  double anchor_stability = 0.25;
+
+  // -- transient VP outages ------------------------------------------------
+  /// Expected outage spells per VP per simulated day (renewal process).
+  double vp_outages_per_day = 0.0;
+  /// Mean duration of one outage spell, seconds.
+  double vp_outage_mean_s = 1'800.0;
+
+  // -- target weather ------------------------------------------------------
+  /// Fraction of destinations that never answer for the whole campaign
+  /// (host stays up in the world model; the weather eats its replies).
+  double target_unresponsive_rate = 0.0;
+
+  // -- API weather ---------------------------------------------------------
+  /// Probability that a whole submission round fails transiently and must
+  /// be re-submitted.
+  double round_failure_rate = 0.0;
+  /// Probability that the platform rejects one measurement submission
+  /// (credit check, concurrency ceiling, rate limit). Rejections cost no
+  /// credits but burn a retry.
+  double measurement_rejection_rate = 0.0;
+};
+
+/// One transient outage window of a VP, seconds since campaign start.
+struct OutageWindow {
+  double start_s = 0.0;
+  double end_s = 0.0;
+};
+
+/// Deterministic fault oracle. Thread-safe: all queries are const and
+/// derive their randomness from (seed, identity) alone.
+class FaultModel {
+ public:
+  FaultModel(const sim::World& world, const FaultConfig& config = {});
+
+  [[nodiscard]] const FaultConfig& config() const noexcept { return config_; }
+  [[nodiscard]] bool enabled() const noexcept { return config_.enabled; }
+
+  // -- probe churn ---------------------------------------------------------
+  /// Simulated time at which the VP permanently disconnects (infinity when
+  /// it survives any campaign).
+  [[nodiscard]] double vp_abandon_time_s(sim::HostId vp) const;
+  [[nodiscard]] bool vp_abandoned(sim::HostId vp, double t_s) const {
+    return enabled() && t_s >= vp_abandon_time_s(vp);
+  }
+
+  // -- transient outages ---------------------------------------------------
+  /// True when the VP sits inside an outage window at `t_s`.
+  [[nodiscard]] bool vp_in_outage(sim::HostId vp, double t_s) const;
+  /// The VP's outage windows intersecting [0, horizon_s).
+  [[nodiscard]] std::vector<OutageWindow> outage_windows(
+      sim::HostId vp, double horizon_s) const;
+  /// Neither permanently abandoned nor inside an outage window.
+  [[nodiscard]] bool vp_available(sim::HostId vp, double t_s) const {
+    return !vp_abandoned(vp, t_s) && !vp_in_outage(vp, t_s);
+  }
+
+  // -- target weather ------------------------------------------------------
+  [[nodiscard]] bool target_unresponsive(sim::HostId target) const;
+
+  // -- API weather ---------------------------------------------------------
+  [[nodiscard]] bool round_fails(std::uint64_t round_index) const;
+  [[nodiscard]] bool measurement_rejected(std::uint64_t submission_index) const;
+
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+ private:
+  [[nodiscard]] util::RngStream stream(std::string_view label,
+                                       std::uint64_t index) const;
+
+  const sim::World* world_;
+  FaultConfig config_;
+  util::RngStream root_;
+};
+
+}  // namespace geoloc::atlas

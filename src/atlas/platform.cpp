@@ -20,7 +20,13 @@ PingMeasurement Platform::ping(sim::HostId vp, sim::HostId target,
   m.vp = vp;
   m.target = target;
   m.packets_sent = packets;
-  m.min_rtt_ms = latency_->min_rtt_ms(vp, target, packets, gen_);
+  // Weather-unresponsive targets eat every echo request; the packets (and
+  // credits) are spent regardless.
+  if (!(faults_ && faults_->target_unresponsive(target))) {
+    const auto sample = latency_->ping_sample(vp, target, packets, gen_);
+    m.min_rtt_ms = sample.min_rtt_ms;
+    m.packets_received = sample.packets_received;
+  }
   ++usage_.pings;
   usage_.ping_packets += static_cast<std::uint64_t>(packets);
   usage_.credits +=

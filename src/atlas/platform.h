@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "atlas/faults.h"
 #include "sim/cost_model.h"
 #include "sim/latency_model.h"
 #include "sim/traceroute.h"
@@ -43,6 +44,9 @@ struct PingMeasurement {
   sim::HostId target = sim::kInvalidHost;
   std::optional<double> min_rtt_ms;  ///< nullopt: unresponsive / all lost
   int packets_sent = 0;
+  int packets_received = 0;  ///< loss is observable per measurement
+
+  [[nodiscard]] bool answered() const noexcept { return min_rtt_ms.has_value(); }
 };
 
 /// Aggregate measurement counters, the currency of the paper's overhead
@@ -75,6 +79,15 @@ class Platform {
   [[nodiscard]] const UsageCounters& usage() const noexcept { return usage_; }
   void reset_usage() noexcept { usage_ = {}; }
 
+  /// Attach the fault-injection layer ("weather"). Unset (or a disabled
+  /// FaultModel) leaves every measurement bit-identical to a fault-free
+  /// platform. A weather-unresponsive target still bills its echo requests
+  /// — credits are spent whether or not replies come back.
+  void set_fault_model(const FaultModel* faults) noexcept { faults_ = faults; }
+  [[nodiscard]] const FaultModel* fault_model() const noexcept {
+    return faults_;
+  }
+
   /// Sustainable probing rate of a VP in packets/second (deterministic per
   /// host, uniform within its class band).
   [[nodiscard]] double probing_rate_pps(sim::HostId vp) const;
@@ -92,6 +105,7 @@ class Platform {
   PlatformConfig config_;
   UsageCounters usage_;
   util::Pcg32 gen_;
+  const FaultModel* faults_ = nullptr;
 };
 
 /// Inputs of the Section 5.1.3 deployability analysis.

@@ -20,13 +20,6 @@ CampaignPlan MeasurementScheduler::plan(
   // Process in batches (API rounds). Within a round, VPs probe in
   // parallel, so the round's duration is the slowest VP's packet budget.
   std::unordered_map<sim::HostId, double> rate_cache;
-  auto pps_of = [&](sim::HostId vp) {
-    const auto it = rate_cache.find(vp);
-    if (it != rate_cache.end()) return it->second;
-    const double pps = platform_->probing_rate_pps(vp);
-    rate_cache.emplace(vp, pps);
-    return pps;
-  };
 
   std::size_t index = 0;
   while (index < requests.size()) {
@@ -49,16 +42,28 @@ CampaignPlan MeasurementScheduler::plan(
     }
     // Concurrency ceiling: a VP can have at most max_concurrent running,
     // but the binding constraint in practice is its packet rate.
-    double round_s = 0.0;
-    for (const auto& [vp, packets] : packets_per_vp) {
-      round_s = std::max(
-          round_s, static_cast<double>(packets) / std::max(pps_of(vp), 1e-9));
-    }
-    out.duration_s += round_s + config_.round_overhead_s;
+    out.duration_s += round_duration_s(*platform_, packets_per_vp, rate_cache) +
+                      config_.round_overhead_s;
     ++out.rounds;
     index += batch;
   }
   return out;
+}
+
+double round_duration_s(
+    const Platform& platform,
+    const std::unordered_map<sim::HostId, std::uint64_t>& packets_per_vp,
+    std::unordered_map<sim::HostId, double>& rate_cache) {
+  double round_s = 0.0;
+  for (const auto& [vp, packets] : packets_per_vp) {
+    auto it = rate_cache.find(vp);
+    if (it == rate_cache.end()) {
+      it = rate_cache.emplace(vp, platform.probing_rate_pps(vp)).first;
+    }
+    round_s = std::max(
+        round_s, static_cast<double>(packets) / std::max(it->second, 1e-9));
+  }
+  return round_s;
 }
 
 CampaignPlan MeasurementScheduler::plan_full_mesh(

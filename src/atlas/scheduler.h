@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "atlas/platform.h"
@@ -70,5 +71,15 @@ class MeasurementScheduler {
   const Platform* platform_;
   SchedulerConfig config_;
 };
+
+/// Duration of one parallel API round: within a round VPs probe
+/// concurrently, so the round lasts as long as the slowest VP's packet
+/// budget at its sustainable rate. `rate_cache` memoises probing_rate_pps
+/// across rounds (the caller owns it). Shared by the planner and the
+/// executor so planned and executed durations agree.
+double round_duration_s(
+    const Platform& platform,
+    const std::unordered_map<sim::HostId, std::uint64_t>& packets_per_vp,
+    std::unordered_map<sim::HostId, double>& rate_cache);
 
 }  // namespace geoloc::atlas

@@ -1,8 +1,20 @@
 #include "core/cbg.h"
 
 #include <algorithm>
+#include <cmath>
+
+#include "geo/constants.h"
 
 namespace geoloc::core {
+
+std::string_view to_string(CbgVerdict v) noexcept {
+  switch (v) {
+    case CbgVerdict::Ok: return "ok";
+    case CbgVerdict::Degraded: return "degraded";
+    case CbgVerdict::Unlocatable: return "unlocatable";
+  }
+  return "?";
+}
 
 std::vector<geo::Disk> constraint_disks(
     std::span<const VpObservation> observations, double soi_km_per_ms,
@@ -42,9 +54,20 @@ CbgResult cbg_geolocate(std::span<const VpObservation> observations,
     result.used_fallback_soi = true;
   }
 
+  result.surviving_constraints = observations.size();
   if (!result.region.empty) {
     result.ok = true;
     result.estimate = result.region.centroid;
+    // Equivalent-circle radius of the feasible region, widened linearly for
+    // every constraint missing below the threshold: a fix built from one
+    // disk is little better than "somewhere around this VP", and its
+    // confidence radius says so.
+    const double region_radius_km =
+        std::sqrt(std::max(result.region.area_km2, 0.0) / geo::kPi);
+    const auto survivors = static_cast<int>(observations.size());
+    const int missing = std::max(0, config.min_constraints - survivors);
+    result.confidence_radius_km = region_radius_km * (1.0 + missing);
+    result.verdict = missing > 0 ? CbgVerdict::Degraded : CbgVerdict::Ok;
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <span>
+#include <string_view>
 #include <vector>
 
 #include "geo/constants.h"
@@ -34,14 +35,35 @@ struct CbgConfig {
   /// almost always dominated; this keeps the Figure 2a sweep (~720k CBG
   /// evaluations) tractable. See the DiskBudget ablation bench.
   int max_disks = 24;
+  /// Below this many surviving constraints the verdict degrades: the
+  /// estimate is still produced (ok stays true) but flagged Degraded with a
+  /// widened confidence radius, so callers running under platform faults
+  /// can tell a starved fix from a sound one instead of trusting a region
+  /// built from one or two disks.
+  int min_constraints = 3;
   geo::RegionOptions region;
 };
 
+/// How much the caller should trust a CBG answer when measurements failed
+/// or went missing (platform weather, unresponsive targets).
+enum class CbgVerdict : std::uint8_t {
+  Ok,           ///< enough constraints survived; region is meaningful
+  Degraded,     ///< region found, but from fewer than min_constraints disks
+  Unlocatable,  ///< no observations, or an empty intersection even after
+                ///< the fallback speed
+};
+std::string_view to_string(CbgVerdict v) noexcept;
+
 struct CbgResult {
   bool ok = false;               ///< a non-empty region was found
+  CbgVerdict verdict = CbgVerdict::Unlocatable;
   geo::GeoPoint estimate;        ///< centroid of the feasible region
   geo::Region region;
   std::vector<geo::Disk> disks;  ///< constraints actually intersected
+  std::size_t surviving_constraints = 0;  ///< observations that yielded a disk
+  /// Conservative error radius: the region's equivalent-circle radius,
+  /// widened for degraded fixes (the fewer the constraints, the wider).
+  double confidence_radius_km = 0.0;
   bool used_fallback_soi = false;
 };
 

@@ -202,4 +202,44 @@ std::uint64_t original_algorithm_pings(const scenario::Scenario& s) {
          s.targets().size();
 }
 
+RepresentativeFallback resilient_representatives(
+    const scenario::Scenario& s, sim::HostId target,
+    const atlas::FaultModel* faults, int count) {
+  RepresentativeFallback out;
+  const auto& world = s.world();
+  const auto& set = s.hitlist().for_target(target);
+
+  // Rank the /24's representatives by responsiveness score (ISI-style:
+  // higher = more reliable), ties broken by host id for determinism.
+  std::vector<const dataset::Representative*> ranked;
+  ranked.reserve(set.reps.size());
+  for (const dataset::Representative& rep : set.reps) {
+    if (rep.host == sim::kInvalidHost) continue;
+    ranked.push_back(&rep);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const dataset::Representative* a,
+               const dataset::Representative* b) {
+              if (a->responsiveness_score != b->responsiveness_score) {
+                return a->responsiveness_score > b->responsiveness_score;
+              }
+              return a->host < b->host;
+            });
+
+  const auto quota = static_cast<std::size_t>(std::max(count, 0));
+  for (std::size_t i = 0; i < ranked.size() && out.chosen.size() < quota;
+       ++i) {
+    const sim::HostId rep = ranked[i]->host;
+    const bool down = !world.host(rep).responsive ||
+                      (faults && faults->target_unresponsive(rep));
+    if (down) {
+      ++out.skipped_unresponsive;
+      continue;
+    }
+    if (i >= quota) out.substituted = true;
+    out.chosen.push_back(rep);
+  }
+  return out;
+}
+
 }  // namespace geoloc::core

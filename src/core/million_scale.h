@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "atlas/faults.h"
 #include "core/cbg.h"
 #include "scenario/scenario.h"
 
@@ -98,5 +99,24 @@ class TwoStepSelector {
 /// Measurement cost of the *original* algorithm for this scenario:
 /// |VPs| x 3 representatives x |targets| ping measurements.
 std::uint64_t original_algorithm_pings(const scenario::Scenario& s);
+
+/// Representatives of a target's /24 after the weather has had its say.
+struct RepresentativeFallback {
+  std::vector<sim::HostId> chosen;   ///< usable reps, best score first
+  std::size_t skipped_unresponsive = 0;  ///< reps the fallback stepped over
+  /// True when at least one chosen rep is not among the `count` best-scored
+  /// (a next-best representative was substituted).
+  bool substituted = false;
+};
+
+/// Pick up to `count` responsive representatives for `target`, falling back
+/// to the next-best-scored hitlist entry when one is unresponsive — either
+/// permanently (world model) or for this campaign (fault layer, may be
+/// null). The original algorithm assumed all three reps answer; under
+/// platform weather this is what "graceful" looks like: fewer or
+/// substituted reps instead of a silently empty median.
+RepresentativeFallback resilient_representatives(
+    const scenario::Scenario& s, sim::HostId target,
+    const atlas::FaultModel* faults = nullptr, int count = 3);
 
 }  // namespace geoloc::core

@@ -16,4 +16,19 @@ std::optional<ShortestPingResult> shortest_ping(
   return r;
 }
 
+ShortestPingSurvey shortest_ping_survey(
+    std::span<const std::optional<double>> rtts,
+    std::span<const geo::GeoPoint> vp_locations) {
+  ShortestPingSurvey survey;
+  survey.candidates = rtts.size();
+  for (std::size_t i = 0; i < rtts.size(); ++i) {
+    if (!rtts[i]) continue;
+    ++survey.responded;
+    if (!survey.best || *rtts[i] < survey.best->min_rtt_ms) {
+      survey.best = ShortestPingResult{vp_locations[i], *rtts[i], i};
+    }
+  }
+  return survey;
+}
+
 }  // namespace geoloc::core

@@ -20,4 +20,26 @@ struct ShortestPingResult {
 std::optional<ShortestPingResult> shortest_ping(
     std::span<const VpObservation> observations);
 
+/// Shortest Ping under measurement failure: candidate VPs whose ping got no
+/// reply carry a nullopt RTT. The survey reports how many candidates
+/// actually answered, so a "winner" backed by 2 of 40 VPs is visibly weaker
+/// than one backed by 40 of 40.
+struct ShortestPingSurvey {
+  std::optional<ShortestPingResult> best;  ///< nullopt: nobody answered
+  std::size_t candidates = 0;              ///< VPs asked
+  std::size_t responded = 0;               ///< VPs that returned an RTT
+
+  [[nodiscard]] double response_rate() const {
+    return candidates == 0 ? 0.0
+                           : static_cast<double>(responded) /
+                                 static_cast<double>(candidates);
+  }
+};
+
+/// `rtts[i]` is VP i's min RTT toward the target (nullopt: no reply);
+/// `vp_locations[i]` its reported location. Spans must be the same length.
+ShortestPingSurvey shortest_ping_survey(
+    std::span<const std::optional<double>> rtts,
+    std::span<const geo::GeoPoint> vp_locations);
+
 }  // namespace geoloc::core

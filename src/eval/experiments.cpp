@@ -187,6 +187,63 @@ std::vector<TwoStepSweep> run_two_step_sweep(
   return out;
 }
 
+std::vector<FailureSweepPoint> run_failure_sensitivity(
+    const scenario::Scenario& s, std::span<const WeatherSpec> weathers,
+    std::size_t max_vps, const core::CbgConfig& config) {
+  const auto& world = s.world();
+  const auto& all_vps = s.vps();
+  const std::size_t vp_count = (max_vps == 0 || max_vps >= all_vps.size())
+                                   ? all_vps.size()
+                                   : max_vps;
+  const std::span<const sim::HostId> campaign_vps(all_vps.data(), vp_count);
+  const std::span<const sim::HostId> spares(all_vps.data() + vp_count,
+                                            all_vps.size() - vp_count);
+
+  std::vector<FailureSweepPoint> out;
+  out.reserve(weathers.size());
+  for (const WeatherSpec& weather : weathers) {
+    FailureSweepPoint point;
+    point.label = weather.label;
+
+    // Fresh platform per weather: usage counters and the measurement RNG
+    // restart, so each condition sees the same campaign.
+    atlas::Platform platform(world, s.latency());
+    const atlas::FaultModel faults(world, weather.config);
+    platform.set_fault_model(&faults);
+    atlas::CampaignExecutor executor(platform);
+    point.report = executor.execute_full_mesh(
+        campaign_vps, s.targets(), s.config().ping_packets, spares);
+
+    // Geolocate every target from the measurements that survived.
+    std::vector<std::vector<core::VpObservation>> per_target(
+        s.targets().size());
+    for (const atlas::PingMeasurement& m : point.report.results) {
+      if (m.target == m.vp) continue;  // anchors are both targets and VPs
+      per_target[s.target_index(m.target)].push_back(core::VpObservation{
+          world.host(m.vp).reported_location, *m.min_rtt_ms});
+    }
+    std::vector<double> errors;
+    errors.reserve(s.targets().size());
+    for (std::size_t col = 0; col < s.targets().size(); ++col) {
+      const core::CbgResult r = core::cbg_geolocate(per_target[col], config);
+      switch (r.verdict) {
+        case core::CbgVerdict::Ok: ++point.located; break;
+        case core::CbgVerdict::Degraded: ++point.degraded; break;
+        case core::CbgVerdict::Unlocatable: ++point.unlocatable; break;
+      }
+      if (r.ok) {
+        errors.push_back(geo::distance_km(
+            r.estimate, world.host(s.targets()[col]).true_location));
+      }
+    }
+    point.median_error_km = errors.empty() ? -1.0 : util::median(errors);
+    point.report.results.clear();
+    point.report.results.shrink_to_fit();
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
 std::vector<ContinentErrors> run_per_continent(const scenario::Scenario& s,
                                                const core::CbgConfig& config) {
   const auto& errors = all_vp_errors(s, config);

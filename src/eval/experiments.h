@@ -5,8 +5,11 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "atlas/executor.h"
+#include "atlas/faults.h"
 #include "core/cbg.h"
 #include "scenario/scenario.h"
 #include "sim/city.h"
@@ -68,5 +71,33 @@ std::vector<ContinentErrors> run_per_continent(
 
 /// Trial count for figure benches: GEOLOC_TRIALS env var, else `fallback`.
 int trials_from_env(int fallback);
+
+/// One weather condition of the failure-sensitivity sweep.
+struct WeatherSpec {
+  std::string label;
+  atlas::FaultConfig config;
+};
+
+/// Outcome of running the ping campaign under one weather condition: what
+/// the campaign cost (attempts, retries, abandoned measurements, wasted
+/// credits — the columns the overhead tables gain) and what geolocation
+/// quality survived (CBG verdict tally over the targets).
+struct FailureSweepPoint {
+  std::string label;
+  std::size_t located = 0;      ///< CBG verdict Ok
+  std::size_t degraded = 0;     ///< CBG verdict Degraded (starved constraints)
+  std::size_t unlocatable = 0;  ///< CBG verdict Unlocatable
+  double median_error_km = 0.0;  ///< over targets with an estimate
+  /// Executor accounting; `results` is cleared (only counters are kept).
+  atlas::CampaignReport report;
+};
+
+/// Failure-sensitivity sweep: execute the VP x target ping campaign under
+/// each weather via the resilient executor (the first `max_vps` VPs
+/// measure, the rest serve as the dead-VP replacement pool; 0 = all VPs,
+/// no spares), then run CBG per target on whatever measurements survived.
+std::vector<FailureSweepPoint> run_failure_sensitivity(
+    const scenario::Scenario& s, std::span<const WeatherSpec> weathers,
+    std::size_t max_vps = 0, const core::CbgConfig& config = {});
 
 }  // namespace geoloc::eval

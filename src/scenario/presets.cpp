@@ -24,4 +24,39 @@ ScenarioConfig small_config(std::uint64_t seed) {
   return c;
 }
 
+atlas::FaultConfig calm_weather() {
+  return {};  // enabled = false: no faults, bit-identical to no fault layer
+}
+
+atlas::FaultConfig stormy_weather(std::uint64_t seed) {
+  atlas::FaultConfig w;
+  w.enabled = true;
+  w.seed = seed;
+  // ~6 % of probes gone for good within a campaign day (anchors at a
+  // quarter of that hazard).
+  w.vp_abandon_per_day = 0.06;
+  // Roughly one outage spell per VP every other day, half an hour each.
+  w.vp_outages_per_day = 0.5;
+  w.vp_outage_mean_s = 1'800.0;
+  // More than a tenth of destinations dark for the whole campaign.
+  w.target_unresponsive_rate = 0.12;
+  // API weather: transient round failures and credit rejections.
+  w.round_failure_rate = 0.05;
+  w.measurement_rejection_rate = 0.01;
+  return w;
+}
+
+atlas::FaultConfig drizzle_weather(std::uint64_t seed) {
+  atlas::FaultConfig w;
+  w.enabled = true;
+  w.seed = seed;
+  w.vp_abandon_per_day = 0.01;
+  w.vp_outages_per_day = 0.1;
+  w.vp_outage_mean_s = 900.0;
+  w.target_unresponsive_rate = 0.03;
+  w.round_failure_rate = 0.01;
+  w.measurement_rejection_rate = 0.002;
+  return w;
+}
+
 }  // namespace geoloc::scenario

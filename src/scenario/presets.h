@@ -1,6 +1,7 @@
 // Ready-made scenario configurations.
 #pragma once
 
+#include "atlas/faults.h"
 #include "scenario/scenario.h"
 
 namespace geoloc::scenario {
@@ -15,5 +16,21 @@ ScenarioConfig paper_config(std::uint64_t seed = 20230415);
 /// ~100 anchors, ~800 probes, a thinned web ecosystem. Same code paths,
 /// seconds instead of minutes.
 ScenarioConfig small_config(std::uint64_t seed = 42);
+
+// -- platform weather presets (atlas fault layer) --------------------------
+
+/// Fair skies: the fault layer fully disabled. Campaigns executed under
+/// this preset are bit-identical to campaigns run without a fault layer.
+atlas::FaultConfig calm_weather();
+
+/// Operational reality dialled up: ≥5 % probe churn over a campaign day,
+/// ≥10 % of destinations unresponsive, transient API-round failures, VP
+/// outage spells, and occasional credit rejections. Heavy, survivable —
+/// what the resilient executor exists for.
+atlas::FaultConfig stormy_weather(std::uint64_t seed = 20231031);
+
+/// Between calm and stormy: the background failure level a long-running
+/// Atlas campaign absorbs on an ordinary day.
+atlas::FaultConfig drizzle_weather(std::uint64_t seed = 20230601);
 
 }  // namespace geoloc::scenario

@@ -82,15 +82,22 @@ double LatencyModel::sample_rtt_ms(HostId a, HostId b,
 std::optional<double> LatencyModel::min_rtt_ms(HostId src, HostId dst,
                                                int packets,
                                                util::Pcg32& gen) const {
-  if (!world_->host(dst).responsive) return std::nullopt;
+  return ping_sample(src, dst, packets, gen).min_rtt_ms;
+}
+
+LatencyModel::PingSample LatencyModel::ping_sample(HostId src, HostId dst,
+                                                   int packets,
+                                                   util::Pcg32& gen) const {
+  PingSample sample;
+  if (!world_->host(dst).responsive) return sample;
   const double base = base_rtt_ms(src, dst);
-  std::optional<double> best;
   for (int i = 0; i < packets; ++i) {
     if (gen.chance(config_.loss_rate)) continue;
     const double rtt = base + gen.exponential(config_.jitter_mean_ms);
-    if (!best || rtt < *best) best = rtt;
+    ++sample.packets_received;
+    if (!sample.min_rtt_ms || rtt < *sample.min_rtt_ms) sample.min_rtt_ms = rtt;
   }
-  return best;
+  return sample;
 }
 
 double LatencyModel::router_hop_rtt_ms(HostId src, HostId hop,

@@ -73,6 +73,19 @@ class LatencyModel {
                                                  int packets,
                                                  util::Pcg32& gen) const;
 
+  /// One ping measurement with per-packet accounting.
+  struct PingSample {
+    std::optional<double> min_rtt_ms;  ///< nullopt: no packet came back
+    int packets_received = 0;
+  };
+
+  /// Like min_rtt_ms, but also reports how many of the `packets` echo
+  /// requests were answered — the observable loss a real platform reports.
+  /// Consumes the generator identically to min_rtt_ms (same draw order), so
+  /// the two are interchangeable without perturbing downstream streams.
+  [[nodiscard]] PingSample ping_sample(HostId src, HostId dst, int packets,
+                                       util::Pcg32& gen) const;
+
   /// The RTT a traceroute from `src` reports for intermediate router `hop`:
   /// base RTT skewed by reverse-path asymmetry plus the router's ICMP
   /// generation delay. Noisier than an end-to-end ping by construction.

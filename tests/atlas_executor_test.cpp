@@ -1,0 +1,282 @@
+#include "atlas/executor.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "scenario/presets.h"
+#include "test_scenario.h"
+
+namespace geoloc::atlas {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+std::vector<MeasurementRequest> mesh_requests(
+    std::span<const sim::HostId> vps, std::span<const sim::HostId> targets,
+    int packets = 3) {
+  std::vector<MeasurementRequest> requests;
+  requests.reserve(vps.size() * targets.size());
+  for (sim::HostId vp : vps) {
+    for (sim::HostId target : targets) {
+      requests.push_back({vp, target, MeasurementKind::Ping, packets});
+    }
+  }
+  return requests;
+}
+
+TEST(RetryPolicy, CappedExponentialBackoff) {
+  const RetryPolicy policy;  // 60s, x2, capped at 960s
+  EXPECT_DOUBLE_EQ(policy.backoff_s(0), 0.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(1), 60.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(2), 120.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(3), 240.0);
+  EXPECT_DOUBLE_EQ(policy.backoff_s(5), 960.0);   // 960 exactly at the cap
+  EXPECT_DOUBLE_EQ(policy.backoff_s(20), 960.0);  // stays capped
+}
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : scenario_(small_scenario()) {}
+
+  const scenario::Scenario& scenario_;
+};
+
+TEST_F(ExecutorTest, CalmCampaignCompletesEverythingFirstTry) {
+  Platform platform(scenario_.world(), scenario_.latency());
+  CampaignExecutor executor(platform);
+
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 200, 30};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 10};
+  const auto requests = mesh_requests(vps, targets);
+  const CampaignReport report = executor.execute(requests);
+
+  EXPECT_EQ(report.requested, requests.size());
+  EXPECT_EQ(report.completed, requests.size());
+  EXPECT_EQ(report.abandoned, 0u);
+  EXPECT_EQ(report.completed + report.abandoned, report.requested);
+  EXPECT_EQ(report.attempts, requests.size());
+  EXPECT_EQ(report.retries, 0u);
+  EXPECT_EQ(report.rejections, 0u);
+  EXPECT_EQ(report.round_failures, 0u);
+  EXPECT_EQ(report.vp_reassignments, 0u);
+  EXPECT_EQ(report.credits_wasted, 0u);
+  EXPECT_GT(report.credits_spent, 0u);
+  EXPECT_GT(report.duration_s, 0.0);
+  EXPECT_DOUBLE_EQ(report.success_rate(), 1.0);
+  EXPECT_EQ(report.results.size(), requests.size());
+}
+
+TEST_F(ExecutorTest, CalmExecutionIsBitIdenticalToDirectPings) {
+  // Without weather the executor must degenerate to Platform::ping in
+  // request order — same RTTs, same credit bill.
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 100, 10};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 10};
+  const auto requests = mesh_requests(vps, targets);
+
+  Platform executed(scenario_.world(), scenario_.latency());
+  const CampaignReport report = CampaignExecutor(executed).execute(requests);
+
+  Platform direct(scenario_.world(), scenario_.latency());
+  ASSERT_EQ(report.results.size(), requests.size());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    const PingMeasurement expected =
+        direct.ping(requests[i].vp, requests[i].target, requests[i].packets);
+    const PingMeasurement& got = report.results[i];
+    EXPECT_EQ(got.vp, expected.vp);
+    EXPECT_EQ(got.target, expected.target);
+    EXPECT_EQ(got.min_rtt_ms, expected.min_rtt_ms);
+    EXPECT_EQ(got.packets_received, expected.packets_received);
+  }
+  EXPECT_EQ(executed.usage().credits, direct.usage().credits);
+  EXPECT_EQ(report.credits_spent, direct.usage().credits);
+}
+
+TEST_F(ExecutorTest, UnresponsiveTargetExhaustsRetryBudgetNotSilentlyDropped) {
+  // All packets lost: every ping comes back empty. The executor must spend
+  // the full retry budget, count the waste, and abandon — never pretend the
+  // measurement succeeded or drop it from the books.
+  sim::LatencyModelConfig lossy_config = scenario_.config().latency;
+  lossy_config.loss_rate = 1.0;
+  const sim::LatencyModel lossy(scenario_.world(), lossy_config);
+  Platform platform(scenario_.world(), lossy);
+  CampaignExecutor executor(platform);
+
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 150, 5};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 4};
+  const auto requests = mesh_requests(vps, targets);
+  const CampaignReport report = executor.execute(requests);
+
+  const auto budget =
+      static_cast<std::uint64_t>(executor.config().retry.max_attempts);
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.abandoned, requests.size());
+  EXPECT_EQ(report.completed + report.abandoned, report.requested);
+  EXPECT_EQ(report.attempts, requests.size() * budget);
+  EXPECT_EQ(report.retries, requests.size() * (budget - 1));
+  EXPECT_EQ(report.no_replies, report.attempts);
+  EXPECT_GT(report.credits_wasted, 0u);
+  EXPECT_EQ(report.credits_wasted, report.credits_spent);
+  // Each retry wave needs its own submission round.
+  EXPECT_GE(report.rounds, budget);
+  EXPECT_TRUE(report.results.empty());
+}
+
+TEST_F(ExecutorTest, WeatherUnresponsiveTargetStillBillsCredits) {
+  auto weather = scenario::calm_weather();
+  weather.enabled = true;
+  weather.target_unresponsive_rate = 1.0;  // every destination dark
+  const FaultModel faults(scenario_.world(), weather);
+
+  Platform platform(scenario_.world(), scenario_.latency());
+  platform.set_fault_model(&faults);
+  CampaignExecutor executor(platform);
+
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 120, 4};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 5};
+  const CampaignReport report = executor.execute(mesh_requests(vps, targets));
+
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.abandoned, report.requested);
+  // The echo requests went out: credits are spent even though nothing
+  // answered, and all of it is waste.
+  EXPECT_GT(report.credits_spent, 0u);
+  EXPECT_EQ(report.credits_wasted, report.credits_spent);
+  EXPECT_EQ(report.no_replies, report.attempts);
+}
+
+TEST_F(ExecutorTest, PermanentRoundFailureAbandonsEverythingWithoutHanging) {
+  auto weather = scenario::calm_weather();
+  weather.enabled = true;
+  weather.round_failure_rate = 1.0;  // the API never works
+  const FaultModel faults(scenario_.world(), weather);
+
+  Platform platform(scenario_.world(), scenario_.latency());
+  platform.set_fault_model(&faults);
+  CampaignExecutor executor(platform);
+
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 130, 3};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 3};
+  const CampaignReport report = executor.execute(mesh_requests(vps, targets));
+
+  EXPECT_EQ(report.completed, 0u);
+  EXPECT_EQ(report.abandoned, report.requested);
+  EXPECT_EQ(report.round_failures, report.rounds);
+  EXPECT_EQ(platform.usage().pings, 0u);  // nothing ever executed
+  EXPECT_EQ(report.credits_spent, 0u);
+}
+
+TEST_F(ExecutorTest, DeadVpsAreReassignedToSpares) {
+  auto weather = scenario::calm_weather();
+  weather.enabled = true;
+  weather.vp_abandon_per_day = 50'000.0;  // probes die within seconds
+  weather.anchor_stability = 0.0;         // spares (anchors) never churn
+  const FaultModel faults(scenario_.world(), weather);
+
+  Platform platform(scenario_.world(), scenario_.latency());
+  platform.set_fault_model(&faults);
+  ExecutorConfig config;
+  config.scheduler.batch_size = 5;  // force many rounds so the clock moves
+  CampaignExecutor executor(platform, config);
+
+  const std::span<const sim::HostId> probes{
+      scenario_.probe_sanitisation().kept.data(), 2};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 20};
+  const std::span<const sim::HostId> spares{scenario_.targets().data() + 20, 5};
+  const CampaignReport report =
+      executor.execute(mesh_requests(probes, targets), spares);
+
+  EXPECT_GT(report.vp_reassignments, 0u);
+  EXPECT_EQ(report.completed + report.abandoned, report.requested);
+  // Spares kept the campaign alive: reassigned measurements completed.
+  EXPECT_GT(report.completed, 0u);
+}
+
+TEST_F(ExecutorTest, DeadVpsWithoutSparesAreAbandoned) {
+  auto weather = scenario::calm_weather();
+  weather.enabled = true;
+  weather.vp_abandon_per_day = 50'000.0;
+  const FaultModel faults(scenario_.world(), weather);
+
+  Platform platform(scenario_.world(), scenario_.latency());
+  platform.set_fault_model(&faults);
+  ExecutorConfig config;
+  config.scheduler.batch_size = 5;
+  CampaignExecutor executor(platform, config);
+
+  const std::span<const sim::HostId> probes{
+      scenario_.probe_sanitisation().kept.data(), 2};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 20};
+  const CampaignReport report = executor.execute(mesh_requests(probes, targets));
+
+  EXPECT_EQ(report.vp_reassignments, 0u);
+  EXPECT_GT(report.abandoned, 0u);
+  EXPECT_EQ(report.completed + report.abandoned, report.requested);
+}
+
+TEST_F(ExecutorTest, StormyCampaignSurvivesAndBalancesTheBooks) {
+  // The acceptance campaign: a full stormy mesh completes with zero crashes
+  // and every measurement accounted for, retries and abandonments included.
+  const FaultModel faults(scenario_.world(), scenario::stormy_weather());
+  Platform platform(scenario_.world(), scenario_.latency());
+  platform.set_fault_model(&faults);
+  CampaignExecutor executor(platform);
+
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 100, 60};
+  const std::span<const sim::HostId> spares{scenario_.vps().data() + 160, 40};
+  const CampaignReport report = executor.execute_full_mesh(
+      vps, scenario_.targets(), scenario_.config().ping_packets, spares);
+
+  EXPECT_EQ(report.requested, vps.size() * scenario_.targets().size());
+  EXPECT_EQ(report.completed + report.abandoned, report.requested);
+  EXPECT_GT(report.completed, 0u);
+  EXPECT_GT(report.abandoned, 0u);  // ~12% dark targets exceed the budget
+  EXPECT_GT(report.retries, 0u);
+  EXPECT_GT(report.attempts, report.requested);
+  EXPECT_GE(report.attempts, report.retries);
+  EXPECT_GT(report.credits_wasted, 0u);
+  EXPECT_LT(report.credits_wasted, report.credits_spent);
+  EXPECT_GT(report.success_rate(), 0.5);
+  EXPECT_LT(report.success_rate(), 1.0);
+  EXPECT_EQ(report.results.size(), report.completed);
+  EXPECT_GT(report.duration_s, 0.0);
+}
+
+TEST_F(ExecutorTest, StormyCampaignIsDeterministic) {
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 100, 20};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 15};
+  const auto requests = mesh_requests(vps, targets);
+
+  auto run = [&] {
+    const FaultModel faults(scenario_.world(), scenario::stormy_weather());
+    Platform platform(scenario_.world(), scenario_.latency());
+    platform.set_fault_model(&faults);
+    return CampaignExecutor(platform).execute(requests);
+  };
+  const CampaignReport a = run();
+  const CampaignReport b = run();
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.rejections, b.rejections);
+  EXPECT_EQ(a.credits_spent, b.credits_spent);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+}
+
+TEST_F(ExecutorTest, CollectResultsOffKeepsOnlyTheAccounting) {
+  Platform platform(scenario_.world(), scenario_.latency());
+  ExecutorConfig config;
+  config.collect_results = false;
+  CampaignExecutor executor(platform, config);
+
+  const std::span<const sim::HostId> vps{scenario_.vps().data() + 140, 5};
+  const std::span<const sim::HostId> targets{scenario_.targets().data(), 5};
+  const CampaignReport report = executor.execute(mesh_requests(vps, targets));
+  EXPECT_EQ(report.completed, report.requested);
+  EXPECT_TRUE(report.results.empty());
+}
+
+}  // namespace
+}  // namespace geoloc::atlas

@@ -1,0 +1,190 @@
+#include "atlas/faults.h"
+
+#include <gtest/gtest.h>
+
+#include "scenario/presets.h"
+#include "test_scenario.h"
+
+namespace geoloc::atlas {
+namespace {
+
+using geoloc::testing::small_scenario;
+
+FaultConfig storm() { return scenario::stormy_weather(); }
+
+TEST(FaultModelCalm, DisabledWeatherNeverFails) {
+  const auto& s = small_scenario();
+  const FaultModel calm(s.world(), scenario::calm_weather());
+  EXPECT_FALSE(calm.enabled());
+  for (std::size_t i = 0; i < 50; ++i) {
+    const sim::HostId vp = s.vps()[i];
+    EXPECT_EQ(calm.vp_abandon_time_s(vp), FaultModel::kNever);
+    EXPECT_FALSE(calm.vp_abandoned(vp, 1e12));
+    EXPECT_FALSE(calm.vp_in_outage(vp, 3'600.0 * i));
+    EXPECT_TRUE(calm.vp_available(vp, 1e9));
+    EXPECT_TRUE(calm.outage_windows(vp, 1e7).empty());
+  }
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(calm.target_unresponsive(s.targets()[i % s.targets().size()]));
+    EXPECT_FALSE(calm.round_fails(i));
+    EXPECT_FALSE(calm.measurement_rejected(i));
+  }
+}
+
+TEST(FaultModelCalm, RatesIgnoredWhileDisabled) {
+  // `enabled` is the master switch: a disabled config with violent rates is
+  // still fair weather.
+  auto config = storm();
+  config.enabled = false;
+  const FaultModel m(small_scenario().world(), config);
+  EXPECT_FALSE(m.vp_abandoned(small_scenario().vps()[0], 1e12));
+  EXPECT_FALSE(m.round_fails(0));
+}
+
+TEST(FaultModelDeterminism, SameSeedSameWeather) {
+  const auto& s = small_scenario();
+  const FaultModel a(s.world(), storm());
+  const FaultModel b(s.world(), storm());
+  for (std::size_t i = 0; i < 100; ++i) {
+    const sim::HostId vp = s.vps()[i];
+    EXPECT_EQ(a.vp_abandon_time_s(vp), b.vp_abandon_time_s(vp));
+    EXPECT_EQ(a.vp_in_outage(vp, 12'345.0), b.vp_in_outage(vp, 12'345.0));
+    EXPECT_EQ(a.target_unresponsive(vp), b.target_unresponsive(vp));
+    EXPECT_EQ(a.round_fails(i), b.round_fails(i));
+    EXPECT_EQ(a.measurement_rejected(i), b.measurement_rejected(i));
+  }
+}
+
+TEST(FaultModelDeterminism, DifferentSeedDifferentWeather) {
+  const auto& s = small_scenario();
+  const FaultModel a(s.world(), scenario::stormy_weather(1));
+  const FaultModel b(s.world(), scenario::stormy_weather(2));
+  int differences = 0;
+  for (std::size_t i = 0; i < 200; ++i) {
+    differences +=
+        a.vp_abandon_time_s(s.vps()[i]) != b.vp_abandon_time_s(s.vps()[i]);
+  }
+  EXPECT_GT(differences, 150);
+}
+
+TEST(FaultModelChurn, AbandonmentIsMonotonicInTime) {
+  const auto& s = small_scenario();
+  const FaultModel m(s.world(), storm());
+  for (std::size_t i = 0; i < 100; ++i) {
+    const sim::HostId vp = s.vps()[i];
+    const double t = m.vp_abandon_time_s(vp);
+    ASSERT_GT(t, 0.0);
+    EXPECT_FALSE(m.vp_abandoned(vp, t * 0.5));
+    EXPECT_TRUE(m.vp_abandoned(vp, t));
+    EXPECT_TRUE(m.vp_abandoned(vp, t * 2.0));
+  }
+}
+
+TEST(FaultModelChurn, HazardRateMatchesOverThePopulation) {
+  // ~6%/day probe hazard: within one day, a few percent of probes die.
+  const auto& s = small_scenario();
+  const FaultModel m(s.world(), storm());
+  int dead = 0, probes = 0;
+  for (sim::HostId vp : s.probe_sanitisation().kept) {
+    ++probes;
+    dead += m.vp_abandoned(vp, 86'400.0);
+  }
+  const double fraction = static_cast<double>(dead) / probes;
+  EXPECT_GT(fraction, 0.02);
+  EXPECT_LT(fraction, 0.12);
+}
+
+TEST(FaultModelChurn, AnchorsChurnLessThanProbes) {
+  const auto& s = small_scenario();
+  const FaultModel m(s.world(), storm());
+  int anchor_dead = 0;
+  for (sim::HostId a : s.targets()) {
+    anchor_dead += m.vp_abandoned(a, 86'400.0 * 5);
+  }
+  int probe_dead = 0;
+  for (sim::HostId p : s.probe_sanitisation().kept) {
+    probe_dead += m.vp_abandoned(p, 86'400.0 * 5);
+  }
+  const double anchor_rate =
+      static_cast<double>(anchor_dead) / s.targets().size();
+  const double probe_rate = static_cast<double>(probe_dead) /
+                            s.probe_sanitisation().kept.size();
+  EXPECT_LT(anchor_rate, probe_rate);
+}
+
+TEST(FaultModelOutages, WindowsAndPointQueriesAgree) {
+  const auto& s = small_scenario();
+  const FaultModel m(s.world(), storm());
+  const double horizon = 86'400.0 * 3;
+  int windows_total = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    const sim::HostId vp = s.vps()[i];
+    const auto windows = m.outage_windows(vp, horizon);
+    windows_total += static_cast<int>(windows.size());
+    for (const OutageWindow& w : windows) {
+      ASSERT_LT(w.start_s, w.end_s);
+      const double mid = (w.start_s + w.end_s) / 2.0;
+      EXPECT_TRUE(m.vp_in_outage(vp, mid));
+      EXPECT_FALSE(m.vp_in_outage(vp, w.start_s - 1e-3));
+      if (w.end_s < horizon) {
+        EXPECT_FALSE(m.vp_in_outage(vp, w.end_s + 1e-3));
+      }
+    }
+  }
+  // ~0.5 spells/day over 3 days and 30 VPs: dozens of windows expected.
+  EXPECT_GT(windows_total, 10);
+}
+
+TEST(FaultModelTargets, UnresponsiveFractionNearConfigured) {
+  const auto& s = small_scenario();
+  auto config = storm();
+  config.target_unresponsive_rate = 0.12;
+  const FaultModel m(s.world(), config);
+  int dark = 0, total = 0;
+  for (sim::HostId probe : s.probe_sanitisation().kept) {
+    ++total;
+    dark += m.target_unresponsive(probe);
+  }
+  const double fraction = static_cast<double>(dark) / total;
+  EXPECT_GT(fraction, 0.08);
+  EXPECT_LT(fraction, 0.16);
+}
+
+TEST(FaultModelApi, RoundFailureRateNearConfigured) {
+  auto config = storm();
+  config.round_failure_rate = 0.2;
+  const FaultModel m(small_scenario().world(), config);
+  int failed = 0;
+  for (std::uint64_t r = 0; r < 2'000; ++r) failed += m.round_fails(r);
+  EXPECT_GT(failed, 300);
+  EXPECT_LT(failed, 500);
+}
+
+TEST(FaultModelApi, RejectionsAreIndependentPerSubmission) {
+  auto config = storm();
+  config.measurement_rejection_rate = 0.1;
+  const FaultModel m(small_scenario().world(), config);
+  int rejected = 0;
+  for (std::uint64_t i = 0; i < 5'000; ++i) {
+    rejected += m.measurement_rejected(i);
+  }
+  EXPECT_GT(rejected, 350);
+  EXPECT_LT(rejected, 650);
+}
+
+TEST(WeatherPresets, CalmIsDisabledStormIsNot) {
+  EXPECT_FALSE(scenario::calm_weather().enabled);
+  const auto stormy = scenario::stormy_weather();
+  EXPECT_TRUE(stormy.enabled);
+  EXPECT_GE(stormy.vp_abandon_per_day, 0.05);
+  EXPECT_GE(stormy.target_unresponsive_rate, 0.10);
+  EXPECT_GT(stormy.round_failure_rate, 0.0);
+  const auto drizzle = scenario::drizzle_weather();
+  EXPECT_TRUE(drizzle.enabled);
+  EXPECT_LT(drizzle.vp_abandon_per_day, stormy.vp_abandon_per_day);
+  EXPECT_LT(drizzle.target_unresponsive_rate,
+            stormy.target_unresponsive_rate);
+}
+
+}  // namespace
+}  // namespace geoloc::atlas

@@ -76,6 +76,48 @@ TEST_F(PlatformTest, ProbingRatesFollowClassBands) {
   EXPECT_LE(probe_pps, cfg.probe_pps_max);
 }
 
+TEST_F(PlatformTest, PingReportsPerPacketAccounting) {
+  const PingMeasurement m =
+      platform_->ping(scenario_.vps()[4], scenario_.targets()[2]);
+  ASSERT_TRUE(m.answered());
+  EXPECT_GE(m.packets_received, 1);
+  EXPECT_LE(m.packets_received, m.packets_sent);
+}
+
+TEST_F(PlatformTest, WeatherUnresponsiveTargetBillsButNeverAnswers) {
+  FaultConfig weather;
+  weather.enabled = true;
+  weather.target_unresponsive_rate = 1.0;
+  const FaultModel faults(scenario_.world(), weather);
+  platform_->set_fault_model(&faults);
+
+  const auto before = platform_->usage().credits;
+  const PingMeasurement m =
+      platform_->ping(scenario_.vps()[0], scenario_.targets()[0]);
+  EXPECT_FALSE(m.answered());
+  EXPECT_FALSE(m.min_rtt_ms.has_value());
+  EXPECT_EQ(m.packets_received, 0);
+  EXPECT_EQ(m.packets_sent, platform_->config().ping_packets);
+  // The echo requests were sent and billed; only the replies were eaten.
+  EXPECT_GT(platform_->usage().credits, before);
+}
+
+TEST_F(PlatformTest, DisabledWeatherLeavesPingsBitIdentical) {
+  const FaultModel calm(scenario_.world(), FaultConfig{});  // enabled=false
+  Platform with_weather(scenario_.world(), scenario_.latency());
+  with_weather.set_fault_model(&calm);
+  Platform without(scenario_.world(), scenario_.latency());
+  for (int i = 0; i < 10; ++i) {
+    const PingMeasurement a =
+        with_weather.ping(scenario_.vps()[i], scenario_.targets()[i]);
+    const PingMeasurement b =
+        without.ping(scenario_.vps()[i], scenario_.targets()[i]);
+    EXPECT_EQ(a.min_rtt_ms, b.min_rtt_ms);
+    EXPECT_EQ(a.packets_received, b.packets_received);
+  }
+  EXPECT_EQ(with_weather.usage().credits, without.usage().credits);
+}
+
 TEST_F(PlatformTest, ProbingRateIsDeterministicPerHost) {
   const auto vp = scenario_.vps()[3];
   EXPECT_DOUBLE_EQ(platform_->probing_rate_pps(vp),

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <tuple>
 
 #include "geo/geodesy.h"
@@ -110,6 +111,73 @@ TEST(Cbg, TighterObservationsShrinkRegion) {
   ASSERT_TRUE(rl.ok);
   ASSERT_TRUE(rt.ok);
   EXPECT_LT(rt.region.area_km2, rl.region.area_km2);
+}
+
+// One test per degradation tier: the verdict tells callers running under
+// platform weather how much to trust a fix built from whatever
+// measurements survived.
+TEST(CbgDegradation, FullConstraintsVerdictOk) {
+  const geo::GeoPoint truth{47.5, 5.0};
+  const std::vector<VpObservation> obs{
+      observe(kParis, truth), observe(kLyon, truth), observe(kBerlin, truth)};
+  const CbgResult r = cbg_geolocate(obs);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.verdict, CbgVerdict::Ok);
+  EXPECT_EQ(r.surviving_constraints, 3u);
+  // No widening: the confidence radius is the region's equivalent circle.
+  EXPECT_NEAR(r.confidence_radius_km,
+              std::sqrt(r.region.area_km2 / geo::kPi), 1e-6);
+  EXPECT_GT(r.confidence_radius_km, 0.0);
+}
+
+TEST(CbgDegradation, StarvedConstraintsVerdictDegradedWithWidenedRadius) {
+  const geo::GeoPoint truth{47.5, 5.0};
+  const std::vector<VpObservation> two{observe(kParis, truth),
+                                       observe(kLyon, truth)};
+  const CbgResult r2 = cbg_geolocate(two);
+  ASSERT_TRUE(r2.ok);  // still produces an estimate...
+  EXPECT_EQ(r2.verdict, CbgVerdict::Degraded);  // ...but flags it
+  EXPECT_EQ(r2.surviving_constraints, 2u);
+  const double equivalent = std::sqrt(r2.region.area_km2 / geo::kPi);
+  EXPECT_NEAR(r2.confidence_radius_km, equivalent * 2.0, 1e-6);  // 1 missing
+
+  const std::vector<VpObservation> one{observe(kParis, truth)};
+  const CbgResult r1 = cbg_geolocate(one);
+  ASSERT_TRUE(r1.ok);
+  EXPECT_EQ(r1.verdict, CbgVerdict::Degraded);
+  // Two constraints missing widens further than one.
+  EXPECT_NEAR(r1.confidence_radius_km,
+              std::sqrt(r1.region.area_km2 / geo::kPi) * 3.0, 1e-6);
+}
+
+TEST(CbgDegradation, NoObservationsVerdictUnlocatable) {
+  const CbgResult r = cbg_geolocate({});
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.verdict, CbgVerdict::Unlocatable);
+  EXPECT_EQ(r.surviving_constraints, 0u);
+  EXPECT_DOUBLE_EQ(r.confidence_radius_km, 0.0);
+}
+
+TEST(CbgDegradation, EmptyIntersectionVerdictUnlocatable) {
+  // The disjoint-disk construction from the fallback test, without the
+  // rescue speed: no region, so no verdict better than Unlocatable.
+  const geo::GeoPoint truth = geo::midpoint(kParis, kBerlin);
+  std::vector<VpObservation> obs;
+  for (const auto& vp : {kParis, kBerlin}) {
+    const double d = geo::distance_km(vp, truth);
+    obs.push_back({vp, geo::distance_to_min_rtt_ms(d) * 1.01});
+  }
+  CbgConfig strict;
+  strict.soi_km_per_ms = geo::kSoiFourNinthsKmPerMs;
+  const CbgResult r = cbg_geolocate(obs, strict);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.verdict, CbgVerdict::Unlocatable);
+}
+
+TEST(CbgDegradation, VerdictNamesRoundTrip) {
+  EXPECT_EQ(to_string(CbgVerdict::Ok), "ok");
+  EXPECT_EQ(to_string(CbgVerdict::Degraded), "degraded");
+  EXPECT_EQ(to_string(CbgVerdict::Unlocatable), "unlocatable");
 }
 
 // Property sweep: randomized SOI-safe observation sets always produce a

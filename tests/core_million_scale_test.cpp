@@ -7,6 +7,7 @@
 
 #include "eval/metrics.h"
 #include "geo/geodesy.h"
+#include "scenario/presets.h"
 #include "test_scenario.h"
 #include "util/stats.h"
 
@@ -155,6 +156,62 @@ TEST(TwoStep, Step1CostBoundedBySubsetSize) {
   const TwoStepSelector selector(s, greedy_coverage_rows(s, 25));
   const TwoStepOutcome o = selector.run(0);
   EXPECT_LE(o.step1_pings, 25u * 3u);
+}
+
+TEST(ResilientRepresentatives, CalmWeatherPicksResponsiveTopScorers) {
+  const auto& s = small_scenario();
+  for (sim::HostId target : s.targets()) {
+    const RepresentativeFallback f = resilient_representatives(s, target);
+    EXPECT_LE(f.chosen.size(), 3u);
+    for (sim::HostId rep : f.chosen) {
+      EXPECT_TRUE(s.world().host(rep).responsive);
+    }
+    // No skips means nothing had to be substituted.
+    if (f.skipped_unresponsive == 0) {
+      EXPECT_FALSE(f.substituted);
+    }
+  }
+}
+
+TEST(ResilientRepresentatives, WeatherDarkRepsAreSkippedNotChosen) {
+  const auto& s = small_scenario();
+  auto weather = scenario::stormy_weather();
+  weather.target_unresponsive_rate = 0.5;  // plenty of dark reps
+  const atlas::FaultModel faults(s.world(), weather);
+
+  std::size_t skipped_total = 0;
+  for (sim::HostId target : s.targets()) {
+    const RepresentativeFallback f =
+        resilient_representatives(s, target, &faults);
+    skipped_total += f.skipped_unresponsive;
+    for (sim::HostId rep : f.chosen) {
+      EXPECT_FALSE(faults.target_unresponsive(rep));
+      EXPECT_TRUE(s.world().host(rep).responsive);
+    }
+  }
+  EXPECT_GT(skipped_total, 0u);
+
+  // With a quota below the three hitlist reps there is a next-best entry to
+  // fall back on: when a top scorer is dark, the fallback substitutes it.
+  std::size_t substituted_targets = 0;
+  for (sim::HostId target : s.targets()) {
+    const RepresentativeFallback f =
+        resilient_representatives(s, target, &faults, /*count=*/2);
+    substituted_targets += f.substituted;
+    EXPECT_LE(f.chosen.size(), 2u);
+  }
+  EXPECT_GT(substituted_targets, 0u);
+}
+
+TEST(ResilientRepresentatives, TotalDarknessDegradesToEmptyNotCrash) {
+  const auto& s = small_scenario();
+  auto weather = scenario::stormy_weather();
+  weather.target_unresponsive_rate = 1.0;
+  const atlas::FaultModel faults(s.world(), weather);
+  const RepresentativeFallback f =
+      resilient_representatives(s, s.targets()[0], &faults);
+  EXPECT_TRUE(f.chosen.empty());
+  EXPECT_GT(f.skipped_unresponsive, 0u);
 }
 
 TEST(OriginalAlgorithmPings, MatchesFormula) {

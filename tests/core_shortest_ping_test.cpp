@@ -33,5 +33,50 @@ TEST(ShortestPing, TiesGoToTheFirst) {
   EXPECT_EQ(r->winner_index, 0u);
 }
 
+TEST(ShortestPingSurvey, CountsRespondersAndSkipsSilentVps) {
+  const std::vector<std::optional<double>> rtts{
+      std::nullopt, 12.0, std::nullopt, 4.0, 30.0};
+  const std::vector<geo::GeoPoint> locations{
+      {0.0, 0.0}, {1.0, 1.0}, {2.0, 2.0}, {3.0, 3.0}, {4.0, 4.0}};
+  const ShortestPingSurvey s = shortest_ping_survey(rtts, locations);
+  EXPECT_EQ(s.candidates, 5u);
+  EXPECT_EQ(s.responded, 3u);
+  EXPECT_DOUBLE_EQ(s.response_rate(), 3.0 / 5.0);
+  ASSERT_TRUE(s.best.has_value());
+  // The winner index refers to the original candidate list, silent VPs
+  // included.
+  EXPECT_EQ(s.best->winner_index, 3u);
+  EXPECT_DOUBLE_EQ(s.best->min_rtt_ms, 4.0);
+  EXPECT_EQ(s.best->estimate, (geo::GeoPoint{3.0, 3.0}));
+}
+
+TEST(ShortestPingSurvey, NobodyAnswered) {
+  const std::vector<std::optional<double>> rtts{std::nullopt, std::nullopt};
+  const std::vector<geo::GeoPoint> locations{{0.0, 0.0}, {1.0, 1.0}};
+  const ShortestPingSurvey s = shortest_ping_survey(rtts, locations);
+  EXPECT_EQ(s.candidates, 2u);
+  EXPECT_EQ(s.responded, 0u);
+  EXPECT_FALSE(s.best.has_value());
+  EXPECT_DOUBLE_EQ(s.response_rate(), 0.0);
+}
+
+TEST(ShortestPingSurvey, EmptyCandidateList) {
+  const ShortestPingSurvey s = shortest_ping_survey({}, {});
+  EXPECT_EQ(s.candidates, 0u);
+  EXPECT_FALSE(s.best.has_value());
+  EXPECT_DOUBLE_EQ(s.response_rate(), 0.0);
+}
+
+TEST(ShortestPingSurvey, FullResponseMatchesPlainShortestPing) {
+  const std::vector<std::optional<double>> rtts{30.0, 5.0, 12.0};
+  const std::vector<geo::GeoPoint> locations{
+      {10.0, 10.0}, {20.0, 20.0}, {30.0, 30.0}};
+  const ShortestPingSurvey s = shortest_ping_survey(rtts, locations);
+  EXPECT_EQ(s.responded, 3u);
+  ASSERT_TRUE(s.best.has_value());
+  EXPECT_EQ(s.best->winner_index, 1u);
+  EXPECT_DOUBLE_EQ(s.response_rate(), 1.0);
+}
+
 }  // namespace
 }  // namespace geoloc::core

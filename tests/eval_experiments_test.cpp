@@ -6,6 +6,7 @@
 
 #include "core/million_scale.h"
 #include "eval/metrics.h"
+#include "scenario/presets.h"
 #include "test_scenario.h"
 #include "util/stats.h"
 
@@ -115,6 +116,57 @@ TEST(TrialsFromEnv, FallbackWhenUnset) {
   setenv("GEOLOC_TRIALS", "garbage", 1);
   EXPECT_EQ(trials_from_env(17), 17);
   unsetenv("GEOLOC_TRIALS");
+}
+
+TEST(FailureWeatherSweep, CalmCompletesStormDegradesButSurvives) {
+  const auto& s = small_scenario();
+  const std::vector<WeatherSpec> weathers{
+      {"calm", scenario::calm_weather()},
+      {"stormy", scenario::stormy_weather()},
+  };
+  const auto sweep = run_failure_sensitivity(s, weathers, /*max_vps=*/60);
+  ASSERT_EQ(sweep.size(), 2u);
+  const FailureSweepPoint& calm = sweep[0];
+  const FailureSweepPoint& stormy = sweep[1];
+
+  // Calm skies: the executor degenerates to the plain campaign.
+  EXPECT_EQ(calm.label, "calm");
+  EXPECT_EQ(calm.report.abandoned, 0u);
+  EXPECT_EQ(calm.report.retries, 0u);
+  EXPECT_EQ(calm.report.completed, calm.report.requested);
+  // A stray empty intersection is possible even in calm skies; what calm
+  // weather rules out is *measurement starvation*.
+  EXPECT_LT(calm.unlocatable, s.targets().size() / 10);
+  EXPECT_GT(calm.located, s.targets().size() / 2);
+
+  // Storm: retries and abandonments happen, the campaign still finishes and
+  // every target gets a verdict.
+  EXPECT_GT(stormy.report.retries, 0u);
+  EXPECT_GT(stormy.report.abandoned, 0u);
+  EXPECT_EQ(stormy.report.completed + stormy.report.abandoned,
+            stormy.report.requested);
+  EXPECT_GT(stormy.report.credits_wasted, 0u);
+  EXPECT_EQ(stormy.located + stormy.degraded + stormy.unlocatable,
+            s.targets().size());
+  // Weather can only lose constraints, never gain them.
+  EXPECT_LE(stormy.located, calm.located);
+  // The accounting is kept; the raw measurements are not.
+  EXPECT_TRUE(stormy.report.results.empty());
+  EXPECT_GT(stormy.median_error_km, 0.0);
+}
+
+TEST(FailureWeatherSweep, DeterministicAcrossRuns) {
+  const auto& s = small_scenario();
+  const std::vector<WeatherSpec> weathers{
+      {"stormy", scenario::stormy_weather()}};
+  const auto a = run_failure_sensitivity(s, weathers, /*max_vps=*/30);
+  const auto b = run_failure_sensitivity(s, weathers, /*max_vps=*/30);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(a[0].report.attempts, b[0].report.attempts);
+  EXPECT_EQ(a[0].report.abandoned, b[0].report.abandoned);
+  EXPECT_EQ(a[0].located, b[0].located);
+  EXPECT_DOUBLE_EQ(a[0].median_error_km, b[0].median_error_km);
 }
 
 TEST(Metrics, ThresholdHelpers) {
