@@ -47,7 +47,7 @@ int main() {
   const bool full = !bench::small_mode() &&
                     std::getenv("GEOLOC_ABLATION_FULL") != nullptr;
   auto base = full ? scenario::paper_config() : scenario::small_config();
-  base.cache_dir = "geoloc_cache";
+  base.cache_dir = scenario::default_cache_dir();
   if (!full) {
     std::printf("[running at small scale; set GEOLOC_ABLATION_FULL=1 for the "
                 "723-target scenario]\n\n");

@@ -34,7 +34,7 @@ inline const scenario::Scenario& bench_scenario() {
   static const scenario::Scenario s = [] {
     auto cfg =
         small_mode() ? scenario::small_config() : scenario::paper_config();
-    if (cfg.cache_dir.empty()) cfg.cache_dir = "geoloc_cache";
+    if (cfg.cache_dir.empty()) cfg.cache_dir = scenario::default_cache_dir();
     return scenario::Scenario(cfg);
   }();
   return s;

@@ -33,7 +33,7 @@ int main() {
   for (std::uint64_t seed : {11ULL, 22ULL, 33ULL, 44ULL, 55ULL}) {
     auto cfg = full ? scenario::paper_config(seed)
                     : scenario::small_config(seed);
-    cfg.cache_dir = "geoloc_cache";
+    cfg.cache_dir = scenario::default_cache_dir();
     const scenario::Scenario s(cfg);
 
     std::vector<double> cbg;

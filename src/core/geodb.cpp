@@ -69,6 +69,15 @@ GeoDatabase GeoDatabase::build(const scenario::Scenario& s,
   return db;
 }
 
+std::vector<std::pair<net::Prefix, GeoDbEntry>> GeoDatabase::entries() const {
+  std::vector<std::pair<net::Prefix, GeoDbEntry>> out;
+  out.reserve(table_.size());
+  table_.for_each([&](const net::Prefix& p, const GeoDbEntry& e) {
+    out.emplace_back(p, e);
+  });
+  return out;
+}
+
 std::optional<GeoDbEntry> GeoDatabase::lookup(net::IPv4Address a) const {
   const auto hit = table_.lookup(a);
   if (!hit) return std::nullopt;

@@ -11,6 +11,8 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "net/prefix_table.h"
 #include "scenario/scenario.h"
@@ -35,6 +37,11 @@ class GeoDatabase {
 
   [[nodiscard]] GeoDbProfile profile() const noexcept { return profile_; }
   [[nodiscard]] std::size_t size() const noexcept { return table_.size(); }
+
+  /// Every (prefix, entry) pair in network order — the export hook the
+  /// snapshot builder uses to publish a database-sourced dataset.
+  [[nodiscard]] std::vector<std::pair<net::Prefix, GeoDbEntry>> entries()
+      const;
 
  private:
   explicit GeoDatabase(GeoDbProfile profile) : profile_(profile) {}

@@ -1,0 +1,37 @@
+#include "eval/publication.h"
+
+#include "geo/geodesy.h"
+#include "util/stats.h"
+
+namespace geoloc::eval {
+
+SnapshotQuality evaluate_snapshot(const scenario::Scenario& s,
+                                  const publish::Snapshot& snapshot) {
+  SnapshotQuality q;
+  q.targets = s.targets().size();
+  std::size_t city_level = 0;
+  for (const sim::HostId target : s.targets()) {
+    const sim::Host& host = s.world().host(target);
+    const auto hit = snapshot.find(host.addr);
+    if (!hit) continue;
+    ++q.covered;
+    switch (hit->tier) {
+      case core::CbgVerdict::Ok: ++q.tier_ok; break;
+      case core::CbgVerdict::Degraded: ++q.tier_degraded; break;
+      case core::CbgVerdict::Unlocatable: ++q.tier_unlocatable; break;
+    }
+    const auto method = static_cast<std::size_t>(hit->method);
+    if (method < q.by_method.size()) ++q.by_method[method];
+    const double error = geo::distance_km(hit->location, host.true_location);
+    q.errors_km.push_back(error);
+    if (error <= 40.0) ++city_level;
+  }
+  if (!q.errors_km.empty()) {
+    q.median_error_km = util::median(q.errors_km);
+    q.city_level_fraction =
+        static_cast<double>(city_level) / static_cast<double>(q.covered);
+  }
+  return q;
+}
+
+}  // namespace geoloc::eval

@@ -1,0 +1,34 @@
+// Quality audit of a published snapshot against the simulator's ground
+// truth: the numbers a dataset release note should carry (coverage, trust
+// tiers, error distribution) — the "is the published artifact as good as
+// the campaign it came from" check.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "publish/snapshot.h"
+#include "scenario/scenario.h"
+
+namespace geoloc::eval {
+
+struct SnapshotQuality {
+  std::size_t targets = 0;         ///< scenario targets audited
+  std::size_t covered = 0;         ///< targets with a snapshot answer
+  std::size_t tier_ok = 0;         ///< answers with CbgVerdict::Ok
+  std::size_t tier_degraded = 0;
+  std::size_t tier_unlocatable = 0;
+  /// Answers per publish::Method (indexed by its underlying value).
+  std::array<std::size_t, 4> by_method{};
+  double median_error_km = 0.0;    ///< over covered targets
+  double city_level_fraction = 0.0;  ///< errors <= 40 km (paper's bar)
+  std::vector<double> errors_km;   ///< per covered target, snapshot order
+};
+
+/// Look up every scenario target in the snapshot and score the answers
+/// against true locations.
+SnapshotQuality evaluate_snapshot(const scenario::Scenario& s,
+                                  const publish::Snapshot& snapshot);
+
+}  // namespace geoloc::eval

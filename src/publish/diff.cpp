@@ -1,0 +1,96 @@
+#include "publish/diff.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "util/stats.h"
+
+namespace geoloc::publish {
+
+namespace {
+
+/// Strict (network, length) order — the order snapshots are stored in.
+int compare(const net::Prefix& a, const net::Prefix& b) noexcept {
+  if (a.network() != b.network()) return a.network() < b.network() ? -1 : 1;
+  if (a.length() != b.length()) return a.length() < b.length() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+DiffStats diff_snapshots(const Snapshot& from, const Snapshot& to,
+                         double move_threshold_km) {
+  DiffStats d;
+  d.from_version = from.dataset_version();
+  d.to_version = to.dataset_version();
+  d.from_entries = from.size();
+  d.to_entries = to.size();
+
+  std::vector<double> moves_km;
+  std::size_t i = 0, j = 0;
+  while (i < from.size() || j < to.size()) {
+    if (i == from.size()) {
+      ++d.added;
+      ++j;
+      continue;
+    }
+    if (j == to.size()) {
+      ++d.removed;
+      ++i;
+      continue;
+    }
+    const SnapshotEntry a = from.entry(i);
+    const SnapshotEntry b = to.entry(j);
+    const int c = compare(a.prefix, b.prefix);
+    if (c < 0) {
+      ++d.removed;
+      ++i;
+      continue;
+    }
+    if (c > 0) {
+      ++d.added;
+      ++j;
+      continue;
+    }
+    ++d.retained;
+    const double move = geo::distance_km(a.location, b.location);
+    if (move > 0.0) moves_km.push_back(move);
+    if (move > move_threshold_km) ++d.moved;
+    if (move > d.max_move_km) d.max_move_km = move;
+    if (a.method != b.method) ++d.method_changes;
+    if (a.tier != b.tier) ++d.tier_changes;
+    if (b.measured_at_s > a.measured_at_s) ++d.refreshed;
+    ++i;
+    ++j;
+  }
+  if (!moves_km.empty()) d.median_move_km = util::median(moves_km);
+  return d;
+}
+
+std::string format_diff(const DiffStats& d) {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "snapshot diff v%u -> v%u: %zu -> %zu entries\n",
+                d.from_version, d.to_version, d.from_entries, d.to_entries);
+  out += buf;
+  std::snprintf(buf, sizeof buf,
+                "  added %zu, removed %zu, retained %zu (refreshed %zu)\n",
+                d.added, d.removed, d.retained, d.refreshed);
+  out += buf;
+  std::snprintf(
+      buf, sizeof buf,
+      "  moved %zu (median %.1f km, max %.1f km), method changes %zu, "
+      "tier changes %zu\n",
+      d.moved, d.median_move_km, d.max_move_km, d.method_changes,
+      d.tier_changes);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  churn fraction %.1f%%\n",
+                100.0 * d.churn_fraction());
+  out += buf;
+  return out;
+}
+
+}  // namespace geoloc::publish

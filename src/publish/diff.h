@@ -1,0 +1,56 @@
+// Snapshot-to-snapshot churn analysis, after Gouel et al.'s longitudinal
+// study of a commercial geolocation database: between two published
+// versions, how many prefixes appeared, vanished, or *moved* — and how
+// far. Inter-version churn is a dataset property worth publishing next to
+// the dataset itself; consumers pinning a version need to know what an
+// upgrade will reshuffle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "publish/snapshot.h"
+
+namespace geoloc::publish {
+
+struct DiffStats {
+  std::uint32_t from_version = 0;
+  std::uint32_t to_version = 0;
+  std::size_t from_entries = 0;
+  std::size_t to_entries = 0;
+
+  std::size_t added = 0;     ///< prefixes only in the newer snapshot
+  std::size_t removed = 0;   ///< prefixes only in the older snapshot
+  std::size_t retained = 0;  ///< prefixes present in both
+
+  // Of the retained prefixes:
+  std::size_t moved = 0;           ///< location moved beyond the threshold
+  std::size_t method_changes = 0;  ///< produced by a different technique
+  std::size_t tier_changes = 0;    ///< CbgVerdict tier changed
+  std::size_t refreshed = 0;       ///< measured_at_s advanced
+
+  double median_move_km = 0.0;  ///< over retained entries that moved at all
+  double max_move_km = 0.0;
+
+  /// (added + removed + moved) / max(from_entries, to_entries); 0 when both
+  /// snapshots are empty.
+  [[nodiscard]] double churn_fraction() const noexcept {
+    const std::size_t denom =
+        from_entries > to_entries ? from_entries : to_entries;
+    return denom == 0 ? 0.0
+                      : static_cast<double>(added + removed + moved) /
+                            static_cast<double>(denom);
+  }
+};
+
+/// Compare two snapshots entry-by-entry (linear merge over the sorted
+/// prefix arrays). `move_threshold_km` separates relocation from
+/// re-measurement jitter.
+DiffStats diff_snapshots(const Snapshot& from, const Snapshot& to,
+                         double move_threshold_km = 1.0);
+
+/// Multi-line human-readable report.
+std::string format_diff(const DiffStats& d);
+
+}  // namespace geoloc::publish

@@ -1,0 +1,355 @@
+#include "publish/snapshot.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+#include <cstring>
+#include <unordered_map>
+#include <utility>
+
+#include "util/crc32.h"
+
+namespace geoloc::publish {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4E534C47u;  // "GLSN" little-endian
+
+// -- little-endian field codecs (byte-order independent) -------------------
+
+void store_u16(std::byte* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::byte>(v & 0xFF);
+  p[1] = static_cast<std::byte>(v >> 8);
+}
+void store_u32(std::byte* p, std::uint32_t v) noexcept {
+  for (int i = 0; i < 4; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+void store_u64(std::byte* p, std::uint64_t v) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<std::byte>((v >> (8 * i)) & 0xFF);
+  }
+}
+void store_f64(std::byte* p, double v) noexcept {
+  store_u64(p, std::bit_cast<std::uint64_t>(v));
+}
+void store_f32(std::byte* p, float v) noexcept {
+  store_u32(p, std::bit_cast<std::uint32_t>(v));
+}
+
+std::uint16_t load_u16(const std::byte* p) noexcept {
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[0]) |
+                                    (static_cast<std::uint8_t>(p[1]) << 8));
+}
+std::uint32_t load_u32(const std::byte* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  return v;
+}
+std::uint64_t load_u64(const std::byte* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<std::uint8_t>(p[i]);
+  return v;
+}
+double load_f64(const std::byte* p) noexcept {
+  return std::bit_cast<double>(load_u64(p));
+}
+float load_f32(const std::byte* p) noexcept {
+  return std::bit_cast<float>(load_u32(p));
+}
+
+bool fail(std::string* error, std::string message) {
+  if (error) *error = std::move(message);
+  return false;
+}
+
+/// (network, length) ordering shared by the builder and the validator.
+bool prefix_less(const net::Prefix& a, const net::Prefix& b) noexcept {
+  if (a.network() != b.network()) return a.network() < b.network();
+  return a.length() < b.length();
+}
+
+}  // namespace
+
+std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::Cbg: return "cbg";
+    case Method::TwoStep: return "two-step";
+    case Method::StreetLevel: return "street-level";
+    case Method::GeoDb: return "geodb";
+  }
+  return "?";
+}
+
+Record to_record(const SnapshotEntry& e) {
+  Record r;
+  r.prefix = e.prefix;
+  r.location = e.location;
+  r.method = e.method;
+  r.tier = e.tier;
+  r.confidence_radius_km = e.confidence_radius_km;
+  r.ttl_s = e.ttl_s;
+  r.measured_at_s = e.measured_at_s;
+  r.provenance = std::string(e.provenance);
+  return r;
+}
+
+// -- builder ---------------------------------------------------------------
+
+void SnapshotBuilder::add(Record record) {
+  records_.push_back(std::move(record));
+}
+
+void SnapshotBuilder::add(std::span<const Record> records) {
+  records_.insert(records_.end(), records.begin(), records.end());
+}
+
+std::vector<std::byte> SnapshotBuilder::build(const SnapshotMeta& meta) const {
+  // Sort by (network, length); among duplicates of the same prefix the
+  // last-added record wins.
+  std::vector<const Record*> order;
+  order.reserve(records_.size());
+  for (const Record& r : records_) order.push_back(&r);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const Record* a, const Record* b) {
+                     return prefix_less(a->prefix, b->prefix);
+                   });
+  std::vector<const Record*> kept;
+  kept.reserve(order.size());
+  for (const Record* r : order) {
+    if (!kept.empty() && kept.back()->prefix == r->prefix) {
+      kept.back() = r;  // stable sort kept insertion order within ties
+    } else {
+      kept.push_back(r);
+    }
+  }
+
+  // String pool: snapshot source first, then per-entry provenance,
+  // deduplicated.
+  std::vector<char> pool;
+  std::unordered_map<std::string_view, std::uint32_t> interned;
+  const auto intern = [&](std::string_view s) -> std::uint32_t {
+    if (s.empty()) return 0;
+    if (const auto it = interned.find(s); it != interned.end()) {
+      return it->second;
+    }
+    const auto offset = static_cast<std::uint32_t>(pool.size());
+    pool.insert(pool.end(), s.begin(), s.end());
+    interned.emplace(s, offset);
+    return offset;
+  };
+  const std::uint32_t source_offset = intern(meta.source);
+  std::vector<std::uint32_t> provenance_offsets(kept.size());
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    provenance_offsets[i] = intern(kept[i]->provenance);
+  }
+
+  const std::size_t total =
+      kHeaderBytes + kept.size() * kEntryStride + pool.size();
+  std::vector<std::byte> out(total);
+
+  std::byte* e = out.data() + kHeaderBytes;
+  for (std::size_t i = 0; i < kept.size(); ++i, e += kEntryStride) {
+    const Record& r = *kept[i];
+    store_u32(e + 0, r.prefix.network().value());
+    e[4] = static_cast<std::byte>(r.prefix.length());
+    e[5] = static_cast<std::byte>(r.method);
+    e[6] = static_cast<std::byte>(r.tier);
+    e[7] = std::byte{0};
+    store_f64(e + 8, r.location.lat_deg);
+    store_f64(e + 16, r.location.lon_deg);
+    store_f64(e + 24, r.measured_at_s);
+    store_f32(e + 32, r.confidence_radius_km);
+    store_f32(e + 36, r.ttl_s);
+    store_u32(e + 40, provenance_offsets[i]);
+    store_u32(e + 44, static_cast<std::uint32_t>(r.provenance.size()));
+  }
+  if (!pool.empty()) {
+    std::memcpy(out.data() + kHeaderBytes + kept.size() * kEntryStride,
+                pool.data(), pool.size());
+  }
+
+  std::byte* h = out.data();
+  store_u32(h + 0, kMagic);
+  store_u16(h + 4, kFormatVersion);
+  store_u16(h + 6, static_cast<std::uint16_t>(kHeaderBytes));
+  store_u32(h + 8, meta.dataset_version);
+  store_u32(h + 12, static_cast<std::uint32_t>(kEntryStride));
+  store_u64(h + 16, kept.size());
+  store_u64(h + 24, pool.size());
+  store_f64(h + 32, meta.created_at_s);
+  store_u32(h + 40, source_offset);
+  store_u32(h + 44, static_cast<std::uint32_t>(meta.source.size()));
+  const std::uint32_t payload_crc = util::crc32(
+      std::span<const std::byte>(out).subspan(kHeaderBytes));
+  store_u32(h + 48, payload_crc);
+  store_u32(h + 52, util::crc32(std::span<const std::byte>(h, 52)));
+  store_u64(h + 56, 0);
+  return out;
+}
+
+bool SnapshotBuilder::write_file(const std::string& path,
+                                 const SnapshotMeta& meta,
+                                 std::string* error) const {
+  const std::vector<std::byte> bytes = build(meta);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return fail(error, "snapshot: cannot open for writing: " + path);
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != bytes.size() || !closed) {
+    return fail(error, "snapshot: short write: " + path);
+  }
+  return true;
+}
+
+// -- reader ----------------------------------------------------------------
+
+SnapshotEntry Snapshot::entry(std::size_t i) const noexcept {
+  const std::byte* e = raw_.data() + kHeaderBytes + i * kEntryStride;
+  SnapshotEntry out;
+  out.prefix = net::Prefix{net::IPv4Address{load_u32(e + 0)},
+                           static_cast<std::uint8_t>(e[4])};
+  out.method = static_cast<Method>(e[5]);
+  out.tier = static_cast<core::CbgVerdict>(e[6]);
+  out.location.lat_deg = load_f64(e + 8);
+  out.location.lon_deg = load_f64(e + 16);
+  out.measured_at_s = load_f64(e + 24);
+  out.confidence_radius_km = load_f32(e + 32);
+  out.ttl_s = load_f32(e + 36);
+  const std::uint32_t off = load_u32(e + 40);
+  const std::uint32_t len = load_u32(e + 44);
+  out.provenance = std::string_view(
+      reinterpret_cast<const char*>(raw_.data() + pool_offset_ + off), len);
+  return out;
+}
+
+std::optional<SnapshotEntry> Snapshot::find(net::IPv4Address a) const {
+  const auto* slot = index_.lookup(a);
+  if (!slot) return std::nullopt;
+  return entry(slot->value);
+}
+
+std::shared_ptr<const Snapshot> Snapshot::from_bytes(
+    std::vector<std::byte> bytes, std::string* error) {
+  const auto reject = [&](std::string message) {
+    fail(error, "snapshot: " + std::move(message));
+    return nullptr;
+  };
+
+  if (bytes.size() < kHeaderBytes) {
+    return reject("truncated header (" + std::to_string(bytes.size()) +
+                  " bytes)");
+  }
+  const std::byte* h = bytes.data();
+  if (load_u32(h + 0) != kMagic) return reject("bad magic");
+  if (load_u32(h + 52) !=
+      util::crc32(std::span<const std::byte>(h, 52))) {
+    return reject("header CRC mismatch");
+  }
+  const std::uint16_t version = load_u16(h + 4);
+  if (version != kFormatVersion) {
+    return reject("unsupported format version " + std::to_string(version));
+  }
+  if (load_u16(h + 6) != kHeaderBytes) return reject("bad header size");
+  if (load_u32(h + 12) != kEntryStride) return reject("bad entry stride");
+
+  const std::uint64_t count = load_u64(h + 16);
+  const std::uint64_t pool_bytes = load_u64(h + 24);
+  // Overflow-safe expected-size check.
+  if (count > (bytes.size() - kHeaderBytes) / kEntryStride) {
+    return reject("truncated: entry region exceeds file size");
+  }
+  const std::uint64_t expected =
+      kHeaderBytes + count * kEntryStride + pool_bytes;
+  if (expected != bytes.size()) {
+    return reject("size mismatch: expected " + std::to_string(expected) +
+                  " bytes, have " + std::to_string(bytes.size()));
+  }
+  if (load_u32(h + 48) !=
+      util::crc32(std::span<const std::byte>(bytes).subspan(kHeaderBytes))) {
+    return reject("payload CRC mismatch");
+  }
+
+  const std::uint32_t source_offset = load_u32(h + 40);
+  const std::uint32_t source_len = load_u32(h + 44);
+  if (static_cast<std::uint64_t>(source_offset) + source_len > pool_bytes) {
+    return reject("source string out of pool range");
+  }
+
+  auto snap = std::shared_ptr<Snapshot>(new Snapshot());
+  snap->raw_ = std::move(bytes);
+  snap->entry_count_ = static_cast<std::size_t>(count);
+  snap->pool_offset_ =
+      kHeaderBytes + static_cast<std::size_t>(count) * kEntryStride;
+  snap->dataset_version_ = load_u32(h + 8);
+  snap->created_at_s_ = load_f64(h + 32);
+  snap->payload_crc_ = load_u32(h + 48);
+  h = snap->raw_.data();  // bytes moved; re-anchor views
+  snap->source_ = std::string_view(
+      reinterpret_cast<const char*>(h + snap->pool_offset_ + source_offset),
+      source_len);
+
+  // Semantic validation: every entry well-formed, strictly sorted.
+  std::vector<std::pair<net::Prefix, std::uint32_t>> index_entries;
+  index_entries.reserve(snap->entry_count_);
+  for (std::size_t i = 0; i < snap->entry_count_; ++i) {
+    const std::byte* e = h + kHeaderBytes + i * kEntryStride;
+    const std::uint32_t network = load_u32(e + 0);
+    const int len = static_cast<std::uint8_t>(e[4]);
+    if (len > 32) {
+      return reject("entry " + std::to_string(i) + ": prefix length " +
+                    std::to_string(len));
+    }
+    if ((network & ~net::Prefix::mask(len)) != 0) {
+      return reject("entry " + std::to_string(i) + ": host bits set");
+    }
+    if (static_cast<std::uint8_t>(e[5]) >
+        static_cast<std::uint8_t>(Method::GeoDb)) {
+      return reject("entry " + std::to_string(i) + ": unknown method");
+    }
+    if (static_cast<std::uint8_t>(e[6]) >
+        static_cast<std::uint8_t>(core::CbgVerdict::Unlocatable)) {
+      return reject("entry " + std::to_string(i) + ": unknown tier");
+    }
+    const std::uint32_t off = load_u32(e + 40);
+    const std::uint32_t plen = load_u32(e + 44);
+    if (static_cast<std::uint64_t>(off) + plen > pool_bytes) {
+      return reject("entry " + std::to_string(i) +
+                    ": provenance out of pool range");
+    }
+    const net::Prefix prefix{net::IPv4Address{network}, len};
+    if (!index_entries.empty() &&
+        !prefix_less(index_entries.back().first, prefix)) {
+      return reject("entries not strictly sorted at index " +
+                    std::to_string(i));
+    }
+    index_entries.emplace_back(prefix, static_cast<std::uint32_t>(i));
+  }
+  snap->index_ = net::FlatLpm<std::uint32_t>::build(std::move(index_entries));
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> Snapshot::load(const std::string& path,
+                                               std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) {
+    fail(error, "snapshot: cannot open: " + path);
+    return nullptr;
+  }
+  std::vector<std::byte> bytes;
+  std::byte buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    fail(error, "snapshot: read error: " + path);
+    return nullptr;
+  }
+  return from_bytes(std::move(bytes), error);
+}
+
+}  // namespace geoloc::publish

@@ -1,0 +1,207 @@
+// The published dataset artifact: an immutable, versioned, checksummed
+// binary snapshot of per-prefix geolocation answers.
+//
+// The paper's end goal is a *publicly available* dataset; what a consumer
+// downloads is one of these files. Design constraints, in order:
+//
+//   * **Per-prefix granularity with provenance** — every entry carries the
+//     prefix it answers for, the technique that produced it (CBG,
+//     million-scale two-step, street-level, geolocation database), the
+//     CbgVerdict trust tier, a confidence radius and a free-form
+//     provenance string ("Lost in the Prefix": a bare coordinate without
+//     scope and origin is unusable downstream).
+//   * **Versioned and diffable** — snapshots carry a dataset version and a
+//     simulated-time creation stamp; publish/diff.h reports churn between
+//     versions (the longitudinal-study finding that inter-version movement
+//     is itself signal).
+//   * **Corruption-evident** — magic, format version, and CRC-32 over both
+//     header and payload are validated before any entry is interpreted;
+//     truncated, bit-flipped or semantically invalid files are rejected
+//     with a clean error, never undefined behaviour.
+//   * **Zero-copy serving** — the reader keeps the file bytes as one flat
+//     buffer; entries decode on demand and provenance strings are
+//     string_views into the buffer. Loading builds a net::FlatLpm index
+//     over the (already sorted) entries for O(log n) cache-friendly LPM.
+//
+// On-disk layout (all integers little-endian, doubles as IEEE-754 bits):
+//
+//   [header: 64 bytes]
+//     0  u32 magic            "GLSN" (0x47 0x4C 0x53 0x4E)
+//     4  u16 format_version   kFormatVersion
+//     6  u16 header_bytes     64
+//     8  u32 dataset_version  monotonically increasing per publication
+//    12  u32 entry_stride     48
+//    16  u64 entry_count
+//    24  u64 string_pool_bytes
+//    32  f64 created_at_s     simulated publication time
+//    40  u32 source_offset    snapshot-level source string (in pool)
+//    44  u32 source_len
+//    48  u32 payload_crc32    CRC-32 over entries || string pool
+//    52  u32 header_crc32     CRC-32 over header bytes [0, 52)
+//    56  u64 reserved (0)
+//   [entries: entry_count x 48 bytes, sorted by (network, prefix length),
+//    no duplicate prefixes]
+//     0  u32 network          host bits below prefix_len are zero
+//     4  u8  prefix_len       0..32
+//     5  u8  method           publish::Method
+//     6  u8  tier             core::CbgVerdict
+//     7  u8  flags            reserved, 0
+//     8  f64 lat_deg
+//    16  f64 lon_deg
+//    24  f64 measured_at_s    simulated measurement time
+//    32  f32 confidence_radius_km
+//    36  f32 ttl_s            staleness horizon relative to measured_at_s
+//    40  u32 provenance_offset (into string pool)
+//    44  u32 provenance_len
+//   [string pool: string_pool_bytes bytes, deduplicated]
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/cbg.h"
+#include "geo/geopoint.h"
+#include "net/flat_lpm.h"
+#include "net/ipv4.h"
+
+namespace geoloc::publish {
+
+inline constexpr std::uint16_t kFormatVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 64;
+inline constexpr std::size_t kEntryStride = 48;
+
+/// The technique that produced an entry.
+enum class Method : std::uint8_t {
+  Cbg,          ///< constraint-based geolocation over the VP mesh
+  TwoStep,      ///< million-scale two-step VP selection (Section 5.1.4)
+  StreetLevel,  ///< three-tier landmark pipeline (Section 3.2)
+  GeoDb,        ///< imported from a commercial geolocation database
+};
+std::string_view to_string(Method m) noexcept;
+
+/// An owning entry, the builder's input (and the diff tool's working form).
+struct Record {
+  net::Prefix prefix;
+  geo::GeoPoint location;
+  Method method = Method::Cbg;
+  core::CbgVerdict tier = core::CbgVerdict::Ok;
+  float confidence_radius_km = 0.0f;
+  float ttl_s = 0.0f;            ///< 0 disables staleness for the entry
+  double measured_at_s = 0.0;    ///< simulated time of the measurement
+  std::string provenance;
+};
+
+/// A decoded entry; `provenance` views into the snapshot's buffer and is
+/// valid for the snapshot's lifetime.
+struct SnapshotEntry {
+  net::Prefix prefix;
+  geo::GeoPoint location;
+  Method method = Method::Cbg;
+  core::CbgVerdict tier = core::CbgVerdict::Ok;
+  float confidence_radius_km = 0.0f;
+  float ttl_s = 0.0f;
+  double measured_at_s = 0.0;
+  std::string_view provenance;
+
+  /// Entry age at `now_s` (simulated seconds).
+  [[nodiscard]] double age_s(double now_s) const noexcept {
+    return now_s - measured_at_s;
+  }
+  /// True when the entry has outlived its TTL at `now_s` (ttl_s == 0
+  /// never goes stale).
+  [[nodiscard]] bool stale_at(double now_s) const noexcept {
+    return ttl_s > 0.0f && age_s(now_s) > static_cast<double>(ttl_s);
+  }
+};
+
+/// Copy a decoded entry back into owning form (to carry entries of one
+/// snapshot into the next version's builder).
+Record to_record(const SnapshotEntry& e);
+
+/// Snapshot-level metadata stamped by the builder.
+struct SnapshotMeta {
+  std::uint32_t dataset_version = 1;
+  double created_at_s = 0.0;  ///< simulated publication time
+  std::string source;         ///< campaign / pipeline description
+};
+
+/// An immutable loaded snapshot. Thread-safe for concurrent reads.
+class Snapshot {
+ public:
+  /// Parse and validate a snapshot from raw bytes (takes ownership).
+  /// Returns nullptr and sets *error on any corruption.
+  static std::shared_ptr<const Snapshot> from_bytes(
+      std::vector<std::byte> bytes, std::string* error = nullptr);
+
+  /// Read and validate a snapshot file.
+  static std::shared_ptr<const Snapshot> load(const std::string& path,
+                                              std::string* error = nullptr);
+
+  [[nodiscard]] std::uint32_t dataset_version() const noexcept {
+    return dataset_version_;
+  }
+  [[nodiscard]] double created_at_s() const noexcept { return created_at_s_; }
+  [[nodiscard]] std::string_view source() const noexcept { return source_; }
+  [[nodiscard]] std::uint32_t payload_crc() const noexcept {
+    return payload_crc_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entry_count_; }
+  [[nodiscard]] bool empty() const noexcept { return entry_count_ == 0; }
+
+  /// Decode entry `i` (entries are sorted by (network, prefix length)).
+  /// Precondition: i < size().
+  [[nodiscard]] SnapshotEntry entry(std::size_t i) const noexcept;
+
+  /// Longest-prefix match over the snapshot's entries.
+  [[nodiscard]] std::optional<SnapshotEntry> find(net::IPv4Address a) const;
+
+  /// The flattened LPM index (entry indices as values), for callers that
+  /// batch lookups or benchmark the structure directly.
+  [[nodiscard]] const net::FlatLpm<std::uint32_t>& index() const noexcept {
+    return index_;
+  }
+
+ private:
+  Snapshot() = default;
+
+  std::vector<std::byte> raw_;
+  std::size_t entry_count_ = 0;
+  std::size_t pool_offset_ = 0;  ///< byte offset of the string pool
+  std::uint32_t dataset_version_ = 0;
+  std::uint32_t payload_crc_ = 0;
+  double created_at_s_ = 0.0;
+  std::string_view source_;
+  net::FlatLpm<std::uint32_t> index_;
+};
+
+/// Assembles records into the binary format. Records may be added in any
+/// order; build() sorts by (network, prefix length) and, for duplicate
+/// prefixes, keeps the *last* one added (so "carry over v1, then add the
+/// refreshed entries" composes the way callers expect).
+class SnapshotBuilder {
+ public:
+  void add(Record record);
+  void add(std::span<const Record> records);
+
+  [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+
+  /// Serialize. Deterministic: equal inputs yield identical bytes.
+  [[nodiscard]] std::vector<std::byte> build(const SnapshotMeta& meta) const;
+
+  /// Serialize straight to a file. Returns false and sets *error on I/O
+  /// failure.
+  bool write_file(const std::string& path, const SnapshotMeta& meta,
+                  std::string* error = nullptr) const;
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace geoloc::publish

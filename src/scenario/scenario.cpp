@@ -25,6 +25,11 @@ std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
 
 }  // namespace
 
+const std::string& default_cache_dir() {
+  static const std::string dir = "geoloc_cache";
+  return dir;
+}
+
 std::uint64_t ScenarioConfig::fingerprint() const {
   // Bump whenever dataset/model *generation code* changes in a way configs
   // cannot express — it invalidates every on-disk cache.

@@ -34,6 +34,10 @@
 
 namespace geoloc::scenario {
 
+/// The default directory for cached RTT matrices ("geoloc_cache"): the one
+/// definition ScenarioConfig and the bench mains share.
+[[nodiscard]] const std::string& default_cache_dir();
+
 struct ScenarioConfig {
   std::uint64_t seed = 20230415;
   sim::WorldConfig world;
@@ -45,7 +49,7 @@ struct ScenarioConfig {
   int ping_packets = 3;    ///< Atlas default per measurement
   /// Directory for cached RTT matrices; empty disables the cache. The
   /// GEOLOC_CACHE_DIR environment variable, when set, overrides this.
-  std::string cache_dir = "geoloc_cache";
+  std::string cache_dir = default_cache_dir();
 
   /// Stable fingerprint of everything that affects generated data; used as
   /// the disk-cache tag.

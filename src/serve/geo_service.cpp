@@ -1,0 +1,198 @@
+#include "serve/geo_service.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace geoloc::serve {
+
+namespace {
+
+/// Queue-dedup key: network in the high bits, length below.
+std::uint64_t prefix_key(const net::Prefix& p) noexcept {
+  return (static_cast<std::uint64_t>(p.network().value()) << 8) |
+         static_cast<std::uint64_t>(p.length());
+}
+
+std::uint64_t next_service_id() noexcept {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Per-thread snapshot cache: valid while (service, epoch) both match.
+struct TlsSnapshotCache {
+  std::uint64_t service_id = 0;
+  std::uint64_t epoch = 0;
+  std::shared_ptr<const publish::Snapshot> snap;
+};
+thread_local TlsSnapshotCache tls_snapshot_cache;
+
+/// Stable per-thread counter-stripe index.
+std::uint32_t this_thread_stripe() noexcept {
+  static std::atomic<std::uint32_t> counter{0};
+  thread_local const std::uint32_t stripe =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace
+
+// -- RemeasureQueue --------------------------------------------------------
+
+bool RemeasureQueue::push(net::Prefix prefix) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_.insert(prefix_key(prefix)).second) return false;
+  queue_.push_back(prefix);
+  return true;
+}
+
+std::vector<net::Prefix> RemeasureQueue::drain() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  pending_.clear();
+  return std::exchange(queue_, {});
+}
+
+std::size_t RemeasureQueue::size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+// -- GeoService ------------------------------------------------------------
+
+GeoService::GeoService(std::shared_ptr<const publish::Snapshot> initial)
+    : service_id_(next_service_id()), snapshot_(std::move(initial)) {}
+
+void GeoService::publish(std::shared_ptr<const publish::Snapshot> snapshot) {
+  {
+    const std::lock_guard<std::mutex> lock(snapshot_mu_);
+    snapshot_ = std::move(snapshot);
+  }
+  // Bumped after the store: a reader that sees the new epoch refreshes its
+  // cache and (through the mutex) sees at least this snapshot.
+  epoch_.fetch_add(1, std::memory_order_release);
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::shared_ptr<const publish::Snapshot> GeoService::current() const {
+  const std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+const std::shared_ptr<const publish::Snapshot>& GeoService::cached_snapshot()
+    const {
+  // Read the epoch before the (mutex-guarded, cold) snapshot fetch: if
+  // another publish lands in between we cache a newer snapshot under the
+  // older epoch and simply revalidate on the next lookup.
+  const std::uint64_t epoch = epoch_.load(std::memory_order_acquire);
+  TlsSnapshotCache& cache = tls_snapshot_cache;
+  if (cache.service_id != service_id_ || cache.epoch != epoch) {
+    cache.snap = current();
+    cache.service_id = service_id_;
+    cache.epoch = epoch;
+  }
+  return cache.snap;
+}
+
+GeoService::CounterCell& GeoService::counters() const {
+  return cells_[this_thread_stripe() % kCounterStripes];
+}
+
+Answer GeoService::answer_from(
+    const std::shared_ptr<const publish::Snapshot>& snap,
+    net::IPv4Address address, double now_s) const {
+  CounterCell& cell = counters();
+  cell.lookups.fetch_add(1, std::memory_order_relaxed);
+  Answer a;
+  if (!snap) {
+    cell.misses.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+  const auto hit = snap->find(address);
+  if (!hit) {
+    cell.misses.fetch_add(1, std::memory_order_relaxed);
+    return a;
+  }
+  cell.hits.fetch_add(1, std::memory_order_relaxed);
+  a.found = true;
+  a.prefix = hit->prefix;
+  a.location = hit->location;
+  a.method = hit->method;
+  a.tier = hit->tier;
+  a.confidence_radius_km = hit->confidence_radius_km;
+  a.provenance = hit->provenance;
+  a.age_s = hit->age_s(now_s);
+  a.dataset_version = snap->dataset_version();
+  a.source = snap;
+  if (hit->stale_at(now_s)) {
+    a.stale = true;
+    counters().stale_hits.fetch_add(1, std::memory_order_relaxed);
+    queue_.push(hit->prefix);
+  }
+  return a;
+}
+
+Answer GeoService::lookup(net::IPv4Address address, double now_s) const {
+  return answer_from(cached_snapshot(), address, now_s);
+}
+
+void GeoService::lookup_batch(std::span<const net::IPv4Address> addresses,
+                              double now_s, std::span<Answer> out) const {
+  const auto& snap = cached_snapshot();
+  for (std::size_t i = 0; i < addresses.size(); ++i) {
+    out[i] = answer_from(snap, addresses[i], now_s);
+  }
+}
+
+ServiceStats GeoService::stats() const {
+  ServiceStats s;
+  for (const CounterCell& cell : cells_) {
+    s.lookups += cell.lookups.load(std::memory_order_relaxed);
+    s.hits += cell.hits.load(std::memory_order_relaxed);
+    s.misses += cell.misses.load(std::memory_order_relaxed);
+    s.stale_hits += cell.stale_hits.load(std::memory_order_relaxed);
+  }
+  s.swaps = swaps_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::vector<net::Prefix> GeoService::stale_prefixes(double now_s) const {
+  std::vector<net::Prefix> out;
+  const auto snap = current();
+  if (!snap) return out;
+  for (std::size_t i = 0; i < snap->size(); ++i) {
+    const publish::SnapshotEntry e = snap->entry(i);
+    if (e.stale_at(now_s)) out.push_back(e.prefix);
+  }
+  return out;
+}
+
+// -- re-measurement bridge -------------------------------------------------
+
+std::vector<atlas::MeasurementRequest> plan_remeasurement(
+    const scenario::Scenario& s, std::span<const net::Prefix> stale,
+    std::size_t vps_per_target, int packets) {
+  std::vector<atlas::MeasurementRequest> requests;
+  const auto& vps = s.vps();
+  if (vps.empty() || stale.empty()) return requests;
+  const std::size_t k =
+      vps_per_target == 0 ? vps.size() : std::min(vps_per_target, vps.size());
+  for (const net::Prefix& prefix : stale) {
+    for (std::size_t col = 0; col < s.targets().size(); ++col) {
+      const sim::HostId target = s.targets()[col];
+      if (!prefix.contains(s.world().host(target).addr)) continue;
+      // Spread the VPs deterministically: stride through the VP set from a
+      // per-target offset so successive targets reuse different VPs.
+      const std::size_t stride = vps.size() / k ? vps.size() / k : 1;
+      for (std::size_t j = 0; j < k; ++j) {
+        const std::size_t row = (col + j * stride) % vps.size();
+        requests.push_back(atlas::MeasurementRequest{
+            .vp = vps[row],
+            .target = target,
+            .kind = atlas::MeasurementKind::Ping,
+            .packets = packets});
+      }
+    }
+  }
+  return requests;
+}
+
+}  // namespace geoloc::serve

@@ -1,0 +1,136 @@
+// Snapshot diff: exact churn accounting between two hand-built versions.
+#include "publish/diff.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "publish/snapshot.h"
+
+namespace geoloc::publish {
+namespace {
+
+Record rec(const char* prefix, double lat, double lon,
+           Method method = Method::Cbg,
+           core::CbgVerdict tier = core::CbgVerdict::Ok,
+           double measured_at_s = 0.0) {
+  Record r;
+  r.prefix = *net::Prefix::parse(prefix);
+  r.location = {lat, lon};
+  r.method = method;
+  r.tier = tier;
+  r.measured_at_s = measured_at_s;
+  r.provenance = "diff-test";
+  return r;
+}
+
+std::shared_ptr<const Snapshot> snap(std::vector<Record> records,
+                                     std::uint32_t version) {
+  SnapshotBuilder b;
+  b.add(records);
+  std::string error;
+  auto s = Snapshot::from_bytes(
+      b.build(SnapshotMeta{.dataset_version = version, .source = "diff"}),
+      &error);
+  EXPECT_NE(s, nullptr) << error;
+  return s;
+}
+
+TEST(SnapshotDiff, CountsAddedRemovedMovedAndChanges) {
+  // v1: four prefixes. v2: one removed, one added, one moved far, one with
+  // method+tier change and a fresher timestamp, one byte-identical.
+  const auto v1 = snap(
+      {
+          rec("10.0.0.0/24", 48.85, 2.35),                // stays identical
+          rec("10.0.1.0/24", 52.52, 13.40),               // will move ~878 km
+          rec("10.0.2.0/24", 40.0, -74.0, Method::Cbg,
+              core::CbgVerdict::Ok, /*measured_at_s=*/100.0),  // method/tier
+          rec("10.0.3.0/24", 35.0, 139.0),                // removed in v2
+      },
+      1);
+  const auto v2 = snap(
+      {
+          rec("10.0.0.0/24", 48.85, 2.35),
+          rec("10.0.1.0/24", 48.85, 2.35),                // Berlin -> Paris
+          rec("10.0.2.0/24", 40.0, -74.0, Method::GeoDb,
+              core::CbgVerdict::Degraded, /*measured_at_s=*/200.0),
+          rec("10.0.4.0/24", 1.0, 1.0),                   // new prefix
+      },
+      2);
+
+  const DiffStats d = diff_snapshots(*v1, *v2);
+  EXPECT_EQ(d.from_version, 1u);
+  EXPECT_EQ(d.to_version, 2u);
+  EXPECT_EQ(d.from_entries, 4u);
+  EXPECT_EQ(d.to_entries, 4u);
+  EXPECT_EQ(d.added, 1u);
+  EXPECT_EQ(d.removed, 1u);
+  EXPECT_EQ(d.retained, 3u);
+  EXPECT_EQ(d.moved, 1u);
+  EXPECT_EQ(d.method_changes, 1u);
+  EXPECT_EQ(d.tier_changes, 1u);
+  EXPECT_EQ(d.refreshed, 1u);
+  EXPECT_NEAR(d.median_move_km, 878.0, 10.0);  // Berlin -> Paris
+  EXPECT_NEAR(d.max_move_km, 878.0, 10.0);
+  EXPECT_NEAR(d.churn_fraction(), 3.0 / 4.0, 1e-12);
+}
+
+TEST(SnapshotDiff, IdenticalSnapshotsReportNoChurn) {
+  const std::vector<Record> records = {rec("10.0.0.0/24", 1.0, 2.0),
+                                       rec("10.0.1.0/24", 3.0, 4.0)};
+  const auto v1 = snap(records, 1);
+  const auto v2 = snap(records, 2);
+  const DiffStats d = diff_snapshots(*v1, *v2);
+  EXPECT_EQ(d.added, 0u);
+  EXPECT_EQ(d.removed, 0u);
+  EXPECT_EQ(d.retained, 2u);
+  EXPECT_EQ(d.moved, 0u);
+  EXPECT_EQ(d.refreshed, 0u);
+  EXPECT_EQ(d.churn_fraction(), 0.0);
+  EXPECT_EQ(d.median_move_km, 0.0);
+}
+
+TEST(SnapshotDiff, SamePrefixDifferentLengthIsAddPlusRemove) {
+  const auto v1 = snap({rec("10.0.0.0/24", 1.0, 1.0)}, 1);
+  const auto v2 = snap({rec("10.0.0.0/25", 1.0, 1.0)}, 2);
+  const DiffStats d = diff_snapshots(*v1, *v2);
+  EXPECT_EQ(d.added, 1u);
+  EXPECT_EQ(d.removed, 1u);
+  EXPECT_EQ(d.retained, 0u);
+  EXPECT_EQ(d.churn_fraction(), 2.0);
+}
+
+TEST(SnapshotDiff, MoveThresholdSeparatesJitterFromRelocation) {
+  const auto v1 = snap({rec("10.0.0.0/24", 50.0, 8.0)}, 1);
+  // ~0.7 km move: jitter under the default 1 km threshold.
+  const auto v2 = snap({rec("10.0.0.0/24", 50.0063, 8.0)}, 2);
+  EXPECT_EQ(diff_snapshots(*v1, *v2).moved, 0u);
+  EXPECT_EQ(diff_snapshots(*v1, *v2, /*move_threshold_km=*/0.1).moved, 1u);
+}
+
+TEST(SnapshotDiff, EmptySnapshotsDiffCleanly) {
+  const auto v1 = snap({}, 1);
+  const auto v2 = snap({rec("10.0.0.0/24", 1.0, 1.0)}, 2);
+  const DiffStats both_empty = diff_snapshots(*v1, *v1);
+  EXPECT_EQ(both_empty.churn_fraction(), 0.0);
+  const DiffStats grow = diff_snapshots(*v1, *v2);
+  EXPECT_EQ(grow.added, 1u);
+  EXPECT_EQ(grow.removed, 0u);
+}
+
+TEST(SnapshotDiff, FormatMentionsTheHeadlineNumbers) {
+  const auto v1 = snap({rec("10.0.0.0/24", 52.52, 13.40)}, 1);
+  const auto v2 = snap({rec("10.0.0.0/24", 48.85, 2.35),
+                        rec("10.0.1.0/24", 1.0, 1.0)},
+                       2);
+  const std::string report = format_diff(diff_snapshots(*v1, *v2));
+  EXPECT_NE(report.find("v1"), std::string::npos);
+  EXPECT_NE(report.find("v2"), std::string::npos);
+  EXPECT_NE(report.find("added"), std::string::npos);
+  EXPECT_NE(report.find("moved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace geoloc::publish
