@@ -2,8 +2,11 @@
 // millions of credits" and needed an upgraded account. This bench plans the
 // reproduction's measurement campaigns against the platform's credit policy
 // and probing budgets and prints the bill.
+#include <algorithm>
 #include <cstdio>
+#include <span>
 
+#include "atlas/executor.h"
 #include "atlas/scheduler.h"
 #include "bench_common.h"
 #include "util/table.h"
@@ -61,5 +64,28 @@ int main() {
     emit("street-level traceroutes", scheduler.plan(reqs));
   }
   std::printf("%s\n", t.render().c_str());
+
+  // Executed campaign: a calm full-mesh slice actually run through the
+  // resilient executor, timed for the GEOLOC_BENCH_JSON record. The
+  // CampaignReport is bit-identical for any GEOLOC_THREADS (DESIGN.md §9);
+  // only the wall time below moves.
+  {
+    const std::size_t vp_count = std::min<std::size_t>(s.vps().size(), 400);
+    const std::span<const sim::HostId> mesh_vps(s.vps().data(), vp_count);
+    atlas::Platform exec_platform(s.world(), s.latency());
+    atlas::ExecutorConfig exec_config;
+    exec_config.collect_results = false;  // only the accounting matters here
+    atlas::CampaignExecutor executor(exec_platform, exec_config);
+    bench::WallTimer timer;
+    const atlas::CampaignReport report =
+        executor.execute_full_mesh(mesh_vps, s.targets());
+    bench::emit_bench_json("campaign_execute_mesh", timer.elapsed_ms(),
+                           vp_count, s.targets().size());
+    std::printf(
+        "executed mesh: %zu/%zu completed, %.1fM credits, %.1f days\n",
+        report.completed, report.requested,
+        static_cast<double>(report.credits_spent) / 1e6,
+        report.duration_days());
+  }
   return 0;
 }

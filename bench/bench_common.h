@@ -6,14 +6,18 @@
 // *shape* — orderings, ratios, crossovers — not its absolute values (the
 // substrate here is a simulator; see DESIGN.md and EXPERIMENTS.md).
 //
-// Environment knobs:
-//   GEOLOC_SMALL=1      run on the miniature scenario (quick smoke)
-//   GEOLOC_TRIALS=N     trial count for the randomized sweeps
-//   GEOLOC_CACHE_DIR=…  where the RTT-matrix / campaign caches live
+// Environment knobs (parsed by util/env.h — the registry lives there):
+//   GEOLOC_SMALL=1       run on the miniature scenario (quick smoke)
+//   GEOLOC_TRIALS=N      trial count for the randomized sweeps
+//   GEOLOC_CACHE_DIR=…   where the RTT-matrix / campaign caches live
+//   GEOLOC_THREADS=N     parallel-engine workers; results are bit-identical
+//                        for any value (DESIGN.md §9), only wall time moves
+//   GEOLOC_BENCH_JSON=f  append machine-readable timing records (one JSON
+//                        object per line) to file f
 #pragma once
 
+#include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -21,13 +25,12 @@
 #include "scenario/scenario.h"
 #include "util/ascii_chart.h"
 #include "util/csv.h"
+#include "util/env.h"
+#include "util/parallel.h"
 
 namespace geoloc::bench {
 
-inline bool small_mode() {
-  const char* env = std::getenv("GEOLOC_SMALL");
-  return env != nullptr && env[0] == '1';
-}
+inline bool small_mode() { return util::env::flag("GEOLOC_SMALL"); }
 
 /// The scenario every bench shares (paper scale unless GEOLOC_SMALL=1).
 inline const scenario::Scenario& bench_scenario() {
@@ -50,6 +53,40 @@ inline void print_header(const char* artefact, const char* description,
                 "run, not the reproduction]\n");
   }
   std::printf("==============================================================\n");
+}
+
+/// Wall-clock stopwatch for the GEOLOC_BENCH_JSON records.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Append one timing record to $GEOLOC_BENCH_JSON as a JSON line:
+///   {"name":…,"wall_ms":…,"threads":…,"vps":…,"targets":…}
+/// so sweeps over GEOLOC_THREADS produce a machine-diffable speedup table.
+/// No-op when the variable is unset; also echoed to stdout either way.
+inline void emit_bench_json(const std::string& name, double wall_ms,
+                            std::size_t vps, std::size_t targets) {
+  const unsigned threads = util::thread_count();
+  std::printf("[timing] %s: %.1f ms at %u thread(s), %zu VPs x %zu targets\n",
+              name.c_str(), wall_ms, threads, vps, targets);
+  const std::string path = util::env::string_or("GEOLOC_BENCH_JSON", "");
+  if (path.empty()) return;
+  if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+    std::fprintf(f,
+                 "{\"name\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u,"
+                 "\"vps\":%zu,\"targets\":%zu}\n",
+                 name.c_str(), wall_ms, threads, vps, targets);
+    std::fclose(f);
+  }
 }
 
 /// Export a figure's raw CDF series as "<GEOLOC_EXPORT_DIR>/<name>.csv"

@@ -2,14 +2,25 @@
 // synthesis, constraint pruning, region intersection, prefix-table lookups
 // and the concrete CBG pipeline. These are the kernels behind the ~720k
 // CBG evaluations of Figure 2a.
+//
+// After the google-benchmark suite, a custom main times the parallel
+// engine (util/parallel.h): an ordered reduction and an uncached
+// RTT-matrix materialisation, each emitted via GEOLOC_BENCH_JSON so a
+// sweep over GEOLOC_THREADS yields a machine-diffable speedup table
+// (BENCH_parallel_engine.json).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <functional>
+
+#include "bench_common.h"
 #include "core/cbg.h"
 #include "geo/geodesy.h"
 #include "geo/region.h"
 #include "net/prefix_table.h"
 #include "scenario/presets.h"
 #include "sim/latency_model.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace {
@@ -127,6 +138,50 @@ void BM_MinRtt3Packets(benchmark::State& state) {
 }
 BENCHMARK(BM_MinRtt3Packets);
 
+/// Wall-clock timings of the parallel engine itself, emitted as
+/// GEOLOC_BENCH_JSON records. Deterministic: re-running at a different
+/// GEOLOC_THREADS changes only wall_ms, never the computed values.
+void run_parallel_engine_timings() {
+  // Ordered reduction over 16M synthesised values: pure engine throughput,
+  // no memory traffic beyond the per-chunk partials.
+  {
+    constexpr std::size_t n = 16u << 20;
+    bench::WallTimer timer;
+    const double total = util::parallel_reduce<double>(
+        n, 0.0,
+        [](std::size_t i) { return std::sin(static_cast<double>(i)); },
+        std::plus<>{});
+    benchmark::DoNotOptimize(total);
+    bench::emit_bench_json("parallel_reduce_sin_16M", timer.elapsed_ms(),
+                           /*vps=*/0, /*targets=*/0);
+  }
+
+  // RTT-matrix materialisation on a fresh scenario with the disk cache
+  // disabled — the dominant cost of every figure's first run.
+  {
+    auto cfg = bench::small_mode() ? scenario::small_config()
+                                   : scenario::paper_config();
+    cfg.cache_dir = "";
+    const scenario::Scenario s = scenario::Scenario::without_web(cfg);
+    bench::WallTimer target_timer;
+    benchmark::DoNotOptimize(&s.target_rtts());
+    bench::emit_bench_json("rtt_matrix_target", target_timer.elapsed_ms(),
+                           s.vps().size(), s.targets().size());
+    bench::WallTimer rep_timer;
+    benchmark::DoNotOptimize(&s.representative_rtts());
+    bench::emit_bench_json("rtt_matrix_representatives",
+                           rep_timer.elapsed_ms(), s.vps().size(),
+                           s.targets().size());
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_parallel_engine_timings();
+  return 0;
+}

@@ -27,6 +27,22 @@ struct Pending {
   double eligible_s = 0.0;  ///< earliest time the next attempt may run
 };
 
+/// What the (serial) fault-decision pass concluded for one round slot; the
+/// execution pass then runs the Execute slots as one parallel ping batch
+/// and commits every outcome back in round order.
+enum class SlotAction : std::uint8_t {
+  Abandon,      ///< dead VP, no spare: off the books immediately
+  Requeue,      ///< outage deferral or API rejection: back off and retry
+  ExecutePing,  ///< in the round's ping batch (task_index set)
+  ExecuteTrace  ///< traceroutes run serially (their engine caches routes)
+};
+
+struct RoundSlot {
+  Pending item;
+  SlotAction action = SlotAction::Abandon;
+  std::size_t task_index = 0;  ///< into the round's ping batch
+};
+
 }  // namespace
 
 CampaignReport CampaignExecutor::execute(
@@ -120,31 +136,44 @@ CampaignReport CampaignExecutor::execute(
       continue;
     }
 
-    std::unordered_map<sim::HostId, std::uint64_t> packets_per_vp;
+    // Decision pass (serial, round order): weather consultations and the
+    // attempt accounting happen in exactly the sequence the plain serial
+    // loop used — the spare cursor and the rejection counter are shared
+    // state whose draw order is part of the campaign's determinism
+    // contract. Executable pings are only *collected* here; their sampling
+    // is order-independent by construction (per-ordinal RNG streams) and
+    // runs as one parallel batch below.
+    std::vector<RoundSlot> slots;
+    slots.reserve(round.size());
+    std::vector<PingTask> ping_tasks;
+    ping_tasks.reserve(round.size());
     for (Pending& item : round) {
+      RoundSlot slot{item, SlotAction::Abandon, 0};
       // Permanent churn: a dead probe never answers again, so either move
       // the measurement to a spare or abandon it outright — retrying
       // against a dead VP would only burn the budget.
-      if (faults && faults->vp_abandoned(item.req.vp, now_s)) {
+      if (faults && faults->vp_abandoned(slot.item.req.vp, now_s)) {
         const sim::HostId spare =
             config_.reassign_dead_vps ? find_spare(now_s) : sim::kInvalidHost;
         if (spare == sim::kInvalidHost) {
           ++report.abandoned;
+          slots.push_back(slot);  // action stays Abandon (already counted)
           continue;
         }
         ++report.vp_reassignments;
-        item.req.vp = spare;
+        slot.item.req.vp = spare;
       }
 
       ++report.attempts;
-      if (item.attempts > 0) ++report.retries;
-      ++item.attempts;
+      if (slot.item.attempts > 0) ++report.retries;
+      ++slot.item.attempts;
 
       // Transient outage: the probe is offline right now but will be back;
       // defer the measurement past a backoff wait.
-      if (faults && faults->vp_in_outage(item.req.vp, now_s)) {
+      if (faults && faults->vp_in_outage(slot.item.req.vp, now_s)) {
         ++report.outage_deferrals;
-        requeue_or_abandon(item);
+        slot.action = SlotAction::Requeue;
+        slots.push_back(slot);
         continue;
       }
 
@@ -152,38 +181,71 @@ CampaignReport CampaignExecutor::execute(
       // Nothing ran, nothing is billed, but the attempt is spent.
       if (faults && faults->measurement_rejected(submission_counter++)) {
         ++report.rejections;
-        requeue_or_abandon(item);
+        slot.action = SlotAction::Requeue;
+        slots.push_back(slot);
         continue;
       }
 
-      const std::uint64_t before = platform_->usage().credits;
-      if (item.req.kind == MeasurementKind::Ping) {
-        const PingMeasurement m =
-            platform_->ping(item.req.vp, item.req.target, item.req.packets);
-        const std::uint64_t cost = platform_->usage().credits - before;
-        report.credits_spent += cost;
-        packets_per_vp[item.req.vp] +=
-            static_cast<std::uint64_t>(m.packets_sent);
-        if (m.answered()) {
-          ++report.completed;
-          if (config_.collect_results) report.results.push_back(m);
-        } else {
-          ++report.no_replies;
-          report.credits_wasted += cost;
-          requeue_or_abandon(item);
-        }
+      if (slot.item.req.kind == MeasurementKind::Ping) {
+        slot.action = SlotAction::ExecutePing;
+        slot.task_index = ping_tasks.size();
+        ping_tasks.push_back({slot.item.req.vp, slot.item.req.target,
+                              slot.item.req.packets});
       } else {
-        const sim::Traceroute tr =
-            platform_->traceroute(item.req.vp, item.req.target);
-        const std::uint64_t cost = platform_->usage().credits - before;
-        report.credits_spent += cost;
-        packets_per_vp[item.req.vp] +=
-            static_cast<std::uint64_t>(sched.traceroute_packets);
-        if (!tr.hops.empty()) {
-          ++report.completed;
-        } else {
-          report.credits_wasted += cost;
-          requeue_or_abandon(item);
+        slot.action = SlotAction::ExecuteTrace;
+      }
+      slots.push_back(slot);
+    }
+
+    // Sampling pass: the round's pings as one batch — bit-identical to the
+    // serial per-item calls, for any GEOLOC_THREADS.
+    std::vector<PingMeasurement> ping_results(ping_tasks.size());
+    platform_->ping_many(ping_tasks, ping_results);
+
+    // Commit pass (serial, round order): outcome accounting and requeues in
+    // the same interleaving the serial loop produced.
+    std::unordered_map<sim::HostId, std::uint64_t> packets_per_vp;
+    const std::uint64_t per_ping_packet =
+        platform_->config().credits.per_ping_packet;
+    for (RoundSlot& slot : slots) {
+      switch (slot.action) {
+        case SlotAction::Abandon:
+          break;  // already accounted in the decision pass
+        case SlotAction::Requeue:
+          requeue_or_abandon(slot.item);
+          break;
+        case SlotAction::ExecutePing: {
+          const PingMeasurement& m = ping_results[slot.task_index];
+          const std::uint64_t cost =
+              per_ping_packet * static_cast<std::uint64_t>(m.packets_sent);
+          report.credits_spent += cost;
+          packets_per_vp[slot.item.req.vp] +=
+              static_cast<std::uint64_t>(m.packets_sent);
+          if (m.answered()) {
+            ++report.completed;
+            if (config_.collect_results) report.results.push_back(m);
+          } else {
+            ++report.no_replies;
+            report.credits_wasted += cost;
+            requeue_or_abandon(slot.item);
+          }
+          break;
+        }
+        case SlotAction::ExecuteTrace: {
+          const std::uint64_t before = platform_->usage().credits;
+          const sim::Traceroute tr =
+              platform_->traceroute(slot.item.req.vp, slot.item.req.target);
+          const std::uint64_t cost = platform_->usage().credits - before;
+          report.credits_spent += cost;
+          packets_per_vp[slot.item.req.vp] +=
+              static_cast<std::uint64_t>(sched.traceroute_packets);
+          if (!tr.hops.empty()) {
+            ++report.completed;
+          } else {
+            report.credits_wasted += cost;
+            requeue_or_abandon(slot.item);
+          }
+          break;
         }
       }
     }

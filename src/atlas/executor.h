@@ -13,6 +13,13 @@
 // Weather comes from the FaultModel attached to the Platform; without one
 // (or with a calm preset) execution degenerates to the plain measurement
 // loop and is bit-identical to calling Platform::ping in request order.
+//
+// Execution is parallel and deterministic: each round makes its weather
+// decisions serially (spare cursor and rejection counter are draw-order
+// state), samples the surviving pings as one Platform::ping_many batch on
+// the parallel engine, and commits outcomes back in round order — so the
+// CampaignReport is byte-identical for any GEOLOC_THREADS value
+// (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>

@@ -1,5 +1,7 @@
 #include "atlas/platform.h"
 
+#include "util/parallel.h"
+
 namespace geoloc::atlas {
 
 Platform::Platform(const sim::World& world, const sim::LatencyModel& latency,
@@ -8,14 +10,15 @@ Platform::Platform(const sim::World& world, const sim::LatencyModel& latency,
       latency_(&latency),
       tracer_(world, latency),
       config_(config),
-      gen_(world.rng().fork("platform").gen()) {}
+      stream_(world.rng().fork("platform")) {}
 
 PingMeasurement Platform::ping(sim::HostId vp, sim::HostId target) {
   return ping(vp, target, config_.ping_packets);
 }
 
-PingMeasurement Platform::ping(sim::HostId vp, sim::HostId target,
-                               int packets) {
+PingMeasurement Platform::sample_ping(sim::HostId vp, sim::HostId target,
+                                      int packets,
+                                      std::uint64_t ordinal) const {
   PingMeasurement m;
   m.vp = vp;
   m.target = target;
@@ -23,29 +26,62 @@ PingMeasurement Platform::ping(sim::HostId vp, sim::HostId target,
   // Weather-unresponsive targets eat every echo request; the packets (and
   // credits) are spent regardless.
   if (!(faults_ && faults_->target_unresponsive(target))) {
-    const auto sample = latency_->ping_sample(vp, target, packets, gen_);
+    auto gen = stream_.fork("ping", ordinal).gen();
+    const auto sample = latency_->ping_sample(vp, target, packets, gen);
     m.min_rtt_ms = sample.min_rtt_ms;
     m.packets_received = sample.packets_received;
   }
+  return m;
+}
+
+void Platform::bill_ping(int packets) noexcept {
   ++usage_.pings;
   usage_.ping_packets += static_cast<std::uint64_t>(packets);
   usage_.credits +=
       config_.credits.per_ping_packet * static_cast<std::uint64_t>(packets);
+}
+
+PingMeasurement Platform::ping(sim::HostId vp, sim::HostId target,
+                               int packets) {
+  const PingMeasurement m = sample_ping(vp, target, packets, usage_.pings);
+  bill_ping(packets);
   return m;
 }
 
+void Platform::ping_many(std::span<const PingTask> tasks,
+                         std::span<PingMeasurement> out) {
+  const std::uint64_t base = usage_.pings;
+  util::parallel_for(tasks.size(), [&](std::size_t i) {
+    out[i] = sample_ping(tasks[i].vp, tasks[i].target, tasks[i].packets,
+                         base + i);
+  });
+  // Billing is a serial commit in task order, so the usage counters agree
+  // with the equivalent loop of ping() calls at every intermediate step.
+  for (const PingTask& t : tasks) bill_ping(t.packets);
+}
+
 sim::Traceroute Platform::traceroute(sim::HostId vp, sim::HostId target) {
+  auto gen = stream_.fork("trace", usage_.traceroutes).gen();
   ++usage_.traceroutes;
   usage_.credits += config_.credits.per_traceroute;
-  return tracer_.run(vp, target, gen_);
+  return tracer_.run(vp, target, gen);
 }
 
 std::vector<PingMeasurement> Platform::ping_from_all(
     std::span<const sim::HostId> vps, sim::HostId target) {
-  std::vector<PingMeasurement> out;
-  out.reserve(vps.size());
-  for (sim::HostId vp : vps) out.push_back(ping(vp, target));
+  std::vector<PingMeasurement> out(vps.size());
+  ping_from_all(vps, target, out);
   return out;
+}
+
+void Platform::ping_from_all(std::span<const sim::HostId> vps,
+                             sim::HostId target,
+                             std::span<PingMeasurement> out) {
+  const std::uint64_t base = usage_.pings;
+  util::parallel_for(vps.size(), [&](std::size_t i) {
+    out[i] = sample_ping(vps[i], target, config_.ping_packets, base + i);
+  });
+  for (std::size_t i = 0; i < vps.size(); ++i) bill_ping(config_.ping_packets);
 }
 
 double Platform::probing_rate_pps(sim::HostId vp) const {

@@ -6,6 +6,12 @@
 // probing-rate limits that make the million-scale VP-selection algorithm
 // undeployable (paper Section 5.1.3: a probe can sustain 4-12 pps, an
 // anchor 200-400 pps, versus the 500 pps the 2012 study assumed).
+//
+// Measurement randomness is derived per ordinal — the i-th ping of a
+// platform's lifetime draws from fork("ping", i) of the platform stream,
+// never from a generator advanced across calls — so a batch (ping_many)
+// samples concurrently on the parallel engine and is still bit-identical
+// to the same pings issued one by one (DESIGN.md §9).
 #pragma once
 
 #include <cstdint>
@@ -49,6 +55,13 @@ struct PingMeasurement {
   [[nodiscard]] bool answered() const noexcept { return min_rtt_ms.has_value(); }
 };
 
+/// One entry of a batched ping submission (Platform::ping_many).
+struct PingTask {
+  sim::HostId vp = sim::kInvalidHost;
+  sim::HostId target = sim::kInvalidHost;
+  int packets = 3;
+};
+
 /// Aggregate measurement counters, the currency of the paper's overhead
 /// arguments (Figure 3c).
 struct UsageCounters {
@@ -69,12 +82,27 @@ class Platform {
   /// Ping with an explicit packet count (the hitlist scans use 1).
   PingMeasurement ping(sim::HostId vp, sim::HostId target, int packets);
 
+  /// Batched pings: out[i] corresponds to tasks[i], and the whole batch is
+  /// bit-identical to calling ping() once per task in order — each
+  /// measurement's randomness is derived from its ordinal, not from a
+  /// shared draw sequence, so the sampling runs on the parallel engine
+  /// (util::parallel_for) while billing commits in task order.
+  /// Precondition: out.size() == tasks.size().
+  void ping_many(std::span<const PingTask> tasks,
+                 std::span<PingMeasurement> out);
+
   /// One traceroute measurement.
   sim::Traceroute traceroute(sim::HostId vp, sim::HostId target);
 
   /// Ping from many VPs to one target, as one logical Atlas measurement.
   std::vector<PingMeasurement> ping_from_all(std::span<const sim::HostId> vps,
                                              sim::HostId target);
+
+  /// Allocation-free ping_from_all for the 10k-VP mesh hot path: writes
+  /// out[i] for vps[i] into a caller-owned buffer (out.size() == vps.size())
+  /// instead of growing a fresh vector per round.
+  void ping_from_all(std::span<const sim::HostId> vps, sim::HostId target,
+                     std::span<PingMeasurement> out);
 
   [[nodiscard]] const UsageCounters& usage() const noexcept { return usage_; }
   void reset_usage() noexcept { usage_ = {}; }
@@ -99,12 +127,22 @@ class Platform {
   [[nodiscard]] const PlatformConfig& config() const noexcept { return config_; }
 
  private:
+  /// Sample one ping without billing it. Pure function of (platform stream,
+  /// ordinal, vp, target, packets): the RNG stream is forked per
+  /// measurement ordinal rather than advanced across calls, which is what
+  /// lets ping_many sample a whole batch concurrently and still match a
+  /// serial loop bit for bit (DESIGN.md §9).
+  [[nodiscard]] PingMeasurement sample_ping(sim::HostId vp, sim::HostId target,
+                                            int packets,
+                                            std::uint64_t ordinal) const;
+  void bill_ping(int packets) noexcept;
+
   const sim::World* world_;
   const sim::LatencyModel* latency_;
   sim::TracerouteEngine tracer_;
   PlatformConfig config_;
   UsageCounters usage_;
-  util::Pcg32 gen_;
+  util::RngStream stream_;
   const FaultModel* faults_ = nullptr;
 };
 

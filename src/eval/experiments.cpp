@@ -1,13 +1,15 @@
 #include "eval/experiments.h"
 
 #include <algorithm>
-#include <cstdlib>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 
 #include "core/million_scale.h"
 #include "eval/metrics.h"
 #include "geo/geodesy.h"
+#include "util/env.h"
+#include "util/parallel.h"
 #include "util/stats.h"
 
 namespace geoloc::eval {
@@ -30,14 +32,17 @@ std::vector<std::size_t> all_rows(const scenario::Scenario& s) {
   return rows;
 }
 
+/// The scenario's lazy matrices are not init-guarded (scenario.h); touch
+/// them once from this thread before any parallel_map over target columns.
+void warm_matrices(const scenario::Scenario& s) {
+  s.target_rtts();
+  s.representative_rtts();
+}
+
 }  // namespace
 
 int trials_from_env(int fallback) {
-  if (const char* env = std::getenv("GEOLOC_TRIALS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return v;
-  }
-  return fallback;
+  return util::env::int_or("GEOLOC_TRIALS", fallback);
 }
 
 const std::vector<double>& all_vp_errors(const scenario::Scenario& s,
@@ -51,19 +56,22 @@ const std::vector<double>& all_vp_errors(const scenario::Scenario& s,
   std::scoped_lock lock(mu);
   if (const auto it = cache.find(key); it != cache.end()) return it->second;
 
+  warm_matrices(s);
   const core::MillionScale ms(s);
   const auto rows = all_rows(s);
-  std::vector<double> errors;
-  errors.reserve(s.targets().size());
-  for (std::size_t col = 0; col < s.targets().size(); ++col) {
-    errors.push_back(one_target_error(ms, rows, col, config));
-  }
+  // One CBG solve per target column, every column independent: the sweep
+  // maps over columns on the parallel engine and lands in column order.
+  std::vector<double> errors = util::parallel_map<double>(
+      s.targets().size(), [&](std::size_t col) {
+        return one_target_error(ms, rows, col, config);
+      });
   return cache.emplace(key, std::move(errors)).first->second;
 }
 
 std::vector<SubsetTrials> run_subset_size_sweep(
     const scenario::Scenario& s, std::span<const int> subset_sizes, int trials,
     const core::CbgConfig& config) {
+  warm_matrices(s);
   const core::MillionScale ms(s);
   const std::size_t n = s.vps().size();
   auto gen = s.world().rng().fork("subset-sweep").gen();
@@ -77,16 +85,22 @@ std::vector<SubsetTrials> run_subset_size_sweep(
     for (std::size_t i = 0; i < n; ++i) rows[i] = i;
 
     for (int t = 0; t < trials; ++t) {
-      // Partial Fisher-Yates: the first k entries become the subset.
+      // Partial Fisher-Yates: the first k entries become the subset. The
+      // draws stay on this thread's shared generator (their order is part
+      // of the figure's numbers); only the per-target CBG solves below run
+      // in parallel.
       for (std::size_t i = 0; i < k; ++i) {
         const std::size_t j = i + gen.index(n - i);
         std::swap(rows[i], rows[j]);
       }
       const std::span<const std::size_t> subset(rows.data(), k);
+      const std::vector<double> per_col = util::parallel_map<double>(
+          s.targets().size(), [&](std::size_t col) {
+            return one_target_error(ms, subset, col, config);
+          });
       std::vector<double> errors;
-      errors.reserve(s.targets().size());
-      for (std::size_t col = 0; col < s.targets().size(); ++col) {
-        const double e = one_target_error(ms, subset, col, config);
+      errors.reserve(per_col.size());
+      for (const double e : per_col) {
         if (e >= 0.0) errors.push_back(e);
       }
       st.trial_median_errors_km.push_back(util::median(errors));
@@ -99,6 +113,7 @@ std::vector<SubsetTrials> run_subset_size_sweep(
 std::vector<ExclusionErrors> run_remove_close_vps(
     const scenario::Scenario& s, std::span<const double> radii_km,
     const core::CbgConfig& config) {
+  warm_matrices(s);
   const core::MillionScale ms(s);
   const auto& world = s.world();
   const std::size_t n = s.vps().size();
@@ -112,18 +127,23 @@ std::vector<ExclusionErrors> run_remove_close_vps(
       out.push_back(std::move(ee));
       continue;
     }
-    for (std::size_t col = 0; col < s.targets().size(); ++col) {
-      const geo::GeoPoint truth =
-          world.host(s.targets()[col]).true_location;
-      std::vector<std::size_t> rows;
-      rows.reserve(n);
-      for (std::size_t r = 0; r < n; ++r) {
-        if (geo::distance_km(world.host(s.vps()[r]).true_location, truth) >
-            radius) {
-          rows.push_back(r);
-        }
-      }
-      const double e = one_target_error(ms, rows, col, config);
+    // Each column filters its own row set locally, so columns are
+    // independent; fold in column order to keep the serial output.
+    const std::vector<double> per_col = util::parallel_map<double>(
+        s.targets().size(), [&](std::size_t col) {
+          const geo::GeoPoint truth =
+              world.host(s.targets()[col]).true_location;
+          std::vector<std::size_t> rows;
+          rows.reserve(n);
+          for (std::size_t r = 0; r < n; ++r) {
+            if (geo::distance_km(world.host(s.vps()[r]).true_location,
+                                 truth) > radius) {
+              rows.push_back(r);
+            }
+          }
+          return one_target_error(ms, rows, col, config);
+        });
+    for (const double e : per_col) {
       if (e >= 0.0) ee.errors_km.push_back(e);
     }
     out.push_back(std::move(ee));
@@ -134,16 +154,20 @@ std::vector<ExclusionErrors> run_remove_close_vps(
 std::vector<RepSelectionErrors> run_rep_selection(
     const scenario::Scenario& s, std::span<const int> ks,
     const core::CbgConfig& config) {
+  warm_matrices(s);
   const core::MillionScale ms(s);
   std::vector<RepSelectionErrors> out;
   for (int k : ks) {
     RepSelectionErrors re;
     re.k = k;
-    for (std::size_t col = 0; col < s.targets().size(); ++col) {
-      const auto rows = k == 0
-                            ? all_rows(s)
-                            : ms.select_vps_by_representatives(col, k);
-      const double e = one_target_error(ms, rows, col, config);
+    const std::vector<double> per_col = util::parallel_map<double>(
+        s.targets().size(), [&](std::size_t col) {
+          const auto rows = k == 0
+                                ? all_rows(s)
+                                : ms.select_vps_by_representatives(col, k);
+          return one_target_error(ms, rows, col, config);
+        });
+    for (const double e : per_col) {
       if (e >= 0.0) re.errors_km.push_back(e);
     }
     out.push_back(std::move(re));
@@ -154,6 +178,7 @@ std::vector<RepSelectionErrors> run_rep_selection(
 std::vector<TwoStepSweep> run_two_step_sweep(
     const scenario::Scenario& s, std::span<const int> first_step_sizes,
     const core::CbgConfig& config) {
+  warm_matrices(s);
   const core::MillionScale ms(s);
   // The greedy coverage sequence nests: the first N picks of the longest
   // run ARE the greedy subset of size N, so compute it once.
@@ -173,14 +198,30 @@ std::vector<TwoStepSweep> run_two_step_sweep(
     tsc.cbg = config;
     const core::TwoStepSelector selector(s, std::move(first), tsc);
 
-    for (std::size_t col = 0; col < s.targets().size(); ++col) {
-      const core::TwoStepOutcome o = selector.run(col);
-      sweep.total_pings += o.step1_pings + o.step2_pings + o.final_pings;
-      if (!o.ok) {
+    // TwoStepSelector::run is a const, deterministic function of the
+    // column; map the outcomes in parallel and fold the accounting in
+    // column order so sums and error order match the serial sweep.
+    struct ColOutcome {
+      std::uint64_t pings = 0;
+      bool ok = false;
+      double error_km = 0.0;
+    };
+    const std::vector<ColOutcome> per_col = util::parallel_map<ColOutcome>(
+        s.targets().size(), [&](std::size_t col) {
+          const core::TwoStepOutcome o = selector.run(col);
+          ColOutcome co;
+          co.pings = o.step1_pings + o.step2_pings + o.final_pings;
+          co.ok = o.ok;
+          if (o.ok) co.error_km = ms.error_km(o.estimate, col);
+          return co;
+        });
+    for (const ColOutcome& co : per_col) {
+      sweep.total_pings += co.pings;
+      if (!co.ok) {
         ++sweep.failed_targets;
         continue;
       }
-      sweep.errors_km.push_back(ms.error_km(o.estimate, col));
+      sweep.errors_km.push_back(co.error_km);
     }
     out.push_back(std::move(sweep));
   }
@@ -222,19 +263,33 @@ std::vector<FailureSweepPoint> run_failure_sensitivity(
       per_target[s.target_index(m.target)].push_back(core::VpObservation{
           world.host(m.vp).reported_location, *m.min_rtt_ms});
     }
+    // One CBG verdict per target, each a pure function of its observation
+    // list; fold verdict counters and the error list in column order.
+    struct ColVerdict {
+      core::CbgVerdict verdict = core::CbgVerdict::Unlocatable;
+      std::optional<double> error_km;
+    };
+    const std::vector<ColVerdict> per_col = util::parallel_map<ColVerdict>(
+        s.targets().size(), [&](std::size_t col) {
+          const core::CbgResult r =
+              core::cbg_geolocate(per_target[col], config);
+          ColVerdict cv;
+          cv.verdict = r.verdict;
+          if (r.ok) {
+            cv.error_km = geo::distance_km(
+                r.estimate, world.host(s.targets()[col]).true_location);
+          }
+          return cv;
+        });
     std::vector<double> errors;
-    errors.reserve(s.targets().size());
-    for (std::size_t col = 0; col < s.targets().size(); ++col) {
-      const core::CbgResult r = core::cbg_geolocate(per_target[col], config);
-      switch (r.verdict) {
+    errors.reserve(per_col.size());
+    for (const ColVerdict& cv : per_col) {
+      switch (cv.verdict) {
         case core::CbgVerdict::Ok: ++point.located; break;
         case core::CbgVerdict::Degraded: ++point.degraded; break;
         case core::CbgVerdict::Unlocatable: ++point.unlocatable; break;
       }
-      if (r.ok) {
-        errors.push_back(geo::distance_km(
-            r.estimate, world.host(s.targets()[col]).true_location));
-      }
+      if (cv.error_km) errors.push_back(*cv.error_km);
     }
     point.median_error_km = errors.empty() ? -1.0 : util::median(errors);
     point.report.results.clear();

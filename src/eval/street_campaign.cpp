@@ -1,13 +1,13 @@
 #include "eval/street_campaign.h"
 
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
 
 #include "eval/metrics.h"
+#include "util/env.h"
 #include "util/stats.h"
 
 namespace geoloc::eval {
@@ -115,8 +115,8 @@ const StreetCampaign& street_campaign(const scenario::Scenario& s,
 
   auto campaign = std::make_unique<StreetCampaign>();
 
-  std::string dir = s.config().cache_dir;
-  if (const char* env = std::getenv("GEOLOC_CACHE_DIR")) dir = env;
+  const std::string dir =
+      util::env::string_or("GEOLOC_CACHE_DIR", s.config().cache_dir);
   std::string path;
   if (!dir.empty()) {
     std::error_code ec;

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+
+#include "util/env.h"
+#include "util/parallel.h"
 
 namespace geoloc::scenario {
 
@@ -169,8 +171,8 @@ const dataset::PopulationGrid& Scenario::population() const {
 
 std::optional<std::string> Scenario::cache_path(
     const std::string& name) const {
-  std::string dir = config_.cache_dir;
-  if (const char* env = std::getenv("GEOLOC_CACHE_DIR")) dir = env;
+  const std::string dir = util::env::string_or("GEOLOC_CACHE_DIR",
+                                               config_.cache_dir);
   if (dir.empty()) return std::nullopt;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
@@ -192,14 +194,20 @@ const RttMatrix& Scenario::target_rtts() const {
   }
   m = std::make_unique<RttMatrix>(vps_.size(), targets_.size());
   const util::RngStream stream = world_->rng().fork("campaign-target");
-  for (std::size_t r = 0; r < vps_.size(); ++r) {
-    for (std::size_t c = 0; c < targets_.size(); ++c) {
-      auto gen = stream.fork("m", (r << 20) | c).gen();
-      const auto rtt =
-          latency_->min_rtt_ms(vps_[r], targets_[c], config_.ping_packets, gen);
-      if (rtt) m->set(r, c, static_cast<float>(*rtt));
-    }
-  }
+  // Every (r, c) cell forks its own RNG stream and owns its own matrix
+  // slot, so rows materialise in parallel with bit-identical results for
+  // any GEOLOC_THREADS — which keeps the disk-cache tag honest.
+  util::parallel_for(
+      vps_.size(),
+      [&](std::size_t r) {
+        for (std::size_t c = 0; c < targets_.size(); ++c) {
+          auto gen = stream.fork("m", (r << 20) | c).gen();
+          const auto rtt = latency_->min_rtt_ms(vps_[r], targets_[c],
+                                                config_.ping_packets, gen);
+          if (rtt) m->set(r, c, static_cast<float>(*rtt));
+        }
+      },
+      /*grain=*/1);
   if (path) m->save(*path, tag);
   target_rtts_ = std::move(m);
   return *target_rtts_;
@@ -216,29 +224,34 @@ const RttMatrix& Scenario::representative_rtts() const {
   }
   m = std::make_unique<RttMatrix>(vps_.size(), targets_.size());
   const util::RngStream stream = world_->rng().fork("campaign-reps");
-  for (std::size_t c = 0; c < targets_.size(); ++c) {
-    const auto& set = hitlist_->for_target(targets_[c]);
-    for (std::size_t r = 0; r < vps_.size(); ++r) {
-      auto gen = stream.fork("m", (r << 20) | c).gen();
-      // Min RTT per responsive representative, median across them. With at
-      // most three values the median is cheap to compute by hand.
-      double vals[3];
-      int n = 0;
-      for (const auto& rep : set.reps) {
-        const auto rtt =
-            latency_->min_rtt_ms(vps_[r], rep.host, config_.ping_packets, gen);
-        if (rtt) vals[n++] = *rtt;
-      }
-      if (n == 0) continue;
-      if (n > 1 && vals[0] > vals[1]) std::swap(vals[0], vals[1]);
-      if (n > 2 && vals[1] > vals[2]) std::swap(vals[1], vals[2]);
-      if (n > 1 && vals[0] > vals[1]) std::swap(vals[0], vals[1]);
-      const double med = (n == 3)   ? vals[1]
-                         : (n == 2) ? (vals[0] + vals[1]) / 2.0
-                                    : vals[0];
-      m->set(r, c, static_cast<float>(med));
-    }
-  }
+  // Parallel over target columns: the hitlist lookup happens once per
+  // column, and every cell's randomness is a pure function of (r, c).
+  util::parallel_for(
+      targets_.size(),
+      [&](std::size_t c) {
+        const auto& set = hitlist_->for_target(targets_[c]);
+        for (std::size_t r = 0; r < vps_.size(); ++r) {
+          auto gen = stream.fork("m", (r << 20) | c).gen();
+          // Min RTT per responsive representative, median across them. With
+          // at most three values the median is cheap to compute by hand.
+          double vals[3];
+          int n = 0;
+          for (const auto& rep : set.reps) {
+            const auto rtt = latency_->min_rtt_ms(vps_[r], rep.host,
+                                                  config_.ping_packets, gen);
+            if (rtt) vals[n++] = *rtt;
+          }
+          if (n == 0) continue;
+          if (n > 1 && vals[0] > vals[1]) std::swap(vals[0], vals[1]);
+          if (n > 2 && vals[1] > vals[2]) std::swap(vals[1], vals[2]);
+          if (n > 1 && vals[0] > vals[1]) std::swap(vals[0], vals[1]);
+          const double med = (n == 3)   ? vals[1]
+                             : (n == 2) ? (vals[0] + vals[1]) / 2.0
+                                        : vals[0];
+          m->set(r, c, static_cast<float>(med));
+        }
+      },
+      /*grain=*/1);
   if (path) m->save(*path, tag);
   rep_rtts_ = std::move(m);
   return *rep_rtts_;

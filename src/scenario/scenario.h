@@ -108,6 +108,10 @@ class Scenario {
   }
 
   // -- measurement campaigns ----------------------------------------------
+  // Materialisation runs on the parallel engine (bit-identical for any
+  // GEOLOC_THREADS; see DESIGN.md §9), but the lazy-init itself is not
+  // guarded: touch each matrix once from a single thread before sharing the
+  // scenario across parallel tasks — the eval entry points do this.
   /// Min RTT (ping_packets packets) from vps()[r] to targets()[c].
   [[nodiscard]] const RttMatrix& target_rtts() const;
   /// Median over the responsive /24 representatives of targets()[c] of the

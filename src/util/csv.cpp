@@ -1,9 +1,10 @@
 #include "util/csv.h"
 
-#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <sstream>
+
+#include "util/env.h"
 
 namespace geoloc::util {
 
@@ -55,8 +56,8 @@ void CsvWriter::numeric_row(const std::vector<double>& values) {
 }
 
 std::optional<std::string> export_dir_from_env() {
-  const char* dir = std::getenv("GEOLOC_EXPORT_DIR");
-  if (!dir || !*dir) return std::nullopt;
+  const std::string dir = env::string_or("GEOLOC_EXPORT_DIR", "");
+  if (dir.empty()) return std::nullopt;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) return std::nullopt;

@@ -1,0 +1,53 @@
+// One place for the environment knobs scattered across the bench mains and
+// the library (GEOLOC_SMALL, GEOLOC_TRIALS, GEOLOC_CACHE_DIR,
+// GEOLOC_THREADS, GEOLOC_EXPORT_DIR, GEOLOC_BENCH_JSON). Each helper parses
+// one shape of value; the knob registry below is the documentation.
+//
+//   GEOLOC_SMALL=1        miniature scenario instead of paper scale
+//   GEOLOC_TRIALS=N       trial count for the randomized sweeps
+//   GEOLOC_CACHE_DIR=dir  where RTT-matrix / campaign caches live
+//   GEOLOC_THREADS=N      worker threads for the parallel engine
+//                         (default: hardware concurrency; 1 = serial)
+//   GEOLOC_EXPORT_DIR=dir CSV export target for figure series
+//   GEOLOC_BENCH_JSON=f   machine-readable bench records (JSON lines)
+#pragma once
+
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+namespace geoloc::util::env {
+
+/// True when the variable is set and its first character is '1'
+/// (the GEOLOC_SMALL convention).
+inline bool flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] == '1';
+}
+
+/// Positive integer value of the variable; `fallback` when unset, empty,
+/// non-numeric or non-positive.
+inline int int_or(const char* name, int fallback) {
+  if (const char* v = std::getenv(name)) {
+    const int parsed = std::atoi(v);
+    if (parsed > 0) return parsed;
+  }
+  return fallback;
+}
+
+/// String value of the variable; `fallback` when unset. An explicitly empty
+/// value is returned as empty (it means "disabled" for the cache dir).
+inline std::string string_or(const char* name, std::string fallback) {
+  if (const char* v = std::getenv(name)) return v;
+  return fallback;
+}
+
+/// Worker-thread count for the parallel engine: GEOLOC_THREADS when set to
+/// a positive integer, otherwise the hardware concurrency (at least 1).
+inline unsigned threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int v = int_or("GEOLOC_THREADS", hw > 0 ? static_cast<int>(hw) : 1);
+  return static_cast<unsigned>(v > 0 ? v : 1);
+}
+
+}  // namespace geoloc::util::env

@@ -1,0 +1,175 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "util/env.h"
+
+namespace geoloc::util {
+
+namespace {
+
+/// Set while the current thread is executing pool work; nested parallel
+/// calls detect it and run inline instead of waiting on their own pool.
+thread_local bool t_inside_pool_job = false;
+
+std::mutex g_config_mu;
+unsigned g_thread_override = 0;  // 0 = follow the environment
+
+}  // namespace
+
+unsigned thread_count() {
+  std::scoped_lock lock(g_config_mu);
+  if (g_thread_override > 0) return g_thread_override;
+  return env::threads();
+}
+
+struct ThreadPool::Impl {
+  // One job at a time. run_chunks publishes {chunk_fn, total, grain} under
+  // the mutex and bumps `generation`; workers (and the caller, which always
+  // participates) claim [begin, end) chunks under the same mutex, so a
+  // late-waking worker from a previous job sees the generation mismatch and
+  // returns without ever touching the new job's state. Chunk execution
+  // itself runs unlocked.
+  std::mutex mu;
+  std::condition_variable work_cv;
+  std::condition_variable done_cv;
+  const std::function<void(std::size_t, std::size_t)>* chunk_fn = nullptr;
+  std::size_t total = 0;
+  std::size_t grain = 1;
+  std::size_t next = 0;
+  std::size_t pending_chunks = 0;
+  std::uint64_t generation = 0;
+  std::exception_ptr first_error;
+  bool shutdown = false;
+  std::vector<std::thread> workers;
+
+  void work(std::uint64_t job_generation) {
+    const bool was_inside = t_inside_pool_job;
+    t_inside_pool_job = true;
+    while (true) {
+      std::size_t begin;
+      std::size_t end;
+      const std::function<void(std::size_t, std::size_t)>* fn;
+      {
+        std::scoped_lock lock(mu);
+        if (generation != job_generation || chunk_fn == nullptr ||
+            next >= total) {
+          break;
+        }
+        begin = next;
+        end = std::min(next + grain, total);
+        next = end;
+        fn = chunk_fn;
+      }
+      std::exception_ptr error;
+      try {
+        (*fn)(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::scoped_lock lock(mu);
+      if (error && !first_error) first_error = error;
+      if (--pending_chunks == 0) done_cv.notify_all();
+    }
+    t_inside_pool_job = was_inside;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    while (true) {
+      std::uint64_t job_generation;
+      {
+        std::unique_lock lock(mu);
+        work_cv.wait(lock, [&] {
+          return shutdown || generation != seen_generation;
+        });
+        if (shutdown) return;
+        job_generation = seen_generation = generation;
+      }
+      work(job_generation);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned threads)
+    : impl_(new Impl), threads_(threads == 0 ? 1 : threads) {
+  impl_->workers.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->workers) t.join();
+  delete impl_;
+}
+
+void ThreadPool::run_chunks(
+    std::size_t n, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
+  if (n == 0) return;
+  if (grain == 0) grain = 1;
+  // Serial fast path: one worker, a single chunk, or a nested call from
+  // inside a pool job (which would deadlock waiting on its own workers).
+  // Chunk boundaries are preserved so per-chunk folds associate the same.
+  if (threads_ == 1 || n <= grain || t_inside_pool_job) {
+    for (std::size_t begin = 0; begin < n; begin += grain) {
+      chunk_fn(begin, std::min(begin + grain, n));
+    }
+    return;
+  }
+
+  std::uint64_t job_generation;
+  {
+    std::scoped_lock lock(impl_->mu);
+    impl_->chunk_fn = &chunk_fn;
+    impl_->total = n;
+    impl_->grain = grain;
+    impl_->next = 0;
+    impl_->pending_chunks = (n + grain - 1) / grain;
+    impl_->first_error = nullptr;
+    job_generation = ++impl_->generation;
+  }
+  impl_->work_cv.notify_all();
+
+  // The caller is a worker too: claim chunks until the job runs dry.
+  impl_->work(job_generation);
+
+  std::unique_lock lock(impl_->mu);
+  impl_->done_cv.wait(lock, [&] { return impl_->pending_chunks == 0; });
+  impl_->chunk_fn = nullptr;
+  if (impl_->first_error) std::rethrow_exception(impl_->first_error);
+}
+
+namespace {
+
+std::unique_ptr<ThreadPool> g_pool;
+std::mutex g_pool_mu;
+
+}  // namespace
+
+ThreadPool& global_pool() {
+  const unsigned want = thread_count();
+  std::scoped_lock lock(g_pool_mu);
+  if (!g_pool || g_pool->size() != want) {
+    g_pool = std::make_unique<ThreadPool>(want);
+  }
+  return *g_pool;
+}
+
+void set_thread_count(unsigned n) {
+  std::scoped_lock lock(g_config_mu);
+  g_thread_override = n;
+}
+
+}  // namespace geoloc::util

@@ -1,0 +1,130 @@
+// The deterministic parallel engine: a reusable chunked thread pool with
+// parallel_for / parallel_map and an index-ordered reduction.
+//
+// Determinism contract (DESIGN.md §9). Every helper here guarantees that
+// results are *bit-identical for any worker count*, including 1:
+//
+//   - tasks are addressed by index; a task may only write state owned by
+//     its own index (parallel_map commits results into slot i),
+//   - any randomness a task needs must be derived from (seed, task index)
+//     — never drawn from a shared generator, whose draw order would depend
+//     on scheduling,
+//   - parallel_reduce folds chunk partials in chunk-index order, and the
+//     chunk grain is a parameter of the call, never of the worker count,
+//     so floating-point association is fixed.
+//
+// The pool is sized by GEOLOC_THREADS (default: hardware concurrency).
+// With one worker every helper runs inline on the calling thread — no
+// threads are spawned and behaviour is exactly the historical serial code.
+// Nested use is safe: a parallel_for issued from inside a worker runs
+// inline rather than deadlocking the pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace geoloc::util {
+
+/// Worker count the global pool is (or will be) sized to: the
+/// set_thread_count override when active, else GEOLOC_THREADS, else the
+/// hardware concurrency. Always >= 1.
+[[nodiscard]] unsigned thread_count();
+
+/// Test/tooling override of the worker count; 0 restores the environment
+/// default. The global pool is re-sized lazily on its next use. Not safe to
+/// call concurrently with running parallel work.
+void set_thread_count(unsigned n);
+
+/// A persistent pool of workers executing [begin, end) index chunks.
+/// Construction spawns `threads - 1` workers (the caller participates in
+/// every job, so one worker means "inline").
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] unsigned size() const noexcept { return threads_; }
+
+  /// Invoke chunk_fn(begin, end) over a partition of [0, n) into chunks of
+  /// `grain` indices (the last chunk may be short). Chunks are claimed
+  /// dynamically by the workers plus the calling thread; blocks until every
+  /// chunk completed. Exceptions from chunk_fn are rethrown on the caller
+  /// (first one wins). Runs inline when the pool has one worker, n fits a
+  /// single chunk, or the caller is itself a pool worker.
+  void run_chunks(std::size_t n, std::size_t grain,
+                  const std::function<void(std::size_t, std::size_t)>& chunk_fn);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  unsigned threads_;
+};
+
+/// The process-wide pool, lazily constructed (and re-sized after
+/// set_thread_count) on first use.
+[[nodiscard]] ThreadPool& global_pool();
+
+namespace detail {
+/// Default chunk grain: a pure function of n (never of the worker count) so
+/// chunk boundaries — and with them any per-chunk fold order — are stable
+/// across GEOLOC_THREADS values. Small n stays fine-grained so per-target
+/// work (≈ms each) spreads; huge n amortises the per-chunk claim.
+[[nodiscard]] constexpr std::size_t default_grain(std::size_t n) noexcept {
+  if (n <= 4'096) return 1;
+  if (n <= 262'144) return 64;
+  return 1'024;
+}
+}  // namespace detail
+
+/// fn(i) for every i in [0, n), in parallel. fn must only write state owned
+/// by index i.
+template <typename Fn>
+void parallel_for(std::size_t n, Fn&& fn, std::size_t grain = 0) {
+  if (n == 0) return;
+  if (grain == 0) grain = detail::default_grain(n);
+  global_pool().run_chunks(n, grain, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+/// out[i] = fn(i) for every i in [0, n): results are committed by index, so
+/// the output is identical for any worker count. T must be default- and
+/// move-constructible.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_map(std::size_t n, Fn&& fn,
+                                          std::size_t grain = 0) {
+  std::vector<T> out(n);
+  parallel_for(
+      n, [&](std::size_t i) { out[i] = fn(i); }, grain);
+  return out;
+}
+
+/// Ordered deterministic reduction: acc = combine(acc, map_fn(i)) folded in
+/// strict index order within each chunk, chunk partials folded in chunk
+/// order. `init` must be an identity element of `combine` (0 for +, 1 for
+/// *, empty for concat). Because the grain is a parameter (default: a
+/// function of n only), the association of `combine` is identical for any
+/// worker count — which is what makes floating-point reductions bit-stable.
+template <typename T, typename MapFn, typename CombineFn>
+[[nodiscard]] T parallel_reduce(std::size_t n, T init, MapFn&& map_fn,
+                                CombineFn&& combine, std::size_t grain = 0) {
+  if (n == 0) return init;
+  if (grain == 0) grain = detail::default_grain(n);
+  const std::size_t chunks = (n + grain - 1) / grain;
+  std::vector<T> partials(chunks, init);
+  global_pool().run_chunks(
+      n, grain, [&](std::size_t begin, std::size_t end) {
+        T acc = init;
+        for (std::size_t i = begin; i < end; ++i) acc = combine(acc, map_fn(i));
+        partials[begin / grain] = acc;
+      });
+  T acc = init;
+  for (const T& p : partials) acc = combine(acc, p);
+  return acc;
+}
+
+}  // namespace geoloc::util

@@ -1,0 +1,191 @@
+// Bit-identity of the workloads threaded through the parallel engine
+// (DESIGN.md §9): re-running the same computation at GEOLOC_THREADS=1 and
+// =8 must produce byte-equal results — RTT matrices, CBG sweep outputs,
+// and the resilient executor's CampaignReport.
+//
+// These tests build their own fresh scenarios (disk cache disabled)
+// instead of the shared test_scenario.h instances: lazy matrices and the
+// all_vp_errors memo would otherwise carry results computed at whatever
+// thread count ran first.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "atlas/executor.h"
+#include "eval/experiments.h"
+#include "scenario/presets.h"
+#include "scenario/scenario.h"
+#include "util/parallel.h"
+
+namespace geoloc {
+namespace {
+
+scenario::ScenarioConfig fresh_config() {
+  auto cfg = scenario::small_config();
+  cfg.cache_dir = "";     // never mix results through the disk cache
+  cfg.build_web = false;  // the web ecosystem plays no part here
+  return cfg;
+}
+
+/// Run fn with the pool sized to `threads`, restoring the default after.
+template <typename Fn>
+auto at_threads(unsigned threads, Fn&& fn) {
+  util::set_thread_count(threads);
+  auto result = fn();
+  util::set_thread_count(0);
+  return result;
+}
+
+void expect_bit_equal(const scenario::RttMatrix& a,
+                      const scenario::RttMatrix& b) {
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), b.cols());
+  std::size_t mismatches = 0;
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    for (std::size_t c = 0; c < a.cols(); ++c) {
+      // Bit comparison, not ==: NaN encodes "no response" and must match too.
+      if (std::bit_cast<std::uint32_t>(a.at(r, c)) !=
+          std::bit_cast<std::uint32_t>(b.at(r, c))) {
+        ++mismatches;
+      }
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+TEST(ParallelDeterminismTest, RttMatricesAreBitIdenticalAcrossThreadCounts) {
+  const auto build = [](unsigned threads) {
+    return at_threads(threads, [] {
+      auto s = std::make_unique<scenario::Scenario>(fresh_config());
+      (void)s->target_rtts();  // materialise under this thread count
+      (void)s->representative_rtts();
+      return s;
+    });
+  };
+  const auto serial = build(1);
+  const auto threaded = build(8);
+  expect_bit_equal(serial->target_rtts(), threaded->target_rtts());
+  expect_bit_equal(serial->representative_rtts(),
+                   threaded->representative_rtts());
+}
+
+TEST(ParallelDeterminismTest, CbgSweepsAreThreadCountInvariant) {
+  // One scenario, matrices pre-materialised serially: what's under test is
+  // the parallel_map over target columns inside the eval sweeps.
+  const scenario::Scenario s(fresh_config());
+  (void)s.target_rtts();
+  (void)s.representative_rtts();
+
+  const int sizes[] = {50, 150};
+  const auto subsets_1 = at_threads(
+      1, [&] { return eval::run_subset_size_sweep(s, sizes, /*trials=*/3); });
+  const auto subsets_8 = at_threads(
+      8, [&] { return eval::run_subset_size_sweep(s, sizes, /*trials=*/3); });
+  ASSERT_EQ(subsets_1.size(), subsets_8.size());
+  for (std::size_t i = 0; i < subsets_1.size(); ++i) {
+    EXPECT_EQ(subsets_1[i].subset_size, subsets_8[i].subset_size);
+    // Exact equality: medians of identical error lists, not "close".
+    EXPECT_EQ(subsets_1[i].trial_median_errors_km,
+              subsets_8[i].trial_median_errors_km);
+  }
+
+  const int ks[] = {0, 10};
+  const auto reps_1 =
+      at_threads(1, [&] { return eval::run_rep_selection(s, ks); });
+  const auto reps_8 =
+      at_threads(8, [&] { return eval::run_rep_selection(s, ks); });
+  ASSERT_EQ(reps_1.size(), reps_8.size());
+  for (std::size_t i = 0; i < reps_1.size(); ++i) {
+    EXPECT_EQ(reps_1[i].k, reps_8[i].k);
+    EXPECT_EQ(reps_1[i].errors_km, reps_8[i].errors_km);
+  }
+}
+
+TEST(ParallelDeterminismTest, PingManyMatchesSerialPingsBitForBit) {
+  const scenario::Scenario s(fresh_config());
+  std::vector<atlas::PingTask> tasks;
+  for (std::size_t t = 0; t < 64 && t < s.targets().size(); ++t) {
+    tasks.push_back({s.vps()[t % s.vps().size()], s.targets()[t], 3});
+  }
+
+  atlas::Platform serial_platform(s.world(), s.latency());
+  std::vector<atlas::PingMeasurement> serial_results;
+  for (const atlas::PingTask& task : tasks) {
+    serial_results.push_back(
+        serial_platform.ping(task.vp, task.target, task.packets));
+  }
+
+  const auto batch = at_threads(8, [&] {
+    atlas::Platform batch_platform(s.world(), s.latency());
+    std::vector<atlas::PingMeasurement> out(tasks.size());
+    batch_platform.ping_many(tasks, out);
+    EXPECT_EQ(batch_platform.usage().pings, serial_platform.usage().pings);
+    EXPECT_EQ(batch_platform.usage().credits,
+              serial_platform.usage().credits);
+    return out;
+  });
+
+  ASSERT_EQ(batch.size(), serial_results.size());
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    EXPECT_EQ(batch[i].vp, serial_results[i].vp);
+    EXPECT_EQ(batch[i].target, serial_results[i].target);
+    EXPECT_EQ(batch[i].min_rtt_ms, serial_results[i].min_rtt_ms);
+    EXPECT_EQ(batch[i].packets_sent, serial_results[i].packets_sent);
+    EXPECT_EQ(batch[i].packets_received, serial_results[i].packets_received);
+  }
+}
+
+TEST(ParallelDeterminismTest, StormyCampaignReportIsThreadCountInvariant) {
+  const scenario::Scenario s(fresh_config());
+  const std::size_t vp_count = std::min<std::size_t>(s.vps().size(), 60);
+  const std::span<const sim::HostId> vps(s.vps().data(), vp_count);
+  const std::span<const sim::HostId> spares(s.vps().data() + vp_count,
+                                            s.vps().size() - vp_count);
+
+  const auto run = [&](unsigned threads) {
+    return at_threads(threads, [&] {
+      atlas::Platform platform(s.world(), s.latency());
+      const atlas::FaultModel faults(s.world(), scenario::stormy_weather());
+      platform.set_fault_model(&faults);
+      atlas::CampaignExecutor executor(platform);
+      return executor.execute_full_mesh(vps, s.targets(), 3, spares);
+    });
+  };
+  const atlas::CampaignReport a = run(1);
+  const atlas::CampaignReport b = run(8);
+
+  EXPECT_EQ(a.requested, b.requested);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.abandoned, b.abandoned);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_EQ(a.retries, b.retries);
+  EXPECT_EQ(a.rejections, b.rejections);
+  EXPECT_EQ(a.no_replies, b.no_replies);
+  EXPECT_EQ(a.outage_deferrals, b.outage_deferrals);
+  EXPECT_EQ(a.vp_reassignments, b.vp_reassignments);
+  EXPECT_EQ(a.round_failures, b.round_failures);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.credits_spent, b.credits_spent);
+  EXPECT_EQ(a.credits_wasted, b.credits_wasted);
+  EXPECT_EQ(a.duration_s, b.duration_s);  // exact: same fold order
+  EXPECT_EQ(a.backoff_wait_s, b.backoff_wait_s);
+  ASSERT_EQ(a.results.size(), b.results.size());
+  std::size_t mismatches = 0;
+  for (std::size_t i = 0; i < a.results.size(); ++i) {
+    if (a.results[i].vp != b.results[i].vp ||
+        a.results[i].target != b.results[i].target ||
+        a.results[i].min_rtt_ms != b.results[i].min_rtt_ms ||
+        a.results[i].packets_received != b.results[i].packets_received) {
+      ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+}
+
+}  // namespace
+}  // namespace geoloc

@@ -1,0 +1,161 @@
+// Correctness of the deterministic parallel engine (util/parallel.h):
+// index coverage under contention, ordered reduction, nested use,
+// exception propagation, and the thread-count override that the
+// determinism suite (parallel_determinism_test.cpp) relies on.
+#include "util/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace geoloc {
+namespace {
+
+/// Every test restores the environment-default worker count on exit so the
+/// override never leaks into other tests in this binary.
+class ParallelEngineTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::set_thread_count(0); }
+};
+
+TEST_F(ParallelEngineTest, ThreadCountOverrideAndRestore) {
+  util::set_thread_count(3);
+  EXPECT_EQ(util::thread_count(), 3u);
+  util::set_thread_count(0);
+  EXPECT_GE(util::thread_count(), 1u);
+}
+
+TEST_F(ParallelEngineTest, ForCoversEveryIndexExactlyOnce) {
+  util::set_thread_count(8);
+  constexpr std::size_t n = 100'000;
+  std::vector<std::atomic<int>> hits(n);
+  util::parallel_for(
+      n,
+      [&](std::size_t i) { hits[i].fetch_add(1, std::memory_order_relaxed); },
+      /*grain=*/7);
+  std::size_t wrong = 0;
+  for (const auto& h : hits) {
+    if (h.load(std::memory_order_relaxed) != 1) ++wrong;
+  }
+  EXPECT_EQ(wrong, 0u);
+}
+
+TEST_F(ParallelEngineTest, ForHandlesEmptyAndSingleIndex) {
+  util::set_thread_count(8);
+  std::atomic<int> calls{0};
+  util::parallel_for(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0);
+  util::parallel_for(1, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST_F(ParallelEngineTest, MapCommitsResultsByIndex) {
+  util::set_thread_count(8);
+  constexpr std::size_t n = 50'000;
+  const auto out = util::parallel_map<std::uint64_t>(
+      n, [](std::size_t i) { return i * i + 1; }, /*grain=*/13);
+  ASSERT_EQ(out.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], i * i + 1) << "at index " << i;
+  }
+}
+
+TEST_F(ParallelEngineTest, ReduceIsBitIdenticalAcrossWorkerCounts) {
+  // Floating-point sums are association-sensitive; the engine pins the fold
+  // order via the grain (a function of n only), so the result must be
+  // bit-equal — not just approximately equal — for any worker count.
+  constexpr std::size_t n = 200'000;
+  const auto sum_at = [&](unsigned threads) {
+    util::set_thread_count(threads);
+    return util::parallel_reduce<double>(
+        n, 0.0,
+        [](std::size_t i) { return std::sin(static_cast<double>(i) * 1e-3); },
+        std::plus<>{});
+  };
+  const double serial = sum_at(1);
+  EXPECT_EQ(serial, sum_at(2));
+  EXPECT_EQ(serial, sum_at(7));
+  EXPECT_EQ(serial, sum_at(8));
+}
+
+TEST_F(ParallelEngineTest, ReduceFoldsInStrictIndexOrder) {
+  // String concatenation is order-revealing: any chunk mis-ordering or
+  // double-fold shows up immediately.
+  util::set_thread_count(8);
+  constexpr std::size_t n = 2'000;
+  const auto concat = util::parallel_reduce<std::string>(
+      n, std::string{},
+      [](std::size_t i) { return std::to_string(i % 10); },
+      [](std::string a, const std::string& b) { return std::move(a) += b; },
+      /*grain=*/3);
+  std::string expected;
+  for (std::size_t i = 0; i < n; ++i) expected += std::to_string(i % 10);
+  EXPECT_EQ(concat, expected);
+}
+
+TEST_F(ParallelEngineTest, NestedParallelForRunsInline) {
+  util::set_thread_count(4);
+  std::atomic<int> total{0};
+  util::parallel_for(
+      4,
+      [&](std::size_t) {
+        // A worker issuing parallel work must not deadlock the pool: the
+        // inner loop runs inline on the worker.
+        util::parallel_for(1'000, [&](std::size_t) {
+          total.fetch_add(1, std::memory_order_relaxed);
+        });
+      },
+      /*grain=*/1);
+  EXPECT_EQ(total.load(), 4'000);
+}
+
+TEST_F(ParallelEngineTest, ExceptionPropagatesAndPoolSurvives) {
+  util::set_thread_count(8);
+  EXPECT_THROW(
+      util::parallel_for(
+          10'000,
+          [](std::size_t i) {
+            if (i == 3'777) throw std::runtime_error("boom");
+          },
+          /*grain=*/1),
+      std::runtime_error);
+  // The pool must be reusable after a failed job.
+  std::atomic<int> calls{0};
+  util::parallel_for(1'000, [&](std::size_t) {
+    calls.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(calls.load(), 1'000);
+}
+
+TEST_F(ParallelEngineTest, ManySmallJobsBackToBack) {
+  // Stresses job hand-off (generation publishing): a stale worker waking
+  // into a later job would double-run or skip chunks.
+  util::set_thread_count(8);
+  for (int job = 0; job < 200; ++job) {
+    std::atomic<int> calls{0};
+    util::parallel_for(
+        64,
+        [&](std::size_t) { calls.fetch_add(1, std::memory_order_relaxed); },
+        /*grain=*/1);
+    ASSERT_EQ(calls.load(), 64) << "job " << job;
+  }
+}
+
+TEST_F(ParallelEngineTest, DefaultGrainDependsOnlyOnN) {
+  // The grain drives the reduce association; it must never incorporate the
+  // worker count.
+  EXPECT_EQ(util::detail::default_grain(100), 1u);
+  EXPECT_EQ(util::detail::default_grain(10'000), 64u);
+  EXPECT_EQ(util::detail::default_grain(1'000'000), 1'024u);
+  util::set_thread_count(2);
+  EXPECT_EQ(util::detail::default_grain(10'000), 64u);
+}
+
+}  // namespace
+}  // namespace geoloc
