@@ -87,5 +87,6 @@ int main() {
         static_cast<double>(report.credits_spent) / 1e6,
         report.duration_days());
   }
+  bench::emit_metrics_snapshot("campaign_cost");
   return 0;
 }

@@ -14,6 +14,10 @@
 //                        for any value (DESIGN.md §9), only wall time moves
 //   GEOLOC_BENCH_JSON=f  append machine-readable timing records (one JSON
 //                        object per line) to file f
+//   GEOLOC_METRICS_JSON=f  append obs-registry metric snapshots (same
+//                        JSON-lines shape, tagged with the bench name)
+//   GEOLOC_TRACE=1       record obs trace spans (flushed into the
+//                        metrics snapshot)
 #pragma once
 
 #include <chrono>
@@ -21,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "scenario/presets.h"
 #include "scenario/scenario.h"
 #include "util/ascii_chart.h"
@@ -86,6 +91,18 @@ inline void emit_bench_json(const std::string& name, double wall_ms,
                  "\"vps\":%zu,\"targets\":%zu}\n",
                  name.c_str(), wall_ms, threads, vps, targets);
     std::fclose(f);
+  }
+}
+
+/// Append a snapshot of the obs metrics registry (plus any recorded trace
+/// spans) to $GEOLOC_METRICS_JSON, each line tagged {"bench":"<name>"} so
+/// the records diff the same way GEOLOC_BENCH_JSON timing records do.
+/// No-op when the variable is unset.
+inline void emit_metrics_snapshot(const std::string& name) {
+  if (obs::flush_metrics_json(name)) {
+    std::printf("[metrics snapshot appended to $GEOLOC_METRICS_JSON as "
+                "bench=%s]\n",
+                name.c_str());
   }
 }
 

@@ -183,5 +183,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_parallel_engine_timings();
+  bench::emit_metrics_snapshot("micro_kernels");
   return 0;
 }

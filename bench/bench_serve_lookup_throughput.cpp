@@ -226,5 +226,6 @@ int main() {
   const double speedup = flat_rate / trie_rate;
   std::printf("\nflat vs trie speedup: %.2fx — %s (acceptance: >= 5x)\n",
               speedup, speedup >= 5.0 ? "PASS" : "FAIL");
+  bench::emit_metrics_snapshot("serve_lookup_throughput");
   return speedup >= 5.0 ? 0 : 1;
 }

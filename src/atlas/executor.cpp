@@ -1,9 +1,13 @@
 #include "atlas/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <limits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace geoloc::atlas {
 
@@ -43,6 +47,53 @@ struct RoundSlot {
   std::size_t task_index = 0;  ///< into the round's ping batch
 };
 
+/// Executor series on the obs registry. Everything here is observed
+/// *after* the decision/commit passes computed it — the instrumentation
+/// reads the report and the simulated clock, it never participates in a
+/// weather draw or an ordering decision, so the CampaignReport stays
+/// byte-identical with metrics on or off (DESIGN.md §10).
+struct ExecutorMetrics {
+  obs::Counter& campaigns;
+  obs::Counter& requested;
+  obs::Counter& completed;
+  obs::Counter& abandoned;
+  obs::Counter& attempts;
+  obs::Counter& retries;
+  obs::Counter& rejections;
+  obs::Counter& no_replies;
+  obs::Counter& outage_deferrals;
+  obs::Counter& dead_vp_reassignments;
+  obs::Counter& round_failures;
+  obs::Counter& rounds;
+  obs::Histogram& round_sim_s;    ///< simulated per-round duration
+  obs::Histogram& round_wall_ms;  ///< real per-round wall time (GEOLOC_TRACE)
+};
+
+ExecutorMetrics& executor_metrics() {
+  // Simulated round durations are deterministic, so their histogram is
+  // part of the bit-stable metric set; only round_wall_ms varies by run.
+  static constexpr double kSimSecondsBuckets[] = {
+      1.0,     5.0,     15.0,    60.0,     240.0,
+      960.0,   3'600.0, 14'400.0, 86'400.0, 604'800.0};
+  static auto& reg = obs::Registry::instance();
+  static ExecutorMetrics m{
+      reg.counter("atlas.executor.campaigns"),
+      reg.counter("atlas.executor.requested"),
+      reg.counter("atlas.executor.completed"),
+      reg.counter("atlas.executor.abandoned"),
+      reg.counter("atlas.executor.attempts"),
+      reg.counter("atlas.executor.retries"),
+      reg.counter("atlas.executor.rejections"),
+      reg.counter("atlas.executor.no_replies"),
+      reg.counter("atlas.executor.outage_deferrals"),
+      reg.counter("atlas.executor.dead_vp_reassignments"),
+      reg.counter("atlas.executor.round_failures"),
+      reg.counter("atlas.executor.rounds"),
+      reg.histogram("atlas.executor.round_sim_s", kSimSecondsBuckets),
+      reg.histogram("atlas.executor.round_wall_ms")};
+  return m;
+}
+
 }  // namespace
 
 CampaignReport CampaignExecutor::execute(
@@ -51,6 +102,9 @@ CampaignReport CampaignExecutor::execute(
   CampaignReport report;
   report.requested = requests.size();
   if (requests.empty()) return report;
+  const obs::TraceSpan span("atlas.executor.execute");
+  ExecutorMetrics& metrics = executor_metrics();
+  const bool wall_timing = obs::trace_enabled();
 
   const FaultModel* faults = platform_->fault_model();
   if (faults && !faults->enabled()) faults = nullptr;
@@ -119,6 +173,19 @@ CampaignReport CampaignExecutor::execute(
 
     ++report.rounds;
     const std::uint64_t round_index = report.rounds - 1;
+    const double round_start_sim_s = now_s;
+    const auto round_start_wall = wall_timing
+                                      ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point();
+    const auto observe_round = [&] {
+      metrics.round_sim_s.observe(now_s - round_start_sim_s);
+      if (wall_timing) {
+        metrics.round_wall_ms.observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - round_start_wall)
+                .count());
+      }
+    };
 
     if (faults && faults->round_fails(round_index)) {
       // The whole submission round failed transiently (API weather). The
@@ -133,6 +200,7 @@ CampaignReport CampaignExecutor::execute(
         ++item.attempts;
         requeue_or_abandon(item);
       }
+      observe_round();
       continue;
     }
 
@@ -253,9 +321,26 @@ CampaignReport CampaignExecutor::execute(
     now_s += round_duration_s(*platform_, packets_per_vp, rate_cache) +
              sched.round_overhead_s;
     report.duration_s = now_s;
+    observe_round();
   }
 
   report.duration_s = now_s;
+
+  // Campaign totals onto the registry, in one pass off the finished
+  // report: zero per-measurement cost and, by construction, zero effect
+  // on the report itself.
+  metrics.campaigns.add();
+  metrics.requested.add(report.requested);
+  metrics.completed.add(report.completed);
+  metrics.abandoned.add(report.abandoned);
+  metrics.attempts.add(report.attempts);
+  metrics.retries.add(report.retries);
+  metrics.rejections.add(report.rejections);
+  metrics.no_replies.add(report.no_replies);
+  metrics.outage_deferrals.add(report.outage_deferrals);
+  metrics.dead_vp_reassignments.add(report.vp_reassignments);
+  metrics.round_failures.add(report.round_failures);
+  metrics.rounds.add(report.rounds);
   return report;
 }
 

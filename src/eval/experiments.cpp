@@ -1,6 +1,7 @@
 #include "eval/experiments.h"
 
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -8,6 +9,8 @@
 #include "core/million_scale.h"
 #include "eval/metrics.h"
 #include "geo/geodesy.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/parallel.h"
 #include "util/stats.h"
@@ -38,6 +41,28 @@ void warm_matrices(const scenario::Scenario& s) {
   s.target_rtts();
   s.representative_rtts();
 }
+
+/// Per-sweep observability: a trace span plus a sweep counter and wall
+/// histogram on the registry. Pure bystander — reads the clock, never the
+/// sweep's RNG or data, so sweep outputs are identical with obs on or off.
+class SweepScope {
+ public:
+  explicit SweepScope(const char* name)
+      : span_(name), start_(std::chrono::steady_clock::now()) {}
+  ~SweepScope() {
+    static auto& reg = obs::Registry::instance();
+    static obs::Counter& sweeps = reg.counter("eval.sweeps");
+    static obs::Histogram& wall = reg.histogram("eval.sweep_wall_ms");
+    sweeps.add();
+    wall.observe(std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - start_)
+                     .count());
+  }
+
+ private:
+  obs::TraceSpan span_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 }  // namespace
 
@@ -71,6 +96,7 @@ const std::vector<double>& all_vp_errors(const scenario::Scenario& s,
 std::vector<SubsetTrials> run_subset_size_sweep(
     const scenario::Scenario& s, std::span<const int> subset_sizes, int trials,
     const core::CbgConfig& config) {
+  const SweepScope scope("eval.subset_size_sweep");
   warm_matrices(s);
   const core::MillionScale ms(s);
   const std::size_t n = s.vps().size();
@@ -113,6 +139,7 @@ std::vector<SubsetTrials> run_subset_size_sweep(
 std::vector<ExclusionErrors> run_remove_close_vps(
     const scenario::Scenario& s, std::span<const double> radii_km,
     const core::CbgConfig& config) {
+  const SweepScope scope("eval.remove_close_vps");
   warm_matrices(s);
   const core::MillionScale ms(s);
   const auto& world = s.world();
@@ -154,6 +181,7 @@ std::vector<ExclusionErrors> run_remove_close_vps(
 std::vector<RepSelectionErrors> run_rep_selection(
     const scenario::Scenario& s, std::span<const int> ks,
     const core::CbgConfig& config) {
+  const SweepScope scope("eval.rep_selection");
   warm_matrices(s);
   const core::MillionScale ms(s);
   std::vector<RepSelectionErrors> out;
@@ -178,6 +206,7 @@ std::vector<RepSelectionErrors> run_rep_selection(
 std::vector<TwoStepSweep> run_two_step_sweep(
     const scenario::Scenario& s, std::span<const int> first_step_sizes,
     const core::CbgConfig& config) {
+  const SweepScope scope("eval.two_step_sweep");
   warm_matrices(s);
   const core::MillionScale ms(s);
   // The greedy coverage sequence nests: the first N picks of the longest
@@ -231,6 +260,7 @@ std::vector<TwoStepSweep> run_two_step_sweep(
 std::vector<FailureSweepPoint> run_failure_sensitivity(
     const scenario::Scenario& s, std::span<const WeatherSpec> weathers,
     std::size_t max_vps, const core::CbgConfig& config) {
+  const SweepScope scope("eval.failure_sensitivity");
   const auto& world = s.world();
   const auto& all_vps = s.vps();
   const std::size_t vp_count = (max_vps == 0 || max_vps >= all_vps.size())
@@ -301,6 +331,7 @@ std::vector<FailureSweepPoint> run_failure_sensitivity(
 
 std::vector<ContinentErrors> run_per_continent(const scenario::Scenario& s,
                                                const core::CbgConfig& config) {
+  const SweepScope scope("eval.per_continent");
   const auto& errors = all_vp_errors(s, config);
   const auto& world = s.world();
 

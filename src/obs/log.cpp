@@ -1,0 +1,23 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <mutex>
+#include <unordered_set>
+
+#include "obs/metrics.h"
+
+namespace geoloc::obs {
+
+bool warn_once(const char* key, const std::string& message) {
+  static std::mutex mu;
+  static auto* seen = new std::unordered_set<std::string>;
+  {
+    std::scoped_lock lock(mu);
+    if (!seen->insert(key).second) return false;
+  }
+  Registry::instance().counter("obs.warnings").add();
+  std::fprintf(stderr, "[geoloc] %s\n", message.c_str());
+  return true;
+}
+
+}  // namespace geoloc::obs

@@ -1,0 +1,22 @@
+// Minimal warning channel for the library: one stderr line per distinct
+// key, with every emission counted on the metrics registry
+// ("obs.warnings"), so a sweep that tripped a guard rail is visible both
+// on the console and in the metrics dump. Deliberately tiny — this is not
+// a logging framework, it is the place env-knob clamps and other
+// self-corrections report themselves.
+//
+// This header is self-contained (no util/ includes) so util/env.h can use
+// it without an include cycle.
+#pragma once
+
+#include <string>
+
+namespace geoloc::obs {
+
+/// Print "[geoloc] <message>" to stderr the first time `key` is seen in
+/// this process, and bump the "obs.warnings" counter (every first
+/// emission). Later calls with the same key are silent no-ops. Returns
+/// true when the line was printed.
+bool warn_once(const char* key, const std::string& message);
+
+}  // namespace geoloc::obs

@@ -1,0 +1,208 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/trace.h"
+#include "util/env.h"
+
+namespace geoloc::obs {
+
+namespace detail {
+
+std::uint32_t thread_stripe() noexcept {
+  static std::atomic<std::uint32_t> counter{0};
+  thread_local const std::uint32_t stripe =
+      counter.fetch_add(1, std::memory_order_relaxed);
+  return stripe;
+}
+
+}  // namespace detail
+
+// -- Histogram --------------------------------------------------------------
+
+Histogram::Histogram(std::span<const double> upper_bounds)
+    : bounds_(upper_bounds.begin(), upper_bounds.end()) {
+  std::sort(bounds_.begin(), bounds_.end());
+  bounds_.erase(std::unique(bounds_.begin(), bounds_.end()), bounds_.end());
+  // Pad each stripe's bucket row to a cache-line multiple so two stripes
+  // never share a line.
+  const std::size_t buckets = bounds_.size() + 1;  // + the +Inf bucket
+  stride_ = (buckets + 7) / 8 * 8;
+  counts_ = std::vector<std::atomic<std::uint64_t>>(kStripes * stride_);
+}
+
+void Histogram::observe(double x) noexcept {
+  std::size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  const std::size_t stripe = detail::thread_stripe() % kStripes;
+  counts_[stripe * stride_ + b].fetch_add(1, std::memory_order_relaxed);
+  detail::atomic_add(sums_[stripe].v, x);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.counts.assign(bounds_.size() + 1, 0);
+  for (std::size_t stripe = 0; stripe < kStripes; ++stripe) {
+    for (std::size_t b = 0; b < s.counts.size(); ++b) {
+      s.counts[b] +=
+          counts_[stripe * stride_ + b].load(std::memory_order_relaxed);
+    }
+    s.sum += sums_[stripe].v.load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : s.counts) s.total += c;
+  return s;
+}
+
+void Histogram::reset() noexcept {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+  for (SumCell& c : sums_) c.v.store(0.0, std::memory_order_relaxed);
+}
+
+std::span<const double> default_latency_buckets_ms() noexcept {
+  static constexpr double kBuckets[] = {
+      0.05, 0.1,  0.25, 0.5,  1.0,    2.5,    5.0,    10.0,    25.0,
+      50.0, 100.0, 250.0, 500.0, 1'000.0, 2'500.0, 5'000.0, 10'000.0,
+      30'000.0};
+  return kBuckets;
+}
+
+// -- Registry ---------------------------------------------------------------
+
+Registry& Registry::instance() {
+  static Registry* r = new Registry;  // leaked: outlives static destructors
+  return *r;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::scoped_lock lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::span<const double> upper_bounds) {
+  std::scoped_lock lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (upper_bounds.empty()) upper_bounds = default_latency_buckets_ms();
+    it = histograms_
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  }
+  return *it->second;
+}
+
+namespace {
+
+/// Prometheus metric name: "geoloc_" + name with [^a-zA-Z0-9_] -> '_'.
+std::string prom_name(const std::string& name) {
+  std::string out = "geoloc_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string Registry::dump_prometheus() const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, c] : counters_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " counter\n" << p << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string p = prom_name(name);
+    os << "# TYPE " << p << " gauge\n" << p << " " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string p = prom_name(name);
+    const Histogram::Snapshot s = h->snapshot();
+    os << "# TYPE " << p << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      cumulative += s.counts[b];
+      os << p << "_bucket{le=\"" << fmt_double(s.bounds[b]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << p << "_bucket{le=\"+Inf\"} " << s.total << "\n";
+    os << p << "_sum " << fmt_double(s.sum) << "\n";
+    os << p << "_count " << s.total << "\n";
+  }
+  return os.str();
+}
+
+std::string Registry::dump_json_lines(std::string_view tag) const {
+  std::scoped_lock lock(mu_);
+  std::ostringstream os;
+  const std::string tag_field =
+      tag.empty() ? std::string()
+                  : "\"bench\":\"" + std::string(tag) + "\",";
+  for (const auto& [name, c] : counters_) {
+    os << "{\"type\":\"counter\"," << tag_field << "\"name\":\"" << name
+       << "\",\"value\":" << c->value() << "}\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "{\"type\":\"gauge\"," << tag_field << "\"name\":\"" << name
+       << "\",\"value\":" << g->value() << "}\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const Histogram::Snapshot s = h->snapshot();
+    os << "{\"type\":\"histogram\"," << tag_field << "\"name\":\"" << name
+       << "\",\"count\":" << s.total << ",\"sum\":" << fmt_double(s.sum)
+       << ",\"buckets\":[";
+    for (std::size_t b = 0; b < s.bounds.size(); ++b) {
+      os << "[" << fmt_double(s.bounds[b]) << "," << s.counts[b] << "],";
+    }
+    os << "[\"+Inf\"," << s.counts.back() << "]]}\n";
+  }
+  return os.str();
+}
+
+void Registry::reset_for_test() {
+  std::scoped_lock lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+bool flush_metrics_json(std::string_view tag, std::string path) {
+  if (path.empty()) path = util::env::string_or("GEOLOC_METRICS_JSON", "");
+  if (path.empty()) return false;
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (!f) return false;
+  const std::string metrics = Registry::instance().dump_json_lines(tag);
+  std::fwrite(metrics.data(), 1, metrics.size(), f);
+  const std::string spans = spans_to_json_lines(tag);
+  std::fwrite(spans.data(), 1, spans.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace geoloc::obs

@@ -1,0 +1,183 @@
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// latency histograms, written lock-free from hot paths and read coherently
+// enough for dashboards (per-series values are exact; cross-series reads
+// are not a consistent cut, same contract as serve::ServiceStats).
+//
+// Zero-perturbation contract (DESIGN.md §10). Instrumentation built on
+// this registry must never change what the instrumented code computes:
+//
+//   * writers only touch registry-owned atomics — no RNG draws, no
+//     ordering decisions, no allocation after the series is registered;
+//   * counters are cache-line-striped per thread (the serve::GeoService
+//     counter design, hoisted here) so hot readers do not ping-pong one
+//     line and instrumented code scales exactly as uninstrumented code;
+//   * registered series live for the process lifetime at stable
+//     addresses, so call sites cache a `static Counter&` and the hot path
+//     is one relaxed striped add — the registry mutex is only taken at
+//     first use and at dump time.
+//
+// Values that *are* wall-clock timings vary run to run, but the set of
+// series, their ordering in every dump (name-sorted) and every
+// deterministic value (simulated durations, counts of deterministic
+// events) are bit-stable across runs and GEOLOC_THREADS values.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geoloc::obs {
+
+namespace detail {
+/// Stable per-thread stripe index (first-use order of threads).
+std::uint32_t thread_stripe() noexcept;
+
+/// Relaxed add for atomic doubles via CAS (portable; no C++20
+/// fetch_add(double) dependency).
+inline void atomic_add(std::atomic<double>& a, double d) noexcept {
+  double cur = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed,
+                                  std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// Monotonic counter, striped across cache lines by thread.
+class Counter {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  void add(std::uint64_t delta = 1) noexcept {
+    cells_[detail::thread_stripe() % kStripes].v.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Cell& c : cells_) c.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  Cell cells_[kStripes];
+};
+
+/// Last-writer-wins instantaneous value (queue depths, pool sizes).
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    v_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0); }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket histogram (cumulative-style dump, Prometheus semantics:
+/// bucket `le=B` counts observations <= B, plus an implicit +Inf bucket).
+/// Bucket bounds are fixed at registration; observation is a branch-free
+/// linear scan over <= ~20 bounds plus one striped relaxed add.
+class Histogram {
+ public:
+  static constexpr std::size_t kStripes = 16;
+
+  explicit Histogram(std::span<const double> upper_bounds);
+
+  void observe(double x) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< finite upper bounds, ascending
+    std::vector<std::uint64_t> counts;   ///< per-bucket, bounds.size() + 1
+    std::uint64_t total = 0;             ///< sum of counts
+    double sum = 0.0;                    ///< sum of observed values
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+  void reset() noexcept;
+
+ private:
+  std::vector<double> bounds_;
+  std::size_t stride_ = 0;  ///< padded per-stripe length, in atomics
+  /// stripes * stride counters; stripe s bucket b lives at s * stride + b.
+  std::vector<std::atomic<std::uint64_t>> counts_;
+  struct alignas(64) SumCell {
+    std::atomic<double> v{0.0};
+  };
+  SumCell sums_[kStripes];
+};
+
+/// Default latency bucket bounds, in milliseconds: 50µs .. 30s.
+std::span<const double> default_latency_buckets_ms() noexcept;
+
+/// The process-wide registry. Series are created on first use and live
+/// forever at stable addresses; look the handle up once and cache it:
+///
+///   static obs::Counter& c = obs::Registry::instance().counter("x.y");
+///   c.add();
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Bounds are fixed by the first registration of `name`; later callers
+  /// get the existing histogram. Empty bounds = default_latency_buckets_ms.
+  Histogram& histogram(std::string_view name,
+                       std::span<const double> upper_bounds = {});
+
+  /// Prometheus text exposition (names sanitised to [a-z0-9_], prefixed
+  /// "geoloc_"). Series appear in name-sorted order.
+  [[nodiscard]] std::string dump_prometheus() const;
+
+  /// One JSON object per line, name-sorted:
+  ///   {"type":"counter","name":"a.b","value":12}
+  ///   {"type":"gauge","name":"a.c","value":-3}
+  ///   {"type":"histogram","name":"a.d","count":N,"sum":S,
+  ///    "buckets":[[le,count],...,["+Inf",count]]}
+  /// `tag` (when non-empty) is emitted as a "bench" field on every line,
+  /// matching the GEOLOC_BENCH_JSON record shape.
+  [[nodiscard]] std::string dump_json_lines(std::string_view tag = {}) const;
+
+  /// Zero every registered series (objects and cached references stay
+  /// valid). Test-only: not safe concurrently with writers.
+  void reset_for_test();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Append the registry dump plus the aggregated trace-span summaries (see
+/// obs/trace.h) as JSON lines to `path`, defaulting to $GEOLOC_METRICS_JSON.
+/// Returns false (and writes nothing) when no path is configured.
+bool flush_metrics_json(std::string_view tag = {}, std::string path = {});
+
+}  // namespace geoloc::obs

@@ -1,0 +1,128 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "util/env.h"
+
+namespace geoloc::obs {
+
+namespace {
+
+struct RawSpan {
+  const char* name;
+  std::uint32_t depth;
+  double duration_ms;
+};
+
+/// One thread's recording buffer. The owning thread appends under the
+/// buffer's mutex (uncontended except during a concurrent flush); flush
+/// moves the records out. The global list holds shared_ptrs so a buffer
+/// outlives its thread and late records are never lost.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<RawSpan> spans;
+  std::uint32_t open_depth = 0;  ///< owning thread only
+};
+
+std::mutex g_buffers_mu;
+std::vector<std::shared_ptr<ThreadBuffer>>& buffers() {
+  static auto* v = new std::vector<std::shared_ptr<ThreadBuffer>>;
+  return *v;
+}
+
+ThreadBuffer& this_thread_buffer() {
+  thread_local const std::shared_ptr<ThreadBuffer> buf = [] {
+    auto b = std::make_shared<ThreadBuffer>();
+    std::scoped_lock lock(g_buffers_mu);
+    buffers().push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+std::atomic<int> g_trace_override{-1};  // -1 = follow the environment
+
+}  // namespace
+
+bool trace_enabled() noexcept {
+  const int o = g_trace_override.load(std::memory_order_relaxed);
+  if (o >= 0) return o != 0;
+  static const bool from_env = util::env::flag("GEOLOC_TRACE");
+  return from_env;
+}
+
+void set_trace_enabled(bool enabled) {
+  g_trace_override.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+TraceSpan::TraceSpan(const char* name) noexcept
+    : name_(name), active_(trace_enabled()) {
+  if (!active_) return;
+  ++this_thread_buffer().open_depth;
+  start_ = std::chrono::steady_clock::now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+  ThreadBuffer& buf = this_thread_buffer();
+  const std::uint32_t depth = --buf.open_depth;
+  std::scoped_lock lock(buf.mu);
+  buf.spans.push_back({name_, depth, ms});
+}
+
+std::vector<SpanSummary> flush_spans() {
+  std::vector<std::shared_ptr<ThreadBuffer>> snapshot;
+  {
+    std::scoped_lock lock(g_buffers_mu);
+    snapshot = buffers();
+  }
+  std::map<std::string, SpanSummary> by_name;  // name-sorted: deterministic
+  for (const auto& buf : snapshot) {
+    std::vector<RawSpan> taken;
+    {
+      std::scoped_lock lock(buf->mu);
+      taken = std::move(buf->spans);
+      buf->spans.clear();
+    }
+    for (const RawSpan& s : taken) {
+      SpanSummary& sum = by_name[s.name];
+      if (sum.name.empty()) sum.name = s.name;
+      ++sum.count;
+      sum.total_ms += s.duration_ms;
+      sum.max_ms = std::max(sum.max_ms, s.duration_ms);
+    }
+  }
+  std::vector<SpanSummary> out;
+  out.reserve(by_name.size());
+  for (auto& [name, sum] : by_name) out.push_back(std::move(sum));
+  return out;
+}
+
+std::string spans_to_json_lines(std::string_view tag) {
+  const std::vector<SpanSummary> summaries = flush_spans();
+  std::ostringstream os;
+  const std::string tag_field =
+      tag.empty() ? std::string()
+                  : "\"bench\":\"" + std::string(tag) + "\",";
+  char num[64];
+  for (const SpanSummary& s : summaries) {
+    os << "{\"type\":\"span\"," << tag_field << "\"name\":\"" << s.name
+       << "\",\"count\":" << s.count;
+    std::snprintf(num, sizeof num, "%.3f", s.total_ms);
+    os << ",\"total_ms\":" << num;
+    std::snprintf(num, sizeof num, "%.3f", s.max_ms);
+    os << ",\"max_ms\":" << num << "}\n";
+  }
+  return os.str();
+}
+
+}  // namespace geoloc::obs

@@ -1,0 +1,68 @@
+// Lightweight scoped trace spans with per-thread buffers.
+//
+// A TraceSpan records {name, nesting depth, wall duration} into a buffer
+// owned by the recording thread — no shared state is touched between a
+// span's open and close, so tracing adds two clock reads and one
+// push_back to an instrumented region and nothing else. flush_spans()
+// merges every thread's buffer into per-name aggregates, *sorted by span
+// name*: the merge order is a pure function of the span names, never of
+// thread scheduling, so the flushed summary's shape is deterministic even
+// though the recorded durations are wall-clock.
+//
+// Tracing is off unless GEOLOC_TRACE=1 (or set_trace_enabled(true)); a
+// disabled span is two branch instructions and touches no memory, which
+// is what keeps the disabled-path overhead under the 2% budget
+// (DESIGN.md §10). Spans never draw randomness and never branch the
+// instrumented code: enabling tracing cannot move a single byte of any
+// experiment output.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace geoloc::obs {
+
+/// Whether spans record. Reads a cached GEOLOC_TRACE=1 unless overridden.
+[[nodiscard]] bool trace_enabled() noexcept;
+
+/// Programmatic override (tests, tools). Affects spans opened after the
+/// call; spans already open complete under their creation-time setting.
+void set_trace_enabled(bool enabled);
+
+/// RAII span. Cheap to construct when tracing is disabled.
+class TraceSpan {
+ public:
+  /// `name` must outlive the span (string literals in practice).
+  explicit TraceSpan(const char* name) noexcept;
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+  bool active_;
+};
+
+/// Per-name aggregate of every recorded span since the last flush.
+struct SpanSummary {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+};
+
+/// Merge and clear every thread's span buffer. Returns one summary per
+/// distinct span name, sorted by name (the deterministic merge order).
+std::vector<SpanSummary> flush_spans();
+
+/// flush_spans() rendered as JSON lines compatible with the metrics dump:
+///   {"type":"span","name":…,"count":…,"total_ms":…,"max_ms":…}
+/// `tag` (when non-empty) is emitted as a "bench" field on every line.
+std::string spans_to_json_lines(std::string_view tag = {});
+
+}  // namespace geoloc::obs

@@ -1,16 +1,40 @@
 #include "scenario/scenario.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 #include "util/parallel.h"
 
 namespace geoloc::scenario {
 
 namespace {
+
+/// RTT-matrix materialisation series: cache hit/miss counters plus a wall
+/// histogram over materialisations. Observed strictly *around* the
+/// parallel_for (which derives every cell's randomness from (r, c)), so
+/// the matrices — and the disk-cache tag they feed — are untouched by
+/// instrumentation.
+struct MatrixMetrics {
+  obs::Counter& cache_hits;
+  obs::Counter& cache_misses;
+  obs::Counter& cells;
+  obs::Histogram& materialise_wall_ms;
+};
+
+MatrixMetrics& matrix_metrics() {
+  static auto& reg = obs::Registry::instance();
+  static MatrixMetrics m{reg.counter("scenario.rtt_matrix.cache_hits"),
+                         reg.counter("scenario.rtt_matrix.cache_misses"),
+                         reg.counter("scenario.rtt_matrix.cells"),
+                         reg.histogram("scenario.rtt_matrix.wall_ms")};
+  return m;
+}
 
 /// Fold a double into the fingerprint bit-exactly.
 std::uint64_t mix(std::uint64_t h, double v) {
@@ -185,13 +209,17 @@ std::optional<std::string> Scenario::cache_path(
 
 const RttMatrix& Scenario::target_rtts() const {
   if (target_rtts_) return *target_rtts_;
+  const obs::TraceSpan span("scenario.rtt_matrix.target");
   const std::uint64_t tag = config_.fingerprint() ^ 0x7a7a1ULL;
   const auto path = cache_path("target-rtts");
   auto m = std::make_unique<RttMatrix>();
   if (path && m->load(*path, tag)) {
+    matrix_metrics().cache_hits.add();
     target_rtts_ = std::move(m);
     return *target_rtts_;
   }
+  matrix_metrics().cache_misses.add();
+  const auto start = std::chrono::steady_clock::now();
   m = std::make_unique<RttMatrix>(vps_.size(), targets_.size());
   const util::RngStream stream = world_->rng().fork("campaign-target");
   // Every (r, c) cell forks its own RNG stream and owns its own matrix
@@ -208,6 +236,11 @@ const RttMatrix& Scenario::target_rtts() const {
         }
       },
       /*grain=*/1);
+  matrix_metrics().cells.add(vps_.size() * targets_.size());
+  matrix_metrics().materialise_wall_ms.observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   if (path) m->save(*path, tag);
   target_rtts_ = std::move(m);
   return *target_rtts_;
@@ -215,13 +248,17 @@ const RttMatrix& Scenario::target_rtts() const {
 
 const RttMatrix& Scenario::representative_rtts() const {
   if (rep_rtts_) return *rep_rtts_;
+  const obs::TraceSpan span("scenario.rtt_matrix.representatives");
   const std::uint64_t tag = config_.fingerprint() ^ 0x4e4e2ULL;
   const auto path = cache_path("rep-rtts");
   auto m = std::make_unique<RttMatrix>();
   if (path && m->load(*path, tag)) {
+    matrix_metrics().cache_hits.add();
     rep_rtts_ = std::move(m);
     return *rep_rtts_;
   }
+  matrix_metrics().cache_misses.add();
+  const auto start = std::chrono::steady_clock::now();
   m = std::make_unique<RttMatrix>(vps_.size(), targets_.size());
   const util::RngStream stream = world_->rng().fork("campaign-reps");
   // Parallel over target columns: the hitlist lookup happens once per
@@ -252,6 +289,11 @@ const RttMatrix& Scenario::representative_rtts() const {
         }
       },
       /*grain=*/1);
+  matrix_metrics().cells.add(vps_.size() * targets_.size());
+  matrix_metrics().materialise_wall_ms.observe(
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - start)
+          .count());
   if (path) m->save(*path, tag);
   rep_rtts_ = std::move(m);
   return *rep_rtts_;

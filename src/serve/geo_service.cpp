@@ -26,12 +26,29 @@ struct TlsSnapshotCache {
 };
 thread_local TlsSnapshotCache tls_snapshot_cache;
 
-/// Stable per-thread counter-stripe index.
-std::uint32_t this_thread_stripe() noexcept {
-  static std::atomic<std::uint32_t> counter{0};
-  thread_local const std::uint32_t stripe =
-      counter.fetch_add(1, std::memory_order_relaxed);
-  return stripe;
+/// Process-wide serving series on the obs registry, bumped alongside the
+/// per-instance counters (both are striped relaxed adds; together they
+/// cost two uncontended cache-line writes per lookup).
+struct ServeSeries {
+  obs::Counter& lookups;
+  obs::Counter& hits;
+  obs::Counter& misses;
+  obs::Counter& stale_hits;
+  obs::Counter& snapshot_swaps;
+  obs::Counter& ttl_scans;    ///< stale_prefixes() sweeps
+  obs::Counter& ttl_expired;  ///< entries found past their TTL by a sweep
+};
+
+ServeSeries& serve_series() {
+  static auto& reg = obs::Registry::instance();
+  static ServeSeries s{reg.counter("serve.lookups"),
+                       reg.counter("serve.hits"),
+                       reg.counter("serve.misses"),
+                       reg.counter("serve.stale_hits"),
+                       reg.counter("serve.snapshot_swaps"),
+                       reg.counter("serve.ttl_scans"),
+                       reg.counter("serve.ttl_expired")};
+  return s;
 }
 
 }  // namespace
@@ -70,6 +87,7 @@ void GeoService::publish(std::shared_ptr<const publish::Snapshot> snapshot) {
   // cache and (through the mutex) sees at least this snapshot.
   epoch_.fetch_add(1, std::memory_order_release);
   swaps_.fetch_add(1, std::memory_order_relaxed);
+  serve_series().snapshot_swaps.add();
 }
 
 std::shared_ptr<const publish::Snapshot> GeoService::current() const {
@@ -92,26 +110,26 @@ const std::shared_ptr<const publish::Snapshot>& GeoService::cached_snapshot()
   return cache.snap;
 }
 
-GeoService::CounterCell& GeoService::counters() const {
-  return cells_[this_thread_stripe() % kCounterStripes];
-}
-
 Answer GeoService::answer_from(
     const std::shared_ptr<const publish::Snapshot>& snap,
     net::IPv4Address address, double now_s) const {
-  CounterCell& cell = counters();
-  cell.lookups.fetch_add(1, std::memory_order_relaxed);
+  ServeSeries& series = serve_series();
+  counters_.lookups.add();
+  series.lookups.add();
   Answer a;
   if (!snap) {
-    cell.misses.fetch_add(1, std::memory_order_relaxed);
+    counters_.misses.add();
+    series.misses.add();
     return a;
   }
   const auto hit = snap->find(address);
   if (!hit) {
-    cell.misses.fetch_add(1, std::memory_order_relaxed);
+    counters_.misses.add();
+    series.misses.add();
     return a;
   }
-  cell.hits.fetch_add(1, std::memory_order_relaxed);
+  counters_.hits.add();
+  series.hits.add();
   a.found = true;
   a.prefix = hit->prefix;
   a.location = hit->location;
@@ -124,7 +142,8 @@ Answer GeoService::answer_from(
   a.source = snap;
   if (hit->stale_at(now_s)) {
     a.stale = true;
-    counters().stale_hits.fetch_add(1, std::memory_order_relaxed);
+    counters_.stale_hits.add();
+    series.stale_hits.add();
     queue_.push(hit->prefix);
   }
   return a;
@@ -144,12 +163,10 @@ void GeoService::lookup_batch(std::span<const net::IPv4Address> addresses,
 
 ServiceStats GeoService::stats() const {
   ServiceStats s;
-  for (const CounterCell& cell : cells_) {
-    s.lookups += cell.lookups.load(std::memory_order_relaxed);
-    s.hits += cell.hits.load(std::memory_order_relaxed);
-    s.misses += cell.misses.load(std::memory_order_relaxed);
-    s.stale_hits += cell.stale_hits.load(std::memory_order_relaxed);
-  }
+  s.lookups = counters_.lookups.value();
+  s.hits = counters_.hits.value();
+  s.misses = counters_.misses.value();
+  s.stale_hits = counters_.stale_hits.value();
   s.swaps = swaps_.load(std::memory_order_relaxed);
   return s;
 }
@@ -162,6 +179,9 @@ std::vector<net::Prefix> GeoService::stale_prefixes(double now_s) const {
     const publish::SnapshotEntry e = snap->entry(i);
     if (e.stale_at(now_s)) out.push_back(e.prefix);
   }
+  ServeSeries& series = serve_series();
+  series.ttl_scans.add();
+  series.ttl_expired.add(out.size());
   return out;
 }
 

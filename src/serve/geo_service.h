@@ -22,10 +22,12 @@
 //     ThreadSanitizer (correctly, under the formal model) flags the
 //     reader/writer pointer accesses as unordered. A plain mutex on this
 //     cold path costs nothing and keeps the whole service TSan-provable.
-//   * Counters are relaxed atomics, striped across cache lines by thread
-//     so hot readers do not ping-pong one counter line; the stale-prefix
-//     queue is the only mutex in the system, taken on the (rare)
-//     stale-hit path.
+//   * Counters live on the obs metrics layer (obs/metrics.h), which
+//     hoisted this service's original cache-line-striped design: each
+//     service keeps per-instance obs::Counter cells for stats(), and the
+//     process-wide serve.* registry series (hits / misses / stale hits /
+//     TTL expiries) are bumped alongside. The stale-prefix queue is the
+//     only mutex in the system, taken on the (rare) stale-hit path.
 //
 // Staleness: each entry's measured_at_s + ttl_s is its freshness horizon.
 // A lookup past the horizon still answers (stale data beats no data — the
@@ -45,6 +47,7 @@
 #include <vector>
 
 #include "atlas/scheduler.h"
+#include "obs/metrics.h"
 #include "publish/snapshot.h"
 #include "scenario/scenario.h"
 
@@ -125,29 +128,27 @@ class GeoService {
   [[nodiscard]] std::vector<net::Prefix> stale_prefixes(double now_s) const;
 
  private:
-  /// One thread's slice of the service counters, cache-line padded so
-  /// concurrent readers do not share a line.
-  struct alignas(64) CounterCell {
-    std::atomic<std::uint64_t> lookups{0};
-    std::atomic<std::uint64_t> hits{0};
-    std::atomic<std::uint64_t> misses{0};
-    std::atomic<std::uint64_t> stale_hits{0};
+  /// Per-instance counters (obs::Counter is cache-line striped internally,
+  /// the original CounterCell design hoisted into the obs layer).
+  struct Counters {
+    obs::Counter lookups;
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter stale_hits;
   };
-  static constexpr std::size_t kCounterStripes = 16;
 
   Answer answer_from(const std::shared_ptr<const publish::Snapshot>& snap,
                      net::IPv4Address address, double now_s) const;
   /// This thread's cached snapshot pointer, revalidated against epoch_.
   [[nodiscard]] const std::shared_ptr<const publish::Snapshot>&
   cached_snapshot() const;
-  [[nodiscard]] CounterCell& counters() const;
 
   const std::uint64_t service_id_;  ///< keys the thread-local caches
   mutable std::mutex snapshot_mu_;  ///< guards snapshot_ (cold path only)
   std::shared_ptr<const publish::Snapshot> snapshot_;
   std::atomic<std::uint64_t> epoch_{1};
   mutable RemeasureQueue queue_;
-  mutable CounterCell cells_[kCounterStripes];
+  mutable Counters counters_;
   std::atomic<std::uint64_t> swaps_{0};
 };
 

@@ -1,20 +1,29 @@
 // One place for the environment knobs scattered across the bench mains and
 // the library (GEOLOC_SMALL, GEOLOC_TRIALS, GEOLOC_CACHE_DIR,
-// GEOLOC_THREADS, GEOLOC_EXPORT_DIR, GEOLOC_BENCH_JSON). Each helper parses
-// one shape of value; the knob registry below is the documentation.
+// GEOLOC_THREADS, GEOLOC_EXPORT_DIR, GEOLOC_BENCH_JSON, GEOLOC_METRICS_JSON,
+// GEOLOC_TRACE). Each helper parses one shape of value; the knob registry
+// below is the documentation.
 //
 //   GEOLOC_SMALL=1        miniature scenario instead of paper scale
 //   GEOLOC_TRIALS=N       trial count for the randomized sweeps
 //   GEOLOC_CACHE_DIR=dir  where RTT-matrix / campaign caches live
 //   GEOLOC_THREADS=N      worker threads for the parallel engine
-//                         (default: hardware concurrency; 1 = serial)
+//                         (default: hardware concurrency; 1 = serial;
+//                         clamped to min(4 x cores, 256) with a warning)
 //   GEOLOC_EXPORT_DIR=dir CSV export target for figure series
 //   GEOLOC_BENCH_JSON=f   machine-readable bench records (JSON lines)
+//   GEOLOC_METRICS_JSON=f obs-registry metrics dumps (JSON lines)
+//   GEOLOC_TRACE=1        record obs trace spans (off by default)
 #pragma once
 
+#include <algorithm>
+#include <charconv>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <thread>
+
+#include "obs/log.h"
 
 namespace geoloc::util::env {
 
@@ -26,11 +35,14 @@ inline bool flag(const char* name) {
 }
 
 /// Positive integer value of the variable; `fallback` when unset, empty,
-/// non-numeric or non-positive.
+/// non-numeric, non-positive, out of int range, or followed by trailing
+/// junk ("8x" is rejected, not read as 8 the way atoi would).
 inline int int_or(const char* name, int fallback) {
   if (const char* v = std::getenv(name)) {
-    const int parsed = std::atoi(v);
-    if (parsed > 0) return parsed;
+    const char* end = v + std::strlen(v);
+    int parsed = 0;
+    const auto [ptr, ec] = std::from_chars(v, end, parsed);
+    if (ec == std::errc() && ptr == end && parsed > 0) return parsed;
   }
   return fallback;
 }
@@ -42,12 +54,30 @@ inline std::string string_or(const char* name, std::string fallback) {
   return fallback;
 }
 
+/// Hard ceiling on the worker count: oversubscribing by more than 4x the
+/// hardware concurrency only adds scheduler thrash, and a stray
+/// GEOLOC_THREADS=100000 must not try to spawn 100k threads.
+inline unsigned max_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return std::min((hw > 0 ? hw : 1) * 4u, 256u);
+}
+
 /// Worker-thread count for the parallel engine: GEOLOC_THREADS when set to
-/// a positive integer, otherwise the hardware concurrency (at least 1).
+/// a positive integer, otherwise the hardware concurrency (at least 1);
+/// clamped to max_threads() with a one-line warning.
 inline unsigned threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   const int v = int_or("GEOLOC_THREADS", hw > 0 ? static_cast<int>(hw) : 1);
-  return static_cast<unsigned>(v > 0 ? v : 1);
+  const auto want = static_cast<unsigned>(v > 0 ? v : 1);
+  const unsigned cap = max_threads();
+  if (want > cap) {
+    obs::warn_once("GEOLOC_THREADS-cap",
+                   "GEOLOC_THREADS=" + std::to_string(want) +
+                       " exceeds the worker ceiling; clamped to " +
+                       std::to_string(cap));
+    return cap;
+  }
+  return want;
 }
 
 }  // namespace geoloc::util::env

@@ -1,12 +1,15 @@
 #include "util/parallel.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <memory>
 #include <mutex>
 #include <thread>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/env.h"
 
 namespace geoloc::util {
@@ -19,6 +22,35 @@ thread_local bool t_inside_pool_job = false;
 
 std::mutex g_config_mu;
 unsigned g_thread_override = 0;  // 0 = follow the environment
+
+/// Engine series on the obs registry. Counters are always on (one striped
+/// relaxed add per event); per-chunk wall timing follows GEOLOC_TRACE so
+/// the disabled path never reads the clock in the chunk loop.
+struct PoolMetrics {
+  obs::Counter& jobs;
+  obs::Counter& inline_jobs;
+  obs::Counter& chunks;
+  obs::Counter& caller_chunks;  ///< chunks executed by the submitting thread
+  obs::Counter& worker_chunks;  ///< chunks executed by pool workers
+  obs::Gauge& workers;
+  obs::Gauge& queue_depth;  ///< pending chunks of the job last submitted
+  obs::Histogram& chunk_wall_ms;
+  obs::Histogram& job_wall_ms;
+};
+
+PoolMetrics& pool_metrics() {
+  static auto& reg = obs::Registry::instance();
+  static PoolMetrics m{reg.counter("parallel.jobs"),
+                       reg.counter("parallel.inline_jobs"),
+                       reg.counter("parallel.chunks"),
+                       reg.counter("parallel.caller_chunks"),
+                       reg.counter("parallel.worker_chunks"),
+                       reg.gauge("parallel.pool_workers"),
+                       reg.gauge("parallel.queue_depth"),
+                       reg.histogram("parallel.chunk_wall_ms"),
+                       reg.histogram("parallel.job_wall_ms")};
+  return m;
+}
 
 }  // namespace
 
@@ -48,7 +80,9 @@ struct ThreadPool::Impl {
   bool shutdown = false;
   std::vector<std::thread> workers;
 
-  void work(std::uint64_t job_generation) {
+  void work(std::uint64_t job_generation, bool as_worker) {
+    PoolMetrics& metrics = pool_metrics();
+    const bool timing = obs::trace_enabled();
     const bool was_inside = t_inside_pool_job;
     t_inside_pool_job = true;
     while (true) {
@@ -66,14 +100,25 @@ struct ThreadPool::Impl {
         next = end;
         fn = chunk_fn;
       }
+      metrics.chunks.add();
+      (as_worker ? metrics.worker_chunks : metrics.caller_chunks).add();
+      const auto chunk_start = timing ? std::chrono::steady_clock::now()
+                                      : std::chrono::steady_clock::time_point();
       std::exception_ptr error;
       try {
         (*fn)(begin, end);
       } catch (...) {
         error = std::current_exception();
       }
+      if (timing) {
+        metrics.chunk_wall_ms.observe(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - chunk_start)
+                .count());
+      }
       std::scoped_lock lock(mu);
       if (error && !first_error) first_error = error;
+      metrics.queue_depth.set(static_cast<std::int64_t>(pending_chunks - 1));
       if (--pending_chunks == 0) done_cv.notify_all();
     }
     t_inside_pool_job = was_inside;
@@ -91,13 +136,14 @@ struct ThreadPool::Impl {
         if (shutdown) return;
         job_generation = seen_generation = generation;
       }
-      work(job_generation);
+      work(job_generation, /*as_worker=*/true);
     }
   }
 };
 
 ThreadPool::ThreadPool(unsigned threads)
     : impl_(new Impl), threads_(threads == 0 ? 1 : threads) {
+  pool_metrics().workers.set(static_cast<std::int64_t>(threads_));
   impl_->workers.reserve(threads_ - 1);
   for (unsigned i = 0; i + 1 < threads_; ++i) {
     impl_->workers.emplace_back([this] { impl_->worker_loop(); });
@@ -119,16 +165,24 @@ void ThreadPool::run_chunks(
     const std::function<void(std::size_t, std::size_t)>& chunk_fn) {
   if (n == 0) return;
   if (grain == 0) grain = 1;
+  PoolMetrics& metrics = pool_metrics();
   // Serial fast path: one worker, a single chunk, or a nested call from
   // inside a pool job (which would deadlock waiting on its own workers).
   // Chunk boundaries are preserved so per-chunk folds associate the same.
   if (threads_ == 1 || n <= grain || t_inside_pool_job) {
+    metrics.inline_jobs.add();
     for (std::size_t begin = 0; begin < n; begin += grain) {
+      metrics.chunks.add();
+      metrics.caller_chunks.add();
       chunk_fn(begin, std::min(begin + grain, n));
     }
     return;
   }
 
+  metrics.jobs.add();
+  const bool timing = obs::trace_enabled();
+  const auto job_start = timing ? std::chrono::steady_clock::now()
+                                : std::chrono::steady_clock::time_point();
   std::uint64_t job_generation;
   {
     std::scoped_lock lock(impl_->mu);
@@ -139,15 +193,23 @@ void ThreadPool::run_chunks(
     impl_->pending_chunks = (n + grain - 1) / grain;
     impl_->first_error = nullptr;
     job_generation = ++impl_->generation;
+    metrics.queue_depth.set(
+        static_cast<std::int64_t>(impl_->pending_chunks));
   }
   impl_->work_cv.notify_all();
 
   // The caller is a worker too: claim chunks until the job runs dry.
-  impl_->work(job_generation);
+  impl_->work(job_generation, /*as_worker=*/false);
 
   std::unique_lock lock(impl_->mu);
   impl_->done_cv.wait(lock, [&] { return impl_->pending_chunks == 0; });
   impl_->chunk_fn = nullptr;
+  if (timing) {
+    metrics.job_wall_ms.observe(std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() -
+                                    job_start)
+                                    .count());
+  }
   if (impl_->first_error) std::rethrow_exception(impl_->first_error);
 }
 

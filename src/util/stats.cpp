@@ -27,7 +27,11 @@ double stddev(std::span<const double> xs) noexcept {
 }
 
 double percentile(std::span<const double> xs, double q) {
-  if (xs.empty()) return kNaN;
+  if (xs.empty() || std::isnan(q)) return kNaN;
+  // Clamp before computing the rank: a negative q would make `pos`
+  // negative, and casting a negative double through floor to size_t is
+  // undefined behaviour that over-indexed `sorted` in practice.
+  q = std::clamp(q, 0.0, 100.0);
   std::vector<double> sorted(xs.begin(), xs.end());
   std::sort(sorted.begin(), sorted.end());
   const double pos = (q / 100.0) * static_cast<double>(sorted.size() - 1);

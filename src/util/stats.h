@@ -17,9 +17,9 @@ double mean(std::span<const double> xs) noexcept;
 /// Sample standard deviation (n-1 denominator). Returns 0 for n < 2.
 double stddev(std::span<const double> xs) noexcept;
 
-/// Interpolated percentile (q in [0, 100]) of an *unsorted* sample.
-/// Uses the linear interpolation between closest ranks (type-7, the numpy
-/// default). Returns NaN for an empty sample.
+/// Interpolated percentile of an *unsorted* sample. Uses the linear
+/// interpolation between closest ranks (type-7, the numpy default).
+/// `q` is clamped into [0, 100]; returns NaN for an empty sample or NaN q.
 double percentile(std::span<const double> xs, double q);
 
 /// Median, i.e. percentile(xs, 50).
@@ -56,6 +56,7 @@ std::vector<CdfPoint> empirical_cdf(std::vector<double> xs);
 
 /// CDF decimated to at most `max_points` points (keeps first/last); intended
 /// for rendering paper figures as text without emitting 10k rows.
+/// `max_points` < 2 cannot keep both endpoints: the full CDF is returned.
 std::vector<CdfPoint> decimated_cdf(std::vector<double> xs,
                                     std::size_t max_points);
 

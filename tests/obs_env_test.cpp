@@ -1,0 +1,114 @@
+// Regression tests for the env-parsing fixes: int_or must reject what
+// atoi silently accepted (trailing junk, overflow, leading whitespace),
+// and threads() must clamp a runaway GEOLOC_THREADS instead of trying to
+// spawn 100k workers.
+//
+// These tests mutate the process environment; each one restores the
+// variable it touched. They live in the obs binary (not geoloc_tests)
+// so the serial ctest ordering of this binary keeps setenv data races
+// away from the scenario-heavy suites.
+#include "util/env.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace geoloc::util::env {
+namespace {
+
+constexpr const char* kVar = "GEOLOC_OBSTEST_INT";
+
+class EnvIntOrTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ::unsetenv(kVar); }
+
+  static int parse(const char* value, int fallback = -7) {
+    ::setenv(kVar, value, /*overwrite=*/1);
+    return int_or(kVar, fallback);
+  }
+};
+
+TEST_F(EnvIntOrTest, AcceptsPlainPositiveIntegers) {
+  EXPECT_EQ(parse("8"), 8);
+  EXPECT_EQ(parse("1"), 1);
+  EXPECT_EQ(parse("250"), 250);
+}
+
+TEST_F(EnvIntOrTest, UnsetFallsBack) {
+  ::unsetenv(kVar);
+  EXPECT_EQ(int_or(kVar, 42), 42);
+}
+
+TEST_F(EnvIntOrTest, RejectsTrailingJunk) {
+  // atoi("8x") returns 8; the fixed parser requires full consumption.
+  EXPECT_EQ(parse("8x"), -7);
+  EXPECT_EQ(parse("8 "), -7);
+  EXPECT_EQ(parse("12.5"), -7);
+}
+
+TEST_F(EnvIntOrTest, RejectsLeadingWhitespace) {
+  // atoi(" 8") returns 8; from_chars does not skip whitespace.
+  EXPECT_EQ(parse(" 8"), -7);
+  EXPECT_EQ(parse("\t8"), -7);
+}
+
+TEST_F(EnvIntOrTest, RejectsNonNumeric) {
+  EXPECT_EQ(parse("abc"), -7);
+  EXPECT_EQ(parse(""), -7);
+  EXPECT_EQ(parse("+"), -7);
+}
+
+TEST_F(EnvIntOrTest, RejectsNonPositive) {
+  EXPECT_EQ(parse("0"), -7);
+  EXPECT_EQ(parse("-3"), -7);
+}
+
+TEST_F(EnvIntOrTest, RejectsOutOfRange) {
+  // atoi on overflow is undefined behaviour; from_chars reports it.
+  EXPECT_EQ(parse("99999999999999999999"), -7);
+}
+
+class EnvThreadsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (const char* v = std::getenv("GEOLOC_THREADS")) saved_ = v;
+  }
+  void TearDown() override {
+    if (saved_.has_value()) {
+      ::setenv("GEOLOC_THREADS", saved_->c_str(), /*overwrite=*/1);
+    } else {
+      ::unsetenv("GEOLOC_THREADS");
+    }
+  }
+
+ private:
+  std::optional<std::string> saved_;
+};
+
+TEST_F(EnvThreadsTest, CeilingIsBoundedAndPositive) {
+  const unsigned cap = max_threads();
+  EXPECT_GE(cap, 1u);
+  EXPECT_LE(cap, 256u);
+}
+
+TEST_F(EnvThreadsTest, RunawayRequestIsClampedToCeiling) {
+  ::setenv("GEOLOC_THREADS", "100000", /*overwrite=*/1);
+  EXPECT_EQ(threads(), max_threads());
+}
+
+TEST_F(EnvThreadsTest, ModestRequestPassesThrough) {
+  ::setenv("GEOLOC_THREADS", "2", /*overwrite=*/1);
+  EXPECT_EQ(threads(), 2u);
+}
+
+TEST_F(EnvThreadsTest, JunkValueFallsBackToHardwareConcurrency) {
+  ::setenv("GEOLOC_THREADS", "8x", /*overwrite=*/1);
+  const unsigned hw = std::thread::hardware_concurrency();
+  EXPECT_EQ(threads(), hw > 0 ? hw : 1u);
+}
+
+}  // namespace
+}  // namespace geoloc::util::env

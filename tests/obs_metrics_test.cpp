@@ -1,0 +1,172 @@
+// The metrics registry: striped counters, gauges, fixed-bucket histograms,
+// registry identity, and the Prometheus / JSON-lines dumps.
+//
+// Series names here are prefixed "obstest." — the registry is process-wide
+// and shared with the instrumented library code running in this binary.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/parallel.h"
+
+namespace geoloc::obs {
+namespace {
+
+TEST(ObsCounter, AddAndValue) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsCounter, StripedAddsFromManyThreads) {
+  Counter c;
+  util::set_thread_count(8);
+  util::parallel_for(10'000, [&](std::size_t) { c.add(); }, /*grain=*/1);
+  util::set_thread_count(0);
+  EXPECT_EQ(c.value(), 10'000u);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Gauge g;
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+  g.reset();
+  EXPECT_EQ(g.value(), 0);
+}
+
+TEST(ObsHistogram, BucketPlacementAndSnapshot) {
+  const double bounds[] = {1.0, 10.0, 100.0};
+  Histogram h{bounds};
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive upper bound)
+  h.observe(5.0);    // <= 10
+  h.observe(100.0);  // <= 100
+  h.observe(1e6);    // +Inf bucket
+  const Histogram::Snapshot s = h.snapshot();
+  ASSERT_EQ(s.bounds.size(), 3u);
+  ASSERT_EQ(s.counts.size(), 4u);
+  EXPECT_EQ(s.counts[0], 2u);
+  EXPECT_EQ(s.counts[1], 1u);
+  EXPECT_EQ(s.counts[2], 1u);
+  EXPECT_EQ(s.counts[3], 1u);
+  EXPECT_EQ(s.total, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 0.5 + 1.0 + 5.0 + 100.0 + 1e6);
+}
+
+TEST(ObsHistogram, ConcurrentObservationsAllLand) {
+  Histogram h{default_latency_buckets_ms()};
+  util::set_thread_count(8);
+  util::parallel_for(
+      5'000, [&](std::size_t i) { h.observe(static_cast<double>(i % 97)); },
+      /*grain=*/1);
+  util::set_thread_count(0);
+  EXPECT_EQ(h.snapshot().total, 5'000u);
+}
+
+TEST(ObsRegistry, SameNameSameObject) {
+  auto& reg = Registry::instance();
+  Counter& a = reg.counter("obstest.registry.same");
+  Counter& b = reg.counter("obstest.registry.same");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("obstest.registry.same");  // separate namespace
+  Gauge& g2 = reg.gauge("obstest.registry.same");
+  EXPECT_EQ(&g1, &g2);
+  const double bounds[] = {1.0, 2.0};
+  Histogram& h1 = reg.histogram("obstest.registry.hist", bounds);
+  Histogram& h2 = reg.histogram("obstest.registry.hist");  // bounds ignored
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(ObsRegistry, PrometheusDumpShape) {
+  auto& reg = Registry::instance();
+  reg.counter("obstest.prom.counter").add(3);
+  reg.gauge("obstest.prom.gauge").set(-4);
+  const double bounds[] = {1.0, 10.0};
+  Histogram& h = reg.histogram("obstest.prom.hist", bounds);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+
+  const std::string dump = reg.dump_prometheus();
+  EXPECT_NE(dump.find("# TYPE geoloc_obstest_prom_counter counter"),
+            std::string::npos);
+  EXPECT_NE(dump.find("geoloc_obstest_prom_gauge -4"), std::string::npos);
+  // Histogram buckets are cumulative and end with +Inf == _count.
+  EXPECT_NE(dump.find("geoloc_obstest_prom_hist_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(dump.find("geoloc_obstest_prom_hist_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(dump.find("geoloc_obstest_prom_hist_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(dump.find("geoloc_obstest_prom_hist_count 3"), std::string::npos);
+}
+
+TEST(ObsRegistry, JsonLinesDumpIsNameSortedAndTagged) {
+  auto& reg = Registry::instance();
+  reg.counter("obstest.json.zz").add(1);
+  reg.counter("obstest.json.aa").add(2);
+  const std::string dump = reg.dump_json_lines("tagged-run");
+  const auto aa = dump.find("\"name\":\"obstest.json.aa\",\"value\":2");
+  const auto zz = dump.find("\"name\":\"obstest.json.zz\",\"value\":1");
+  ASSERT_NE(aa, std::string::npos);
+  ASSERT_NE(zz, std::string::npos);
+  EXPECT_LT(aa, zz);  // std::map iteration: name-sorted, deterministic
+  EXPECT_NE(dump.find("\"bench\":\"tagged-run\""), std::string::npos);
+  // Every line is one JSON object.
+  std::istringstream is(dump);
+  std::string line;
+  while (std::getline(is, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(ObsRegistry, ResetKeepsHandlesValid) {
+  auto& reg = Registry::instance();
+  Counter& c = reg.counter("obstest.reset.counter");
+  c.add(5);
+  EXPECT_EQ(c.value(), 5u);
+  reg.reset_for_test();
+  EXPECT_EQ(c.value(), 0u);
+  c.add();  // the cached reference survives the reset
+  EXPECT_EQ(reg.counter("obstest.reset.counter").value(), 1u);
+}
+
+TEST(ObsRegistry, FlushWritesJsonLinesToFile) {
+  const std::string path = ::testing::TempDir() + "obstest-metrics.jsonl";
+  std::remove(path.c_str());
+  Registry::instance().counter("obstest.flush.counter").add(9);
+  ASSERT_TRUE(flush_metrics_json("flush-test", path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"name\":\"obstest.flush.counter\""),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"bench\":\"flush-test\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsRegistry, FlushWithoutPathIsNoOp) {
+  // No explicit path and (in the test environment) no GEOLOC_METRICS_JSON.
+  if (std::getenv("GEOLOC_METRICS_JSON") == nullptr) {
+    EXPECT_FALSE(flush_metrics_json());
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::obs

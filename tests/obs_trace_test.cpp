@@ -1,0 +1,100 @@
+// Trace spans: disabled spans record nothing, enabled spans aggregate by
+// name in deterministic (sorted) order, and multi-threaded recordings
+// merge into a single per-name summary. Also covers obs::warn_once.
+//
+// Tests here toggle the process-wide trace switch; each one restores
+// set_trace_enabled(false) before finishing so ordering never matters.
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "util/parallel.h"
+
+namespace geoloc::obs {
+namespace {
+
+/// Drop any spans recorded by earlier tests or library code in this binary.
+void drain_spans() { (void)flush_spans(); }
+
+TEST(ObsTrace, DisabledSpansRecordNothing) {
+  set_trace_enabled(false);
+  drain_spans();
+  {
+    const TraceSpan outer("obstest.disabled");
+    const TraceSpan inner("obstest.disabled.inner");
+  }
+  EXPECT_TRUE(flush_spans().empty());
+}
+
+TEST(ObsTrace, EnabledSpansAggregateByNameSorted) {
+  set_trace_enabled(true);
+  drain_spans();
+  for (int i = 0; i < 3; ++i) {
+    const TraceSpan span("obstest.zz");
+  }
+  { const TraceSpan span("obstest.aa"); }
+  set_trace_enabled(false);
+
+  const std::vector<SpanSummary> spans = flush_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "obstest.aa");
+  EXPECT_EQ(spans[0].count, 1u);
+  EXPECT_EQ(spans[1].name, "obstest.zz");
+  EXPECT_EQ(spans[1].count, 3u);
+  EXPECT_GE(spans[1].total_ms, spans[1].max_ms);
+  EXPECT_GE(spans[1].max_ms, 0.0);
+  // Flushing clears: a second flush sees nothing.
+  EXPECT_TRUE(flush_spans().empty());
+}
+
+TEST(ObsTrace, SpansFromWorkerThreadsMergeIntoOneSummary) {
+  set_trace_enabled(true);
+  drain_spans();
+  util::set_thread_count(8);
+  util::parallel_for(
+      200, [](std::size_t) { const TraceSpan span("obstest.worker"); },
+      /*grain=*/1);
+  util::set_thread_count(0);
+  set_trace_enabled(false);
+
+  const std::vector<SpanSummary> spans = flush_spans();
+  const auto it = std::find_if(
+      spans.begin(), spans.end(),
+      [](const SpanSummary& s) { return s.name == "obstest.worker"; });
+  ASSERT_NE(it, spans.end());
+  EXPECT_EQ(it->count, 200u);
+}
+
+TEST(ObsTrace, JsonLinesRendering) {
+  set_trace_enabled(true);
+  drain_spans();
+  { const TraceSpan span("obstest.json"); }
+  set_trace_enabled(false);
+
+  const std::string dump = spans_to_json_lines("trace-test");
+  EXPECT_NE(dump.find("\"type\":\"span\""), std::string::npos);
+  EXPECT_NE(dump.find("\"name\":\"obstest.json\""), std::string::npos);
+  EXPECT_NE(dump.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(dump.find("\"bench\":\"trace-test\""), std::string::npos);
+}
+
+TEST(ObsLog, WarnOnceFiresOncePerKeyAndCounts) {
+  auto& warnings = Registry::instance().counter("obs.warnings");
+  const std::uint64_t before = warnings.value();
+  EXPECT_TRUE(warn_once("obstest-warn-key", "first occurrence prints"));
+  EXPECT_FALSE(warn_once("obstest-warn-key", "second occurrence is dropped"));
+  EXPECT_FALSE(warn_once("obstest-warn-key", "so is the third"));
+  EXPECT_EQ(warnings.value(), before + 1);
+  // A different key is its own one-shot.
+  EXPECT_TRUE(warn_once("obstest-warn-key-2", "different key prints"));
+  EXPECT_EQ(warnings.value(), before + 2);
+}
+
+}  // namespace
+}  // namespace geoloc::obs

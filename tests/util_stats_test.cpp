@@ -41,6 +41,30 @@ TEST(Percentile, EmptyIsNaN) {
   EXPECT_TRUE(std::isnan(percentile(std::vector<double>{}, 50.0)));
 }
 
+TEST(Percentile, OutOfRangeQuantileClampsToEndpoints) {
+  // Regression: q < 0 made the rank negative and the floor-to-size_t cast
+  // over-indexed the sorted sample (UB); q > 100 over-indexed directly.
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, -1e9), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1e9), 4.0);
+}
+
+TEST(Percentile, NaNQuantileIsNaN) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  EXPECT_TRUE(std::isnan(percentile(xs, std::nan(""))));
+}
+
+TEST(Percentile, SingleElementSampleForAnyQuantile) {
+  const std::vector<double> xs{7.5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, -5.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile(xs, 250.0), 7.5);
+}
+
 TEST(Median, OddAndEven) {
   EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
   EXPECT_DOUBLE_EQ(median(std::vector<double>{1.0, 2.0, 3.0, 10.0}), 2.5);
@@ -135,6 +159,36 @@ TEST(DecimatedCdf, KeepsEndpointsAndBound) {
 TEST(DecimatedCdf, SmallInputUntouched) {
   auto cdf = decimated_cdf({1.0, 2.0}, 10);
   EXPECT_EQ(cdf.size(), 2u);
+}
+
+TEST(DecimatedCdf, DegenerateMaxPointsReturnsFullCdf) {
+  // max_points < 2 can't keep both endpoints; the full CDF comes back
+  // instead of a division by zero in the step computation.
+  const std::vector<double> xs{3.0, 1.0, 2.0, 4.0};
+  EXPECT_EQ(decimated_cdf(xs, 0).size(), 4u);
+  EXPECT_EQ(decimated_cdf(xs, 1).size(), 4u);
+}
+
+TEST(NaNSamples, PropagateInsteadOfPoisoningIndices) {
+  // NaN-bearing samples yield NaN aggregates (never a crash or a bogus
+  // finite number); the guards only special-case *empty* inputs.
+  const std::vector<double> with_nan{1.0, std::nan(""), 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_TRUE(std::isnan(mean(with_nan)));
+  EXPECT_TRUE(std::isnan(stddev(with_nan)));
+  EXPECT_TRUE(std::isnan(pearson(with_nan, ys)));
+  const LinearFit fit = linear_fit(with_nan, ys);
+  EXPECT_TRUE(std::isnan(fit.slope));
+}
+
+TEST(EmptySamples, DocumentedFallbacks) {
+  const std::vector<double> none;
+  EXPECT_DOUBLE_EQ(mean(none), 0.0);
+  EXPECT_DOUBLE_EQ(stddev(none), 0.0);
+  EXPECT_DOUBLE_EQ(fraction_below(none, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(none, none), 0.0);
+  EXPECT_DOUBLE_EQ(linear_fit(none, none).slope, 0.0);
+  EXPECT_TRUE(decimated_cdf({}, 5).empty());
 }
 
 TEST(Summarize, FieldsConsistent) {
