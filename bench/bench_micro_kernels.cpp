@@ -11,8 +11,12 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <cstdio>
 #include <functional>
+#include <string>
+#include <vector>
 
+#include "atlas/checkpoint.h"
 #include "bench_common.h"
 #include "core/cbg.h"
 #include "geo/geodesy.h"
@@ -20,6 +24,7 @@
 #include "net/prefix_table.h"
 #include "scenario/presets.h"
 #include "sim/latency_model.h"
+#include "util/durable.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 
@@ -120,6 +125,55 @@ void BM_LatencyModelBaseRtt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LatencyModelBaseRtt);
+
+// -- durable layer (util/durable.h): the per-artifact overhead budget ------
+
+void BM_Xxh64_1MiB(benchmark::State& state) {
+  std::vector<std::byte> buf(1u << 20);
+  auto gen = util::Pcg32{11};
+  for (auto& b : buf) b = static_cast<std::byte>(gen());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::durable::xxh64(buf));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_Xxh64_1MiB);
+
+void BM_FramedWriteRead_64KiB(benchmark::State& state) {
+  // Full durability round trip — stage, fsync, rename, validated read —
+  // i.e. what one cache save/load actually costs over a raw fwrite.
+  std::vector<std::byte> payload(64u << 10);
+  auto gen = util::Pcg32{12};
+  for (auto& b : payload) b = static_cast<std::byte>(gen());
+  const std::string path = "bench-durable-frame.bin";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        util::durable::write_framed(path, /*magic=*/0xBE, 1, payload));
+    benchmark::DoNotOptimize(util::durable::read_framed(path, 0xBE));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_FramedWriteRead_64KiB);
+
+void BM_CampaignReportCodec(benchmark::State& state) {
+  // encode+decode of a 10k-result report: the cost of one checkpoint's
+  // payload, paid once per round boundary.
+  atlas::CampaignReport report;
+  report.requested = report.completed = 10'000;
+  auto gen = util::Pcg32{13};
+  for (int i = 0; i < 10'000; ++i) {
+    report.results.push_back(atlas::PingMeasurement{
+        .vp = gen(), .target = gen(), .min_rtt_ms = gen.uniform(1.0, 300.0),
+        .packets_sent = 3, .packets_received = 3});
+  }
+  for (auto _ : state) {
+    const auto bytes = atlas::encode_report(report);
+    atlas::CampaignReport decoded;
+    benchmark::DoNotOptimize(atlas::decode_report(bytes, &decoded));
+  }
+}
+BENCHMARK(BM_CampaignReportCodec);
 
 void BM_MinRtt3Packets(benchmark::State& state) {
   static const scenario::Scenario* s = [] {

@@ -1,0 +1,219 @@
+#include "atlas/checkpoint.h"
+
+#include "util/durable.h"
+
+namespace geoloc::atlas {
+
+namespace {
+
+constexpr std::uint64_t kMagic = 0x313054504B434C47ULL;  // "GLCKPT01"
+constexpr std::uint32_t kVersion = 1;
+
+/// Fixed-width size of one encoded PingMeasurement / PendingMeasurement,
+/// used to bound claimed counts before allocating.
+constexpr std::uint64_t kResultBytes = 4 + 4 + 1 + 8 + 4 + 4;
+constexpr std::uint64_t kPendingBytes = 4 + 4 + 1 + 4 + 4 + 8;
+
+void put_report(util::durable::PayloadWriter& w, const CampaignReport& r) {
+  w.pod(static_cast<std::uint64_t>(r.requested));
+  w.pod(static_cast<std::uint64_t>(r.completed));
+  w.pod(static_cast<std::uint64_t>(r.abandoned));
+  w.pod(r.attempts);
+  w.pod(r.retries);
+  w.pod(r.rejections);
+  w.pod(r.no_replies);
+  w.pod(r.outage_deferrals);
+  w.pod(r.vp_reassignments);
+  w.pod(r.round_failures);
+  w.pod(static_cast<std::uint64_t>(r.rounds));
+  w.pod(r.credits_spent);
+  w.pod(r.credits_wasted);
+  w.pod(r.duration_s);
+  w.pod(r.backoff_wait_s);
+  w.pod(static_cast<std::uint64_t>(r.results.size()));
+  for (const PingMeasurement& m : r.results) {
+    w.pod(static_cast<std::uint32_t>(m.vp));
+    w.pod(static_cast<std::uint32_t>(m.target));
+    w.pod(static_cast<std::uint8_t>(m.min_rtt_ms.has_value() ? 1 : 0));
+    w.pod(m.min_rtt_ms.value_or(0.0));
+    w.pod(static_cast<std::int32_t>(m.packets_sent));
+    w.pod(static_cast<std::int32_t>(m.packets_received));
+  }
+}
+
+bool get_report(util::durable::PayloadReader& in, CampaignReport* r) {
+  std::uint64_t requested = 0, completed = 0, abandoned = 0, rounds = 0,
+                n_results = 0;
+  if (!in.pod(requested) || !in.pod(completed) || !in.pod(abandoned) ||
+      !in.pod(r->attempts) || !in.pod(r->retries) || !in.pod(r->rejections) ||
+      !in.pod(r->no_replies) || !in.pod(r->outage_deferrals) ||
+      !in.pod(r->vp_reassignments) || !in.pod(r->round_failures) ||
+      !in.pod(rounds) || !in.pod(r->credits_spent) ||
+      !in.pod(r->credits_wasted) || !in.pod(r->duration_s) ||
+      !in.pod(r->backoff_wait_s) || !in.pod(n_results)) {
+    return false;
+  }
+  r->requested = static_cast<std::size_t>(requested);
+  r->completed = static_cast<std::size_t>(completed);
+  r->abandoned = static_cast<std::size_t>(abandoned);
+  r->rounds = static_cast<std::size_t>(rounds);
+  if (n_results > in.remaining() / kResultBytes) return false;
+  r->results.resize(static_cast<std::size_t>(n_results));
+  for (PingMeasurement& m : r->results) {
+    std::uint32_t vp = 0, target = 0;
+    std::uint8_t has_rtt = 0;
+    double rtt = 0.0;
+    std::int32_t sent = 0, received = 0;
+    if (!in.pod(vp) || !in.pod(target) || !in.pod(has_rtt) || !in.pod(rtt) ||
+        !in.pod(sent) || !in.pod(received) || has_rtt > 1) {
+      return false;
+    }
+    m.vp = vp;
+    m.target = target;
+    m.min_rtt_ms = has_rtt ? std::optional<double>(rtt) : std::nullopt;
+    m.packets_sent = sent;
+    m.packets_received = received;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t campaign_fingerprint(
+    std::span<const MeasurementRequest> requests,
+    std::span<const sim::HostId> spare_vps, const ExecutorConfig& config,
+    const Platform& platform) {
+  util::durable::PayloadWriter w;
+  // World identity and weather: the same request list against a different
+  // world or under different skies is a different campaign.
+  w.pod(platform.world().rng().seed());
+  const PlatformConfig& pc = platform.config();
+  w.pod(pc.credits.per_ping_packet);
+  w.pod(pc.credits.per_traceroute);
+  w.pod(static_cast<std::int32_t>(pc.ping_packets));
+  w.pod(pc.probe_pps_min);
+  w.pod(pc.probe_pps_max);
+  w.pod(pc.anchor_pps_min);
+  w.pod(pc.anchor_pps_max);
+  if (const FaultModel* faults = platform.fault_model();
+      faults && faults->enabled()) {
+    const FaultConfig& fc = faults->config();
+    w.pod(std::uint8_t{1});
+    w.pod(fc.seed);
+    w.pod(fc.vp_abandon_per_day);
+    w.pod(fc.anchor_stability);
+    w.pod(fc.vp_outages_per_day);
+    w.pod(fc.vp_outage_mean_s);
+    w.pod(fc.target_unresponsive_rate);
+    w.pod(fc.round_failure_rate);
+    w.pod(fc.measurement_rejection_rate);
+  } else {
+    w.pod(std::uint8_t{0});
+  }
+  // Executor knobs that steer the round loop. The checkpoint policy
+  // itself is deliberately excluded: resuming with a different cadence or
+  // stop point is the whole point.
+  w.pod(static_cast<std::uint64_t>(config.scheduler.max_concurrent));
+  w.pod(static_cast<std::uint64_t>(config.scheduler.batch_size));
+  w.pod(config.scheduler.round_overhead_s);
+  w.pod(static_cast<std::int32_t>(config.scheduler.traceroute_packets));
+  w.pod(static_cast<std::int32_t>(config.retry.max_attempts));
+  w.pod(config.retry.initial_backoff_s);
+  w.pod(config.retry.backoff_multiplier);
+  w.pod(config.retry.max_backoff_s);
+  w.pod(static_cast<std::uint8_t>(config.reassign_dead_vps));
+  w.pod(static_cast<std::uint8_t>(config.collect_results));
+  // The work itself.
+  w.pod(static_cast<std::uint64_t>(requests.size()));
+  for (const MeasurementRequest& r : requests) {
+    w.pod(static_cast<std::uint32_t>(r.vp));
+    w.pod(static_cast<std::uint32_t>(r.target));
+    w.pod(static_cast<std::uint8_t>(r.kind));
+    w.pod(static_cast<std::int32_t>(r.packets));
+  }
+  w.pod(static_cast<std::uint64_t>(spare_vps.size()));
+  for (sim::HostId vp : spare_vps) w.pod(static_cast<std::uint32_t>(vp));
+  return util::durable::xxh64(w.data(), /*seed=*/kMagic);
+}
+
+std::vector<std::byte> encode_report(const CampaignReport& r) {
+  util::durable::PayloadWriter w;
+  put_report(w, r);
+  return w.take();
+}
+
+bool decode_report(std::span<const std::byte> bytes, CampaignReport* out) {
+  util::durable::PayloadReader in(bytes);
+  CampaignReport r;
+  if (!get_report(in, &r) || !in.exhausted()) return false;
+  *out = std::move(r);
+  return true;
+}
+
+bool save_checkpoint(const std::string& path, const CampaignCheckpoint& c,
+                     std::string* error) {
+  util::durable::PayloadWriter w;
+  w.pod(c.fingerprint);
+  w.pod(c.now_s);
+  w.pod(c.submission_counter);
+  w.pod(c.spare_cursor);
+  w.pod(c.usage.pings);
+  w.pod(c.usage.ping_packets);
+  w.pod(c.usage.traceroutes);
+  w.pod(c.usage.credits);
+  put_report(w, c.report);
+  w.pod(static_cast<std::uint64_t>(c.queue.size()));
+  for (const PendingMeasurement& p : c.queue) {
+    w.pod(static_cast<std::uint32_t>(p.req.vp));
+    w.pod(static_cast<std::uint32_t>(p.req.target));
+    w.pod(static_cast<std::uint8_t>(p.req.kind));
+    w.pod(static_cast<std::int32_t>(p.req.packets));
+    w.pod(p.attempts);
+    w.pod(p.eligible_s);
+  }
+  return util::durable::write_framed(path, kMagic, kVersion, w.data(), error);
+}
+
+bool load_checkpoint(const std::string& path, std::uint64_t fingerprint,
+                     CampaignCheckpoint* out) {
+  const util::durable::FramedRead fr = util::durable::read_framed(path, kMagic);
+  if (!fr.ok() || fr.version != kVersion) return false;
+
+  util::durable::PayloadReader in(fr.payload);
+  CampaignCheckpoint c;
+  if (!in.pod(c.fingerprint)) return false;
+  // A fingerprint mismatch is a checkpoint of some *other* campaign
+  // sharing the path — not corruption; start this one from scratch.
+  if (c.fingerprint != fingerprint) return false;
+  if (!in.pod(c.now_s) || !in.pod(c.submission_counter) ||
+      !in.pod(c.spare_cursor) || !in.pod(c.usage.pings) ||
+      !in.pod(c.usage.ping_packets) || !in.pod(c.usage.traceroutes) ||
+      !in.pod(c.usage.credits)) {
+    return false;
+  }
+  if (!get_report(in, &c.report)) return false;
+  std::uint64_t n_queue = 0;
+  if (!in.pod(n_queue) || n_queue > in.remaining() / kPendingBytes) {
+    return false;
+  }
+  c.queue.resize(static_cast<std::size_t>(n_queue));
+  for (PendingMeasurement& p : c.queue) {
+    std::uint32_t vp = 0, target = 0;
+    std::uint8_t kind = 0;
+    std::int32_t packets = 0;
+    if (!in.pod(vp) || !in.pod(target) || !in.pod(kind) || !in.pod(packets) ||
+        !in.pod(p.attempts) || !in.pod(p.eligible_s) ||
+        kind > static_cast<std::uint8_t>(MeasurementKind::Traceroute)) {
+      return false;
+    }
+    p.req.vp = vp;
+    p.req.target = target;
+    p.req.kind = static_cast<MeasurementKind>(kind);
+    p.req.packets = packets;
+  }
+  if (!in.exhausted()) return false;
+  *out = std::move(c);
+  return true;
+}
+
+}  // namespace geoloc::atlas

@@ -1,0 +1,82 @@
+// Campaign checkpoint format — the crash-safety half of the executor.
+//
+// A real multi-week Atlas campaign (the paper's street-level runs took
+// days; the ROADMAP's production scale takes longer) cannot afford to lose
+// everything to one OOM-kill or host reboot. The executor's state at a
+// round boundary is small and closed: the pending queue, the simulated
+// clock, the draw-order cursors (submission counter, spare cursor), the
+// platform's usage counters — which *are* the RNG ordinals, because every
+// measurement's randomness derives from fork("ping", usage.pings)
+// (DESIGN.md §9) — and the accumulated CampaignReport. Persisting exactly
+// that tuple through the durable framed format (util/durable.h) makes
+// resumption provably exact: the resumed run re-enters the round loop with
+// bit-identical state, so its final CampaignReport is byte-identical to an
+// uninterrupted run's — a property the kill-and-resume tests assert by
+// comparing encode_report() bytes (tests/durable_checkpoint_test.cpp).
+//
+// Checkpoints are bound to a campaign fingerprint (requests, spares,
+// executor config, platform config, world seed, weather config) so a
+// checkpoint can never resume the wrong campaign; a stale or foreign one
+// is simply ignored and a corrupt one is quarantined.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "atlas/executor.h"
+
+namespace geoloc::atlas {
+
+/// One queued measurement as checkpointed: the request plus its retry
+/// position (mirrors the executor's internal Pending state).
+struct PendingMeasurement {
+  MeasurementRequest req;
+  std::int32_t attempts = 0;
+  double eligible_s = 0.0;
+};
+
+/// Complete executor state at a round boundary.
+struct CampaignCheckpoint {
+  std::uint64_t fingerprint = 0;  ///< campaign identity (see above)
+  double now_s = 0.0;
+  std::uint64_t submission_counter = 0;
+  std::uint64_t spare_cursor = 0;
+  UsageCounters usage;     ///< platform counters == measurement RNG ordinals
+  CampaignReport report;   ///< accumulated so far, results included
+  std::vector<PendingMeasurement> queue;  ///< still-pending, in queue order
+};
+
+/// Identity of a campaign for checkpoint binding: a hash over the request
+/// list, spare pool, executor config, platform config, world seed and
+/// fault config. Two campaigns that could diverge get different
+/// fingerprints; re-running the same campaign reproduces the same one.
+[[nodiscard]] std::uint64_t campaign_fingerprint(
+    std::span<const MeasurementRequest> requests,
+    std::span<const sim::HostId> spare_vps, const ExecutorConfig& config,
+    const Platform& platform);
+
+/// Canonical byte encoding of a CampaignReport (the `interrupted` flag,
+/// which is transport state rather than campaign outcome, excluded).
+/// Deterministic: equal reports yield identical bytes — this is the
+/// byte-identity oracle the resume tests compare with.
+[[nodiscard]] std::vector<std::byte> encode_report(const CampaignReport& r);
+
+/// Decode the result of encode_report. Returns false on malformed input
+/// (bounds-checked; never a partial report).
+[[nodiscard]] bool decode_report(std::span<const std::byte> bytes,
+                                 CampaignReport* out);
+
+/// Atomically persist a checkpoint (durable framed write).
+bool save_checkpoint(const std::string& path, const CampaignCheckpoint& c,
+                     std::string* error = nullptr);
+
+/// Load a checkpoint and validate it against `fingerprint`. Returns false
+/// on absence, corruption (the file is then quarantined) or fingerprint
+/// mismatch — all of which mean "start from the beginning".
+[[nodiscard]] bool load_checkpoint(const std::string& path,
+                                   std::uint64_t fingerprint,
+                                   CampaignCheckpoint* out);
+
+}  // namespace geoloc::atlas

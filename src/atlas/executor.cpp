@@ -3,11 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <deque>
+#include <filesystem>
 #include <limits>
 
+#include "atlas/checkpoint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/env.h"
 
 namespace geoloc::atlas {
 
@@ -112,13 +116,92 @@ CampaignReport CampaignExecutor::execute(
   const SchedulerConfig& sched = config_.scheduler;
 
   std::deque<Pending> queue;
-  for (const MeasurementRequest& r : requests) queue.push_back({r, 0, 0.0});
-  if (config_.collect_results) report.results.reserve(requests.size());
-
   std::unordered_map<sim::HostId, double> rate_cache;
   double now_s = 0.0;
   std::uint64_t submission_counter = 0;
   std::size_t spare_cursor = 0;
+
+  // -- checkpointing (DESIGN.md §11) ---------------------------------------
+  // Resolve the checkpoint file: an explicit path wins; otherwise
+  // GEOLOC_CHECKPOINT_DIR yields a per-campaign file keyed by fingerprint.
+  std::string ckpt_path = config_.checkpoint.path;
+  std::uint64_t ckpt_fp = 0;
+  std::uint64_t ckpt_every = 0;
+  if (ckpt_path.empty()) {
+    const std::string dir =
+        util::env::string_or("GEOLOC_CHECKPOINT_DIR", "");
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (!ec) {
+        ckpt_fp =
+            campaign_fingerprint(requests, spare_vps, config_, *platform_);
+        char name[48];
+        std::snprintf(name, sizeof name, "/campaign-%016llx.ckpt",
+                      static_cast<unsigned long long>(ckpt_fp));
+        ckpt_path = dir + name;
+      }
+    }
+  }
+  if (!ckpt_path.empty()) {
+    if (ckpt_fp == 0) {
+      ckpt_fp = campaign_fingerprint(requests, spare_vps, config_, *platform_);
+    }
+    ckpt_every = config_.checkpoint.every_rounds != 0
+                     ? config_.checkpoint.every_rounds
+                     : static_cast<std::uint64_t>(
+                           util::env::int_or("GEOLOC_CHECKPOINT_EVERY", 1));
+  }
+
+  // Resume: restore queue, clocks, draw cursors, accumulated report, and
+  // the platform usage counters (== measurement RNG ordinals) from a
+  // matching checkpoint. A missing, foreign or quarantined-corrupt file
+  // simply means a fresh start.
+  bool resumed = false;
+  if (!ckpt_path.empty() && config_.checkpoint.resume) {
+    CampaignCheckpoint c;
+    if (load_checkpoint(ckpt_path, ckpt_fp, &c)) {
+      report = std::move(c.report);
+      report.requested = requests.size();  // equal by fingerprint binding
+      now_s = c.now_s;
+      submission_counter = c.submission_counter;
+      spare_cursor = static_cast<std::size_t>(c.spare_cursor);
+      platform_->restore_usage(c.usage);
+      for (const PendingMeasurement& p : c.queue) {
+        queue.push_back({p.req, p.attempts, p.eligible_s});
+      }
+      resumed = true;
+    }
+  }
+  if (!resumed) {
+    for (const MeasurementRequest& r : requests) queue.push_back({r, 0, 0.0});
+  }
+  if (config_.collect_results) report.results.reserve(requests.size());
+
+  /// Round-boundary hook: persist state on the configured cadence (and
+  /// always before a stop_after_rounds exit), then report whether the
+  /// bounded work slice is up. Returns true when execution must stop.
+  const auto at_round_boundary = [&]() -> bool {
+    const bool stop = config_.checkpoint.stop_after_rounds != 0 &&
+                      report.rounds >= config_.checkpoint.stop_after_rounds &&
+                      !queue.empty();
+    if (!ckpt_path.empty() &&
+        ((ckpt_every != 0 && report.rounds % ckpt_every == 0) || stop)) {
+      CampaignCheckpoint c;
+      c.fingerprint = ckpt_fp;
+      c.now_s = now_s;
+      c.submission_counter = submission_counter;
+      c.spare_cursor = static_cast<std::uint64_t>(spare_cursor);
+      c.usage = platform_->usage();
+      c.report = report;
+      c.queue.reserve(queue.size());
+      for (const Pending& p : queue) {
+        c.queue.push_back({p.req, p.attempts, p.eligible_s});
+      }
+      save_checkpoint(ckpt_path, c);
+    }
+    return stop;
+  };
 
   // A measurement that failed its attempt goes back to the queue with a
   // capped-exponential wait, or is abandoned once its budget is gone.
@@ -201,6 +284,10 @@ CampaignReport CampaignExecutor::execute(
         requeue_or_abandon(item);
       }
       observe_round();
+      if (at_round_boundary()) {
+        report.interrupted = true;
+        return report;
+      }
       continue;
     }
 
@@ -322,9 +409,17 @@ CampaignReport CampaignExecutor::execute(
              sched.round_overhead_s;
     report.duration_s = now_s;
     observe_round();
+    if (at_round_boundary()) {
+      report.interrupted = true;
+      return report;
+    }
   }
 
   report.duration_s = now_s;
+
+  // The campaign completed: its checkpoint is spent. Removing it keeps a
+  // later identical campaign from short-circuiting to this one's result.
+  if (!ckpt_path.empty()) std::remove(ckpt_path.c_str());
 
   // Campaign totals onto the registry, in one pass off the finished
   // report: zero per-measurement cost and, by construction, zero effect

@@ -42,9 +42,35 @@ struct RetryPolicy {
   [[nodiscard]] double backoff_s(int failed_attempts) const;
 };
 
+/// Crash-safe checkpointing of a running campaign (DESIGN.md §11). At
+/// every round boundary the executor can persist its complete state —
+/// pending queue, simulated clock, RNG ordinals (platform usage counters),
+/// accumulated CampaignReport — through the durable atomic-write layer, so
+/// a killed campaign resumes exactly where it died: the resumed run's
+/// CampaignReport is byte-identical to an uninterrupted one.
+struct CheckpointPolicy {
+  /// Checkpoint file. Empty disables checkpointing unless
+  /// GEOLOC_CHECKPOINT_DIR is set, in which case the executor derives
+  /// "<dir>/campaign-<fingerprint>.ckpt" per campaign.
+  std::string path;
+  /// Checkpoint every N completed rounds; 0 defers to
+  /// GEOLOC_CHECKPOINT_EVERY (default 1 — every round boundary).
+  std::uint64_t every_rounds = 0;
+  /// Load a matching checkpoint at execute() start. A checkpoint whose
+  /// campaign fingerprint (requests, spares, config, world seed, weather)
+  /// differs is ignored; a corrupt one is quarantined and ignored.
+  bool resume = true;
+  /// Stop (with report.interrupted set) after this many rounds, leaving a
+  /// fresh checkpoint behind — the deterministic stand-in for `kill -9` in
+  /// the crash/resume tests, and an ops hook for bounded work slices.
+  /// 0 runs to completion.
+  std::uint64_t stop_after_rounds = 0;
+};
+
 struct ExecutorConfig {
   SchedulerConfig scheduler;  ///< batching, round overhead, traceroute packets
   RetryPolicy retry;
+  CheckpointPolicy checkpoint;
   /// Re-assign a measurement to a spare VP when its probe abandoned the
   /// platform mid-campaign (requires spare_vps at execute time).
   bool reassign_dead_vps = true;
@@ -54,7 +80,8 @@ struct ExecutorConfig {
 };
 
 /// What executing a campaign actually took. `requested == completed +
-/// abandoned` always holds on return.
+/// abandoned` always holds on return of a completed (non-interrupted)
+/// campaign.
 struct CampaignReport {
   std::size_t requested = 0;
   std::size_t completed = 0;  ///< measurement produced a result
@@ -74,6 +101,12 @@ struct CampaignReport {
 
   double duration_s = 0.0;      ///< campaign wall clock, waits included
   double backoff_wait_s = 0.0;  ///< wall clock spent waiting out backoff
+
+  /// True when execution stopped at CheckpointPolicy::stop_after_rounds
+  /// with work still pending; the checkpoint holds the state to resume
+  /// from. Never set on a completed campaign (and `requested ==
+  /// completed + abandoned` then holds as always).
+  bool interrupted = false;
 
   /// Successful measurements, in completion order (when collect_results).
   std::vector<PingMeasurement> results;

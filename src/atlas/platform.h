@@ -107,6 +107,13 @@ class Platform {
   [[nodiscard]] const UsageCounters& usage() const noexcept { return usage_; }
   void reset_usage() noexcept { usage_ = {}; }
 
+  /// Restore usage counters from a campaign checkpoint. Measurement
+  /// randomness is derived from the ordinal usage_.pings (and
+  /// usage_.traceroutes), so a resumed campaign that restores the
+  /// interrupted run's counters continues the exact RNG sequence the
+  /// uninterrupted run would have drawn (atlas/checkpoint.h).
+  void restore_usage(const UsageCounters& u) noexcept { usage_ = u; }
+
   /// Attach the fault-injection layer ("weather"). Unset (or a disabled
   /// FaultModel) leaves every measurement bit-identical to a fault-free
   /// platform. A weather-unresponsive target still bills its echo requests

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "eval/metrics.h"
+#include "util/durable.h"
 #include "util/env.h"
 #include "util/stats.h"
 
@@ -14,91 +15,81 @@ namespace geoloc::eval {
 
 namespace {
 
-constexpr std::uint64_t kMagic = 0x5354524545543032ULL;  // "STREET02"
+constexpr std::uint64_t kMagic = 0x5354524545543033ULL;  // "STREET03"
+constexpr std::uint32_t kVersion = 3;
 
-struct FileCloser {
-  void operator()(std::FILE* f) const noexcept {
-    if (f) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
-
-template <typename T>
-bool write_pod(std::FILE* f, const T& v) {
-  return std::fwrite(&v, sizeof v, 1, f) == 1;
-}
-template <typename T>
-bool read_pod(std::FILE* f, T& v) {
-  return std::fread(&v, sizeof v, 1, f) == 1;
-}
+/// The fixed-width prefix of one serialised StreetRecord, in bytes; the
+/// variable distances list follows. Used to bound the record count claimed
+/// by a payload before any per-record allocation happens.
+constexpr std::uint64_t kRecordFixedBytes =
+    8 * sizeof(float) + sizeof(std::uint8_t) + sizeof(bool) +
+    3 * sizeof(std::uint32_t) + sizeof(std::uint32_t);
 
 }  // namespace
 
 bool StreetCampaign::save(const std::string& path, std::uint64_t tag) const {
-  FilePtr f{std::fopen(path.c_str(), "wb")};
-  if (!f) return false;
-  if (!write_pod(f.get(), kMagic) || !write_pod(f.get(), tag)) return false;
-  const std::uint64_t n = records.size();
-  if (!write_pod(f.get(), n)) return false;
+  util::durable::PayloadWriter w;
+  w.pod(tag);
+  w.pod(static_cast<std::uint64_t>(records.size()));
   for (const StreetRecord& r : records) {
-    if (!write_pod(f.get(), r.street_error_km) ||
-        !write_pod(f.get(), r.cbg_error_km) ||
-        !write_pod(f.get(), r.oracle_error_km) ||
-        !write_pod(f.get(), r.elapsed_seconds) ||
-        !write_pod(f.get(), r.negative_fraction) ||
-        !write_pod(f.get(), r.pearson) || !write_pod(f.get(), r.tier_reached) ||
-        !write_pod(f.get(), r.fell_back_to_cbg) ||
-        !write_pod(f.get(), r.landmarks_measured) ||
-        !write_pod(f.get(), r.geocode_queries) ||
-        !write_pod(f.get(), r.websites_tested) ||
-        !write_pod(f.get(), r.nearest_landmark_km) ||
-        !write_pod(f.get(), r.nearest_checked_landmark_km)) {
-      return false;
-    }
-    const std::uint32_t m = static_cast<std::uint32_t>(r.distances.size());
-    if (!write_pod(f.get(), m)) return false;
+    w.pod(r.street_error_km);
+    w.pod(r.cbg_error_km);
+    w.pod(r.oracle_error_km);
+    w.pod(r.elapsed_seconds);
+    w.pod(r.negative_fraction);
+    w.pod(r.pearson);
+    w.pod(r.tier_reached);
+    w.pod(r.fell_back_to_cbg);
+    w.pod(r.landmarks_measured);
+    w.pod(r.geocode_queries);
+    w.pod(r.websites_tested);
+    w.pod(r.nearest_landmark_km);
+    w.pod(r.nearest_checked_landmark_km);
+    w.pod(static_cast<std::uint32_t>(r.distances.size()));
     for (const auto& [g, d] : r.distances) {
-      if (!write_pod(f.get(), g) || !write_pod(f.get(), d)) return false;
+      w.pod(g);
+      w.pod(d);
     }
   }
-  return true;
+  return util::durable::write_framed(path, kMagic, kVersion, w.data());
 }
 
 bool StreetCampaign::load(const std::string& path, std::uint64_t tag) {
-  FilePtr f{std::fopen(path.c_str(), "rb")};
-  if (!f) return false;
-  std::uint64_t magic = 0, file_tag = 0, n = 0;
-  if (!read_pod(f.get(), magic) || !read_pod(f.get(), file_tag) ||
-      !read_pod(f.get(), n) || magic != kMagic || file_tag != tag) {
+  // The durable frame already rejected truncation and bit-flips; every
+  // read below is still bounds-checked so a checksummed-but-malformed
+  // payload degrades to a clean miss, never a partially-filled record or
+  // an attacker-sized allocation.
+  const util::durable::FramedRead fr = util::durable::read_framed(path, kMagic);
+  if (!fr.ok() || fr.version != kVersion) return false;
+
+  util::durable::PayloadReader in(fr.payload);
+  std::uint64_t file_tag = 0, n = 0;
+  if (!in.pod(file_tag) || !in.pod(n) || file_tag != tag) return false;
+  if (n > in.remaining() / kRecordFixedBytes) return false;
+
+  const auto reject = [&] {
+    records.clear();
     return false;
-  }
-  records.assign(n, {});
+  };
+  records.assign(static_cast<std::size_t>(n), {});
   for (StreetRecord& r : records) {
     std::uint32_t m = 0;
-    if (!read_pod(f.get(), r.street_error_km) ||
-        !read_pod(f.get(), r.cbg_error_km) ||
-        !read_pod(f.get(), r.oracle_error_km) ||
-        !read_pod(f.get(), r.elapsed_seconds) ||
-        !read_pod(f.get(), r.negative_fraction) ||
-        !read_pod(f.get(), r.pearson) || !read_pod(f.get(), r.tier_reached) ||
-        !read_pod(f.get(), r.fell_back_to_cbg) ||
-        !read_pod(f.get(), r.landmarks_measured) ||
-        !read_pod(f.get(), r.geocode_queries) ||
-        !read_pod(f.get(), r.websites_tested) ||
-        !read_pod(f.get(), r.nearest_landmark_km) ||
-        !read_pod(f.get(), r.nearest_checked_landmark_km) ||
-        !read_pod(f.get(), m)) {
-      records.clear();
-      return false;
+    if (!in.pod(r.street_error_km) || !in.pod(r.cbg_error_km) ||
+        !in.pod(r.oracle_error_km) || !in.pod(r.elapsed_seconds) ||
+        !in.pod(r.negative_fraction) || !in.pod(r.pearson) ||
+        !in.pod(r.tier_reached) || !in.pod(r.fell_back_to_cbg) ||
+        !in.pod(r.landmarks_measured) || !in.pod(r.geocode_queries) ||
+        !in.pod(r.websites_tested) || !in.pod(r.nearest_landmark_km) ||
+        !in.pod(r.nearest_checked_landmark_km) || !in.pod(m)) {
+      return reject();
     }
+    if (m > in.remaining() / (2 * sizeof(float))) return reject();
     r.distances.resize(m);
     for (auto& [g, d] : r.distances) {
-      if (!read_pod(f.get(), g) || !read_pod(f.get(), d)) {
-        records.clear();
-        return false;
-      }
+      if (!in.pod(g) || !in.pod(d)) return reject();
     }
   }
+  if (!in.exhausted()) return reject();
   return true;
 }
 

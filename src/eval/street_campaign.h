@@ -46,6 +46,9 @@ struct StreetRecord {
 struct StreetCampaign {
   std::vector<StreetRecord> records;  ///< indexed by target column
 
+  /// Disk cache on the durable framed format (util/durable.h): atomic
+  /// writes, XXH64-validated reads with bounds-checked decoding, corrupt
+  /// files quarantined so the campaign reruns instead of crashing.
   bool save(const std::string& path, std::uint64_t tag) const;
   bool load(const std::string& path, std::uint64_t tag);
 };

@@ -196,12 +196,26 @@ bool flush_metrics_json(std::string_view tag, std::string path) {
   if (path.empty()) path = util::env::string_or("GEOLOC_METRICS_JSON", "");
   if (path.empty()) return false;
   std::FILE* f = std::fopen(path.c_str(), "a");
-  if (!f) return false;
+  if (!f) {
+    warn_once(("metrics-flush-open:" + path).c_str(),
+              "obs: cannot open GEOLOC_METRICS_JSON target: " + path);
+    return false;
+  }
+  // The dump is append-only (many processes may share the file), so the
+  // atomic-rename primitive does not apply; what durability demands here
+  // is that a short write — full disk, dead volume — is *reported* rather
+  // than silently dropping the tail of the metrics stream.
   const std::string metrics = Registry::instance().dump_json_lines(tag);
-  std::fwrite(metrics.data(), 1, metrics.size(), f);
   const std::string spans = spans_to_json_lines(tag);
-  std::fwrite(spans.data(), 1, spans.size(), f);
-  std::fclose(f);
+  std::size_t written = std::fwrite(metrics.data(), 1, metrics.size(), f);
+  written += std::fwrite(spans.data(), 1, spans.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != metrics.size() + spans.size() || !closed) {
+    warn_once(("metrics-flush-short:" + path).c_str(),
+              "obs: short write flushing metrics to " + path +
+                  " (metrics dropped, disk full?)");
+    return false;
+  }
   return true;
 }
 

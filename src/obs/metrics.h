@@ -177,7 +177,9 @@ class Registry {
 
 /// Append the registry dump plus the aggregated trace-span summaries (see
 /// obs/trace.h) as JSON lines to `path`, defaulting to $GEOLOC_METRICS_JSON.
-/// Returns false (and writes nothing) when no path is configured.
+/// Returns false (and writes nothing) when no path is configured, and
+/// false with a warn_once when the write came up short (full disk) — the
+/// flush never drops data silently.
 bool flush_metrics_json(std::string_view tag = {}, std::string path = {});
 
 }  // namespace geoloc::obs

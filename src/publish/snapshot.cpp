@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "util/crc32.h"
+#include "util/durable.h"
 
 namespace geoloc::publish {
 
@@ -192,15 +193,10 @@ std::vector<std::byte> SnapshotBuilder::build(const SnapshotMeta& meta) const {
 bool SnapshotBuilder::write_file(const std::string& path,
                                  const SnapshotMeta& meta,
                                  std::string* error) const {
-  const std::vector<std::byte> bytes = build(meta);
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (!f) return fail(error, "snapshot: cannot open for writing: " + path);
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  if (written != bytes.size() || !closed) {
-    return fail(error, "snapshot: short write: " + path);
-  }
-  return true;
+  // Atomic replacement (util/durable.h): a crash mid-publish leaves the
+  // previous snapshot version intact, never a torn file under the name a
+  // serving process is about to load.
+  return util::durable::atomic_write_file(path, build(meta), error);
 }
 
 // -- reader ----------------------------------------------------------------
@@ -331,7 +327,8 @@ std::shared_ptr<const Snapshot> Snapshot::from_bytes(
 }
 
 std::shared_ptr<const Snapshot> Snapshot::load(const std::string& path,
-                                               std::string* error) {
+                                               std::string* error,
+                                               bool quarantine_corrupt) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (!f) {
     fail(error, "snapshot: cannot open: " + path);
@@ -349,7 +346,12 @@ std::shared_ptr<const Snapshot> Snapshot::load(const std::string& path,
     fail(error, "snapshot: read error: " + path);
     return nullptr;
   }
-  return from_bytes(std::move(bytes), error);
+  auto snap = from_bytes(std::move(bytes), error);
+  // The file existed and was readable but failed validation: quarantine it
+  // so the publisher's next write starts clean and retries don't spin on
+  // the same bad bytes (util/durable.h quarantine semantics).
+  if (!snap && quarantine_corrupt) util::durable::quarantine(path);
+  return snap;
 }
 
 }  // namespace geoloc::publish

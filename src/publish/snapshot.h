@@ -139,9 +139,13 @@ class Snapshot {
   static std::shared_ptr<const Snapshot> from_bytes(
       std::vector<std::byte> bytes, std::string* error = nullptr);
 
-  /// Read and validate a snapshot file.
+  /// Read and validate a snapshot file. A file that exists but fails
+  /// validation is quarantined (renamed to `<path>.corrupt`, see
+  /// util/durable.h) unless `quarantine_corrupt` is false, so the caller's
+  /// republish path writes a fresh file instead of fighting the bad one.
   static std::shared_ptr<const Snapshot> load(const std::string& path,
-                                              std::string* error = nullptr);
+                                              std::string* error = nullptr,
+                                              bool quarantine_corrupt = true);
 
   [[nodiscard]] std::uint32_t dataset_version() const noexcept {
     return dataset_version_;
@@ -195,8 +199,10 @@ class SnapshotBuilder {
   /// Serialize. Deterministic: equal inputs yield identical bytes.
   [[nodiscard]] std::vector<std::byte> build(const SnapshotMeta& meta) const;
 
-  /// Serialize straight to a file. Returns false and sets *error on I/O
-  /// failure.
+  /// Serialize straight to a file, atomically: the bytes are staged at a
+  /// temp path, fsync'd and renamed over `path` (util/durable.h), so a
+  /// crash mid-publish never leaves a torn snapshot behind. Returns false
+  /// and sets *error on I/O failure (the destination is then untouched).
   bool write_file(const std::string& path, const SnapshotMeta& meta,
                   std::string* error = nullptr) const;
 

@@ -1,51 +1,64 @@
 #include "scenario/rtt_matrix.h"
 
-#include <cstdio>
-#include <memory>
+#include <limits>
+
+#include "util/durable.h"
 
 namespace geoloc::scenario {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x47454F4C4F433031ULL;  // "GEOLOC01"
-
-struct FileCloser {
-  void operator()(std::FILE* f) const noexcept {
-    if (f) std::fclose(f);
-  }
-};
-using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+// Caller magic for the durable frame ("GEOLOCM2"): version 2 of the
+// RTT-matrix cache, the first to carry checksums. Version-1 files (bare
+// header + floats) fail the frame magic, are quarantined, and regenerate.
+constexpr std::uint64_t kMagic = 0x47454F4C4F434D32ULL;
+constexpr std::uint32_t kVersion = 2;
 }  // namespace
 
 bool RttMatrix::save(const std::string& path, std::uint64_t tag) const {
-  FilePtr f{std::fopen(path.c_str(), "wb")};
-  if (!f) return false;
-  const std::uint64_t header[4] = {kMagic, tag, rows_, cols_};
-  if (std::fwrite(header, sizeof header, 1, f.get()) != 1) return false;
-  if (!data_.empty() &&
-      std::fwrite(data_.data(), sizeof(float), data_.size(), f.get()) !=
-          data_.size()) {
-    return false;
-  }
-  return true;
+  util::durable::PayloadWriter w;
+  w.pod(tag);
+  w.pod(static_cast<std::uint64_t>(rows_));
+  w.pod(static_cast<std::uint64_t>(cols_));
+  if (!data_.empty()) w.bytes(data_.data(), data_.size() * sizeof(float));
+  return util::durable::write_framed(path, kMagic, kVersion, w.data());
 }
 
 bool RttMatrix::load(const std::string& path, std::uint64_t tag) {
-  FilePtr f{std::fopen(path.c_str(), "rb")};
-  if (!f) return false;
-  std::uint64_t header[4] = {};
-  if (std::fread(header, sizeof header, 1, f.get()) != 1) return false;
-  if (header[0] != kMagic || header[1] != tag) return false;
-  rows_ = static_cast<std::size_t>(header[2]);
-  cols_ = static_cast<std::size_t>(header[3]);
-  data_.assign(rows_ * cols_, 0.0F);
+  const util::durable::FramedRead r = util::durable::read_framed(path, kMagic);
+  if (!r.ok() || r.version != kVersion) return false;
+
+  util::durable::PayloadReader in(r.payload);
+  std::uint64_t file_tag = 0, rows = 0, cols = 0;
+  if (!in.pod(file_tag) || !in.pod(rows) || !in.pod(cols)) return false;
+  // A tag mismatch is a stale cache from another configuration, not
+  // corruption: miss, regenerate, overwrite.
+  if (file_tag != tag) return false;
+
+  // Validate the header dimensions against the actual payload size before
+  // allocating anything: rows*cols must not overflow, and the cell region
+  // must be exactly rows*cols floats — a checksummed-but-malformed payload
+  // (buggy or hostile writer) must not trigger a huge allocation or a
+  // short read into a partially-filled matrix.
+  if (cols != 0 &&
+      rows > std::numeric_limits<std::uint64_t>::max() / cols) {
+    return false;
+  }
+  const std::uint64_t cells = rows * cols;
+  if (cells > in.remaining() / sizeof(float) ||
+      in.remaining() != cells * sizeof(float)) {
+    return false;
+  }
+
+  rows_ = static_cast<std::size_t>(rows);
+  cols_ = static_cast<std::size_t>(cols);
+  data_.assign(static_cast<std::size_t>(cells), 0.0F);
   if (!data_.empty() &&
-      std::fread(data_.data(), sizeof(float), data_.size(), f.get()) !=
-          data_.size()) {
+      !in.bytes(data_.data(), data_.size() * sizeof(float))) {
     data_.clear();
     rows_ = cols_ = 0;
     return false;
   }
-  return true;
+  return in.exhausted();
 }
 
 }  // namespace geoloc::scenario

@@ -33,8 +33,12 @@ class RttMatrix {
     return std::isnan(v);
   }
 
-  /// Binary (de)serialisation for the scenario disk cache. `tag` guards
-  /// against mixing caches from different configurations.
+  /// Binary (de)serialisation for the scenario disk cache, on the durable
+  /// framed format (util/durable.h): saves are atomic (temp file + rename)
+  /// and loads validate an XXH64 checksum before interpreting a byte, so a
+  /// torn or bit-rotted cache is quarantined and regenerated instead of
+  /// read as garbage. `tag` guards against mixing caches from different
+  /// configurations; a mismatch is a plain miss, not corruption.
   bool save(const std::string& path, std::uint64_t tag) const;
   bool load(const std::string& path, std::uint64_t tag);
 

@@ -90,6 +90,18 @@ void GeoService::publish(std::shared_ptr<const publish::Snapshot> snapshot) {
   serve_series().snapshot_swaps.add();
 }
 
+bool GeoService::publish_from_file(const std::string& path,
+                                   std::string* error) {
+  // Snapshot::load validates before a byte is served and quarantines a
+  // corrupt file (renames it to `<path>.corrupt`, util/durable.h): on
+  // false the currently served version keeps serving untouched, and the
+  // caller's republish lands on a clean path.
+  auto snap = publish::Snapshot::load(path, error);
+  if (!snap) return false;
+  publish(std::move(snap));
+  return true;
+}
+
 std::shared_ptr<const publish::Snapshot> GeoService::current() const {
   const std::lock_guard<std::mutex> lock(snapshot_mu_);
   return snapshot_;

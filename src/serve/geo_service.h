@@ -103,6 +103,12 @@ class GeoService {
   /// the version they already loaded.
   void publish(std::shared_ptr<const publish::Snapshot> snapshot);
 
+  /// Load a snapshot file (publish::Snapshot::load, fully validated) and
+  /// publish it. On a corrupt file the load quarantines it to
+  /// `<path>.corrupt` and this returns false with the previously served
+  /// snapshot untouched — the swap is all-or-nothing.
+  bool publish_from_file(const std::string& path, std::string* error = nullptr);
+
   /// The currently served snapshot (may be null before the first publish).
   [[nodiscard]] std::shared_ptr<const publish::Snapshot> current() const;
 

@@ -1,9 +1,12 @@
 #include "util/csv.h"
 
+#include <cstdio>
 #include <filesystem>
 #include <memory>
 #include <sstream>
 
+#include "obs/log.h"
+#include "util/durable.h"
 #include "util/env.h"
 
 namespace geoloc::util {
@@ -24,7 +27,15 @@ std::string csv_escape(std::string_view field) {
 }
 
 CsvWriter::CsvWriter(const std::string& path)
-    : out_(std::make_unique<std::ofstream>(path)) {}
+    : path_(path),
+      tmp_path_(durable::tmp_path_for(path)),
+      out_(std::make_unique<std::ofstream>(tmp_path_)) {
+  if (!out_->good()) failed_ = true;
+}
+
+CsvWriter::~CsvWriter() {
+  if (out_) close();
+}
 
 void CsvWriter::row(const std::vector<std::string>& cells) {
   if (!ok()) return;
@@ -33,6 +44,10 @@ void CsvWriter::row(const std::vector<std::string>& cells) {
     *out_ << csv_escape(cells[i]);
   }
   *out_ << '\n';
+  if (!out_->good()) {
+    failed_ = true;
+    return;
+  }
   ++rows_;
 }
 
@@ -52,7 +67,33 @@ void CsvWriter::numeric_row(const std::vector<double>& values) {
     os << values[i];
   }
   *out_ << os.str() << '\n';
+  if (!out_->good()) {
+    failed_ = true;
+    return;
+  }
   ++rows_;
+}
+
+bool CsvWriter::close() {
+  if (!out_) return !failed_;
+  out_->flush();
+  if (!out_->good()) failed_ = true;
+  out_->close();
+  if (out_->fail()) failed_ = true;
+  out_.reset();
+  if (failed_) {
+    std::remove(tmp_path_.c_str());
+    obs::warn_once(("csv-write-failed:" + path_).c_str(),
+                   "csv: export lost (write failure, full disk?): " + path_);
+    return false;
+  }
+  std::string error;
+  if (!durable::commit_tmp_file(tmp_path_, path_, &error)) {
+    failed_ = true;
+    obs::warn_once(("csv-commit-failed:" + path_).c_str(), "csv: " + error);
+    return false;
+  }
+  return true;
 }
 
 std::optional<std::string> export_dir_from_env() {

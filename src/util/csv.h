@@ -15,17 +15,29 @@ namespace geoloc::util {
 /// Escape a field per RFC 4180 (quote when it contains comma/quote/newline).
 std::string csv_escape(std::string_view field);
 
-/// Streams rows to a .csv file. Move-only; flushes on destruction.
+/// Streams rows to a .csv file. Move-only.
+///
+/// Durability (util/durable.h): rows stream into `<path>.tmp.<pid>`; the
+/// destination appears only when close() (or the destructor) promotes the
+/// staging file with fsync + atomic rename. Stream failures — a full disk,
+/// a yanked volume — are tracked on every row: `ok()` goes false, close()
+/// returns false and warns instead of leaving a silently truncated export,
+/// and the destination path is never touched by a failed write.
 class CsvWriter {
  public:
-  /// Opens `path` for writing; `ok()` reports failure instead of throwing
-  /// so exports stay best-effort in bench binaries.
+  /// Opens the staging file for writing; `ok()` reports failure instead of
+  /// throwing so exports stay best-effort in bench binaries.
   explicit CsvWriter(const std::string& path);
 
   CsvWriter(CsvWriter&&) = default;
   CsvWriter& operator=(CsvWriter&&) = default;
 
-  [[nodiscard]] bool ok() const { return out_ && out_->good(); }
+  /// Promotes the staging file (flush, fsync, rename to the final path).
+  ~CsvWriter();
+
+  /// False once any write (or the open) failed; rows are dropped from then
+  /// on and close() will report the loss instead of renaming a short file.
+  [[nodiscard]] bool ok() const { return out_ && out_->good() && !failed_; }
 
   void row(const std::vector<std::string>& cells);
   void row(std::initializer_list<std::string_view> cells);
@@ -33,11 +45,21 @@ class CsvWriter {
   /// Numeric convenience: writes doubles with full round-trip precision.
   void numeric_row(const std::vector<double>& values);
 
+  /// Finish the export: flush, verify the stream, fsync and atomically
+  /// rename the staging file over the final path. Returns false (and
+  /// removes the staging file) when any row was lost or the promotion
+  /// failed — the destination then still holds its previous content.
+  /// Idempotent; the destructor calls it for writers dropped at scope end.
+  bool close();
+
   [[nodiscard]] std::size_t rows_written() const noexcept { return rows_; }
 
  private:
+  std::string path_;
+  std::string tmp_path_;
   std::unique_ptr<std::ofstream> out_;
   std::size_t rows_ = 0;
+  bool failed_ = false;
 };
 
 /// The export directory from GEOLOC_EXPORT_DIR (created if needed);

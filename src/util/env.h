@@ -14,6 +14,12 @@
 //   GEOLOC_BENCH_JSON=f   machine-readable bench records (JSON lines)
 //   GEOLOC_METRICS_JSON=f obs-registry metrics dumps (JSON lines)
 //   GEOLOC_TRACE=1        record obs trace spans (off by default)
+//   GEOLOC_CHECKPOINT_DIR=dir   campaign checkpoint files (atlas executor
+//                         derives campaign-<fingerprint>.ckpt per campaign;
+//                         unset = no checkpointing unless a path is given
+//                         explicitly via CheckpointPolicy::path)
+//   GEOLOC_CHECKPOINT_EVERY=N   checkpoint cadence in completed rounds
+//                         (default 1 = every round boundary)
 #pragma once
 
 #include <algorithm>

@@ -1,0 +1,515 @@
+// The corruption matrix applied to every real artifact format: RTT-matrix
+// caches, street-campaign caches, published snapshots, campaign
+// checkpoints, CSV exports, metrics flushes. For each: a truncated,
+// bit-flipped or torn file must load as a clean failure, be quarantined to
+// `<path>.corrupt`, and regenerate transparently on the next save — the
+// end-to-end property the durability layer exists for.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <limits>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "atlas/checkpoint.h"
+#include "eval/street_campaign.h"
+#include "obs/metrics.h"
+#include "publish/snapshot.h"
+#include "scenario/presets.h"
+#include "scenario/rtt_matrix.h"
+#include "serve/geo_service.h"
+#include "util/csv.h"
+#include "util/durable.h"
+
+namespace geoloc {
+namespace {
+
+namespace fs = std::filesystem;
+namespace durable = util::durable;
+
+class ArtifactCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("geoloc-artifact-" +
+            std::string(
+                ::testing::UnitTest::GetInstance()->current_test_info()->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+std::vector<std::byte> read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::vector<char> raw((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  std::vector<std::byte> bytes(raw.size());
+  std::memcpy(bytes.data(), raw.data(), raw.size());
+  return bytes;
+}
+
+void write_all(const std::string& path, std::span<const std::byte> bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good());
+}
+
+/// The three corruption families, parameterised by position.
+enum class Damage { Truncate, FlipBit, TornTail };
+
+void corrupt(const std::string& path, Damage damage, int eighth) {
+  auto bytes = read_all(path);
+  ASSERT_FALSE(bytes.empty());
+  const std::size_t pos =
+      std::min(bytes.size() - 1,
+               bytes.size() * static_cast<std::size_t>(eighth) / 8);
+  switch (damage) {
+    case Damage::Truncate:
+      bytes.resize(pos);
+      break;
+    case Damage::FlipBit:
+      bytes[pos] ^= std::byte{0x20};
+      break;
+    case Damage::TornTail:
+      // Old-file remnant past the seam: overwrite the tail with a stale
+      // pattern a crashed non-atomic writer could have left behind.
+      for (std::size_t i = pos; i < bytes.size(); ++i) {
+        bytes[i] = static_cast<std::byte>(0x5A);
+      }
+      break;
+  }
+  write_all(path, bytes);
+}
+
+constexpr Damage kAllDamage[] = {Damage::Truncate, Damage::FlipBit,
+                                 Damage::TornTail};
+constexpr int kProbeEighths[] = {0, 1, 4, 7};
+
+// -- RTT-matrix cache -------------------------------------------------------
+
+scenario::RttMatrix test_matrix() {
+  scenario::RttMatrix m(13, 7);
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      m.set(r, c, static_cast<float>(r * 100 + c) * 0.5F);
+    }
+  }
+  m.set(3, 3, std::numeric_limits<float>::quiet_NaN());  // a missing cell
+  return m;
+}
+
+TEST_F(ArtifactCorruptionTest, RttMatrixSurvivesTheFullDamageMatrix) {
+  const scenario::RttMatrix original = test_matrix();
+  for (const Damage damage : kAllDamage) {
+    for (const int eighth : kProbeEighths) {
+      const std::string p = path("m-" + std::to_string(static_cast<int>(damage)) +
+                                 "-" + std::to_string(eighth) + ".bin");
+      ASSERT_TRUE(original.save(p, /*tag=*/42));
+      corrupt(p, damage, eighth);
+
+      scenario::RttMatrix loaded;
+      EXPECT_FALSE(loaded.load(p, 42));
+      EXPECT_FALSE(fs::exists(p)) << "corrupt cache must be quarantined";
+      EXPECT_TRUE(fs::exists(durable::quarantine_path_for(p)));
+
+      // Regeneration: the writer's normal save path lands cleanly.
+      ASSERT_TRUE(original.save(p, 42));
+      ASSERT_TRUE(loaded.load(p, 42));
+      ASSERT_EQ(loaded.rows(), original.rows());
+      ASSERT_EQ(loaded.cols(), original.cols());
+      for (std::size_t r = 0; r < loaded.rows(); ++r) {
+        for (std::size_t c = 0; c < loaded.cols(); ++c) {
+          const float a = loaded.at(r, c);
+          const float b = original.at(r, c);
+          EXPECT_TRUE(std::memcmp(&a, &b, sizeof a) == 0);  // NaN-exact
+        }
+      }
+    }
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, RttMatrixStaleTagIsAMissNotCorruption) {
+  const std::string p = path("m.bin");
+  ASSERT_TRUE(test_matrix().save(p, /*tag=*/1));
+  scenario::RttMatrix loaded;
+  EXPECT_FALSE(loaded.load(p, /*tag=*/2));
+  EXPECT_TRUE(fs::exists(p)) << "a stale cache must not be quarantined";
+  EXPECT_FALSE(fs::exists(durable::quarantine_path_for(p)));
+  EXPECT_TRUE(loaded.load(p, 1));  // still perfectly readable under its tag
+}
+
+TEST_F(ArtifactCorruptionTest, RttMatrixRejectsAbsurdDimensionsWithoutAllocating) {
+  // A validly framed file whose payload claims 2^32 x 2^32 cells: the
+  // bounds check must reject it before any sizing arithmetic overflows or
+  // a huge allocation is attempted. Magic/version mirror rtt_matrix.cpp.
+  constexpr std::uint64_t kMatrixMagic = 0x47454F4C4F434D32ULL;
+  const std::string p = path("huge.bin");
+  durable::PayloadWriter w;
+  w.pod(std::uint64_t{42});                    // tag
+  w.pod(std::uint64_t{1} << 32);               // rows
+  w.pod(std::uint64_t{1} << 32);               // cols (rows*cols overflows)
+  ASSERT_TRUE(durable::write_framed(p, kMatrixMagic, 2, w.data()));
+
+  scenario::RttMatrix loaded;
+  EXPECT_FALSE(loaded.load(p, 42));
+
+  // And a claimed size merely larger than the actual payload.
+  durable::PayloadWriter w2;
+  w2.pod(std::uint64_t{42});
+  w2.pod(std::uint64_t{1000});
+  w2.pod(std::uint64_t{1000});  // claims 4 MB of floats, provides none
+  ASSERT_TRUE(durable::write_framed(p, kMatrixMagic, 2, w2.data()));
+  EXPECT_FALSE(loaded.load(p, 42));
+}
+
+TEST_F(ArtifactCorruptionTest, ScenarioRegeneratesACorruptedCacheTransparently) {
+  // End-to-end through the scenario layer: materialise the target-RTT
+  // cache, corrupt it on disk, and prove a fresh scenario regenerates a
+  // bit-identical matrix instead of crashing or reading garbage.
+  auto cfg = scenario::small_config();
+  cfg.cache_dir = (dir_ / "cache").string();
+
+  std::string cache_file;
+  std::vector<float> first;
+  {
+    const scenario::Scenario s(cfg);
+    const scenario::RttMatrix& m = s.target_rtts();
+    first.reserve(m.rows() * m.cols());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+      for (std::size_t c = 0; c < m.cols(); ++c) first.push_back(m.at(r, c));
+    }
+    for (const auto& entry : fs::directory_iterator(cfg.cache_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("target-rtts-", 0) == 0) cache_file = entry.path().string();
+    }
+  }
+  ASSERT_FALSE(cache_file.empty()) << "scenario must have written its cache";
+  corrupt(cache_file, Damage::FlipBit, 4);
+
+  const scenario::Scenario regen(cfg);
+  const scenario::RttMatrix& m = regen.target_rtts();
+  ASSERT_EQ(first.size(), m.rows() * m.cols());
+  std::size_t i = 0, mismatches = 0;
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c, ++i) {
+      const float got = m.at(r, c);
+      if (std::memcmp(&got, &first[i], sizeof got) != 0) ++mismatches;
+    }
+  }
+  EXPECT_EQ(mismatches, 0u);
+  EXPECT_TRUE(fs::exists(durable::quarantine_path_for(cache_file)));
+  // And the regenerated cache is clean: a third scenario loads it.
+  const scenario::Scenario cached(cfg);
+  EXPECT_EQ(cached.target_rtts().rows(), m.rows());
+}
+
+// -- street-campaign cache --------------------------------------------------
+
+eval::StreetCampaign test_campaign() {
+  eval::StreetCampaign c;
+  for (int i = 0; i < 5; ++i) {
+    eval::StreetRecord r;
+    r.street_error_km = 1.5F * static_cast<float>(i);
+    r.cbg_error_km = 100.0F + static_cast<float>(i);
+    r.oracle_error_km = i == 0 ? -1.0F : 0.25F;
+    r.elapsed_seconds = 3600.0F;
+    r.negative_fraction = 0.125F;
+    r.pearson = 0.9F;
+    r.tier_reached = static_cast<std::uint8_t>(i % 4);
+    r.fell_back_to_cbg = (i % 2) == 0;
+    r.landmarks_measured = 40u + static_cast<std::uint32_t>(i);
+    r.geocode_queries = 7;
+    r.websites_tested = 123;
+    r.nearest_landmark_km = 2.0F;
+    r.nearest_checked_landmark_km = -1.0F;
+    for (int d = 0; d < i; ++d) {
+      r.distances.emplace_back(static_cast<float>(d), static_cast<float>(d) * 2);
+    }
+    c.records.push_back(std::move(r));
+  }
+  return c;
+}
+
+TEST_F(ArtifactCorruptionTest, StreetCampaignSurvivesTheFullDamageMatrix) {
+  const eval::StreetCampaign original = test_campaign();
+  for (const Damage damage : kAllDamage) {
+    for (const int eighth : kProbeEighths) {
+      const std::string p = path("s-" + std::to_string(static_cast<int>(damage)) +
+                                 "-" + std::to_string(eighth) + ".bin");
+      ASSERT_TRUE(original.save(p, /*tag=*/99));
+      corrupt(p, damage, eighth);
+
+      eval::StreetCampaign loaded;
+      EXPECT_FALSE(loaded.load(p, 99));
+      EXPECT_FALSE(fs::exists(p));
+      EXPECT_TRUE(fs::exists(durable::quarantine_path_for(p)));
+
+      ASSERT_TRUE(original.save(p, 99));
+      ASSERT_TRUE(loaded.load(p, 99));
+      ASSERT_EQ(loaded.records.size(), original.records.size());
+      for (std::size_t i = 0; i < loaded.records.size(); ++i) {
+        EXPECT_EQ(loaded.records[i].street_error_km,
+                  original.records[i].street_error_km);
+        EXPECT_EQ(loaded.records[i].distances, original.records[i].distances);
+        EXPECT_EQ(loaded.records[i].tier_reached,
+                  original.records[i].tier_reached);
+      }
+    }
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, StreetCampaignRejectsOverclaimedRecordCounts) {
+  constexpr std::uint64_t kStreetMagic = 0x5354524545543033ULL;
+  const std::string p = path("overclaim.bin");
+  durable::PayloadWriter w;
+  w.pod(std::uint64_t{99});        // tag
+  w.pod(std::uint64_t{1} << 40);   // a trillion records, zero bytes behind it
+  ASSERT_TRUE(durable::write_framed(p, kStreetMagic, 3, w.data()));
+
+  eval::StreetCampaign loaded;
+  EXPECT_FALSE(loaded.load(p, 99));
+}
+
+// -- campaign checkpoints ---------------------------------------------------
+
+atlas::CampaignCheckpoint test_checkpoint() {
+  atlas::CampaignCheckpoint c;
+  c.fingerprint = 0xFEEDFACECAFEBEEFULL;
+  c.now_s = 1234.5;
+  c.submission_counter = 17;
+  c.spare_cursor = 3;
+  c.usage.pings = 40;
+  c.usage.ping_packets = 120;
+  c.usage.traceroutes = 2;
+  c.usage.credits = 999;
+  c.report.requested = 50;
+  c.report.completed = 30;
+  c.report.rounds = 4;
+  c.report.results.push_back(
+      atlas::PingMeasurement{.vp = 1, .target = 2, .min_rtt_ms = 12.5,
+                             .packets_sent = 3, .packets_received = 3});
+  c.queue.push_back({{5, 6, atlas::MeasurementKind::Ping, 3}, 1, 2000.0});
+  return c;
+}
+
+TEST_F(ArtifactCorruptionTest, CheckpointSurvivesTheFullDamageMatrix) {
+  const atlas::CampaignCheckpoint original = test_checkpoint();
+  for (const Damage damage : kAllDamage) {
+    for (const int eighth : kProbeEighths) {
+      const std::string p = path("c-" + std::to_string(static_cast<int>(damage)) +
+                                 "-" + std::to_string(eighth) + ".ckpt");
+      ASSERT_TRUE(atlas::save_checkpoint(p, original));
+      corrupt(p, damage, eighth);
+
+      atlas::CampaignCheckpoint loaded;
+      EXPECT_FALSE(atlas::load_checkpoint(p, original.fingerprint, &loaded));
+      EXPECT_FALSE(fs::exists(p));
+      EXPECT_TRUE(fs::exists(durable::quarantine_path_for(p)));
+
+      ASSERT_TRUE(atlas::save_checkpoint(p, original));
+      ASSERT_TRUE(atlas::load_checkpoint(p, original.fingerprint, &loaded));
+      EXPECT_EQ(atlas::encode_report(loaded.report),
+                atlas::encode_report(original.report));
+      ASSERT_EQ(loaded.queue.size(), 1u);
+      EXPECT_EQ(loaded.queue[0].req.vp, 5u);
+      EXPECT_EQ(loaded.usage.credits, 999u);
+    }
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, ForeignFingerprintCheckpointIsIgnoredNotQuarantined) {
+  const std::string p = path("foreign.ckpt");
+  ASSERT_TRUE(atlas::save_checkpoint(p, test_checkpoint()));
+  atlas::CampaignCheckpoint loaded;
+  EXPECT_FALSE(atlas::load_checkpoint(p, /*fingerprint=*/1, &loaded));
+  EXPECT_TRUE(fs::exists(p)) << "a foreign campaign's checkpoint is not ours to destroy";
+}
+
+// -- published snapshots ----------------------------------------------------
+
+std::vector<publish::Record> snapshot_records() {
+  std::vector<publish::Record> records;
+  publish::Record a;
+  a.prefix = net::Prefix{net::IPv4Address{0x0A000000}, 8};  // 10.0.0.0/8
+  a.location = {48.85, 2.35};
+  a.confidence_radius_km = 20.0F;
+  a.provenance = "cbg/all-vps";
+  records.push_back(a);
+  publish::Record b;
+  b.prefix = net::Prefix{net::IPv4Address{0xC0A80000}, 16};  // 192.168.0.0/16
+  b.location = {40.71, -74.0};
+  b.provenance = "street-level:tier=3";
+  records.push_back(b);
+  return records;
+}
+
+TEST_F(ArtifactCorruptionTest, SnapshotLoadQuarantinesEveryDamageVariant) {
+  publish::SnapshotBuilder builder;
+  for (const auto& r : snapshot_records()) builder.add(r);
+  const publish::SnapshotMeta meta{.dataset_version = 3,
+                                   .created_at_s = 1.0,
+                                   .source = "durability-test"};
+  for (const Damage damage : kAllDamage) {
+    for (const int eighth : kProbeEighths) {
+      const std::string p = path("snap-" +
+                                 std::to_string(static_cast<int>(damage)) +
+                                 "-" + std::to_string(eighth) + ".geosnap");
+      ASSERT_TRUE(builder.write_file(p, meta));
+      corrupt(p, damage, eighth);
+
+      std::string error;
+      EXPECT_EQ(publish::Snapshot::load(p, &error), nullptr);
+      EXPECT_FALSE(fs::exists(p)) << "corrupt snapshot must be quarantined";
+      EXPECT_TRUE(fs::exists(durable::quarantine_path_for(p)));
+
+      ASSERT_TRUE(builder.write_file(p, meta));
+      const auto reloaded = publish::Snapshot::load(p, &error);
+      ASSERT_NE(reloaded, nullptr) << error;
+      EXPECT_EQ(reloaded->size(), 2u);
+    }
+  }
+}
+
+TEST_F(ArtifactCorruptionTest, SnapshotQuarantineCanBeDeclined) {
+  publish::SnapshotBuilder builder;
+  for (const auto& r : snapshot_records()) builder.add(r);
+  const std::string p = path("keep.geosnap");
+  ASSERT_TRUE(builder.write_file(p, {}));
+  corrupt(p, Damage::FlipBit, 4);
+  EXPECT_EQ(publish::Snapshot::load(p, nullptr, /*quarantine_corrupt=*/false),
+            nullptr);
+  EXPECT_TRUE(fs::exists(p));
+  EXPECT_FALSE(fs::exists(durable::quarantine_path_for(p)));
+}
+
+// -- the serving layer on top of snapshot durability ------------------------
+
+TEST_F(ArtifactCorruptionTest, GeoServicePublishFromFileKeepsServingOnCorruptFile) {
+  publish::SnapshotBuilder builder;
+  for (const auto& r : snapshot_records()) builder.add(r);
+  const publish::SnapshotMeta meta{.dataset_version = 5,
+                                   .created_at_s = 1.0,
+                                   .source = "serve-durability"};
+  const std::string p = path("served.geosnap");
+  ASSERT_TRUE(builder.write_file(p, meta));
+
+  serve::GeoService service;
+  std::string error;
+  ASSERT_TRUE(service.publish_from_file(p, &error)) << error;
+  const serve::Answer before =
+      service.lookup(net::IPv4Address{0x0A010203}, /*now_s=*/2.0);
+  EXPECT_TRUE(before.found);
+  EXPECT_EQ(before.dataset_version, 5u);
+
+  // The next version's file arrives torn: the publish must fail cleanly,
+  // quarantine the bad file, and keep serving the previous version.
+  corrupt(p, Damage::Truncate, 4);
+  EXPECT_FALSE(service.publish_from_file(p, &error));
+  EXPECT_TRUE(fs::exists(durable::quarantine_path_for(p)));
+  const serve::Answer after =
+      service.lookup(net::IPv4Address{0x0A010203}, /*now_s=*/2.0);
+  EXPECT_TRUE(after.found);
+  EXPECT_EQ(after.dataset_version, 5u);
+  EXPECT_EQ(service.stats().swaps, 1u);  // the failed publish swapped nothing
+}
+
+// -- CSV exports ------------------------------------------------------------
+
+TEST_F(ArtifactCorruptionTest, CsvAppearsAtomicallyOnCloseWithNoStagingRemnant) {
+  const std::string p = path("figure.csv");
+  {
+    util::CsvWriter w(p);
+    ASSERT_TRUE(w.ok());
+    w.row({"x", "y"});
+    w.numeric_row({1.0, 2.5});
+    // Not yet promoted: the destination must not exist while rows stream.
+    EXPECT_FALSE(fs::exists(p));
+    EXPECT_TRUE(w.close());
+    EXPECT_EQ(w.rows_written(), 2u);
+  }
+  ASSERT_TRUE(fs::exists(p));
+  EXPECT_FALSE(fs::exists(durable::tmp_path_for(p)));
+  std::ifstream in(p);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "x,y");
+}
+
+TEST_F(ArtifactCorruptionTest, CsvDestructorPromotesWritersDroppedAtScopeEnd) {
+  const std::string p = path("scoped.csv");
+  {
+    util::CsvWriter w(p);
+    w.row({"a"});
+  }
+  EXPECT_TRUE(fs::exists(p));
+}
+
+TEST_F(ArtifactCorruptionTest, CsvFailedOpenReportsNotOkAndNeverCreatesThePath) {
+  const std::string p = (dir_ / "no-such-dir" / "f.csv").string();
+  util::CsvWriter w(p);
+  EXPECT_FALSE(w.ok());
+  w.row({"dropped"});
+  EXPECT_FALSE(w.close());
+  EXPECT_FALSE(fs::exists(p));
+}
+
+TEST_F(ArtifactCorruptionTest, CsvFailureLeavesThePreviousExportIntact) {
+  const std::string p = path("keep-old.csv");
+  {
+    util::CsvWriter w(p);
+    w.row({"v1"});
+    ASSERT_TRUE(w.close());
+  }
+  {
+    // A writer that never manages a single row (simulated by closing after
+    // the stream was broken): close() must fail without touching `p`.
+    util::CsvWriter w(p);
+    ASSERT_TRUE(w.ok());
+    // Break the staging stream out from under the writer.
+    fs::remove_all(dir_);
+    for (int i = 0; i < 2048; ++i) w.numeric_row({1.0});
+    fs::create_directories(dir_);
+    {
+      std::ofstream restore(p);
+      restore << "v1\n";
+    }
+    const bool closed = w.close();
+    if (!closed) {
+      // The failed export must not have replaced the destination.
+      std::ifstream in(p);
+      std::string line;
+      ASSERT_TRUE(std::getline(in, line));
+      EXPECT_EQ(line, "v1");
+    }
+  }
+}
+
+// -- metrics flush ----------------------------------------------------------
+
+TEST_F(ArtifactCorruptionTest, MetricsFlushToUnopenablePathReportsFailure) {
+  obs::Registry::instance().counter("durable.test.probe").add();
+  EXPECT_FALSE(obs::flush_metrics_json(
+      "durable-test", (dir_ / "no-such-dir" / "m.jsonl").string()));
+}
+
+TEST_F(ArtifactCorruptionTest, MetricsFlushShortWriteIsDetectedOnFullDevice) {
+  if (!fs::exists("/dev/full")) GTEST_SKIP() << "/dev/full unavailable";
+  obs::Registry::instance().counter("durable.test.probe").add();
+  // /dev/full accepts the open and fails every write with ENOSPC — the
+  // short-write detection must turn that into `false`, not silence.
+  EXPECT_FALSE(obs::flush_metrics_json("durable-test", "/dev/full"));
+}
+
+}  // namespace
+}  // namespace geoloc
