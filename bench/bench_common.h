@@ -94,6 +94,26 @@ inline void emit_bench_json(const std::string& name, double wall_ms,
   }
 }
 
+/// Append one free-form record to $GEOLOC_BENCH_JSON as a JSON line:
+///   {"name":…,"threads":…,"<field>":<value>,…}
+/// for benches whose natural outputs are rates/latencies rather than the
+/// wall_ms/vps/targets shape of emit_bench_json(). No-op when unset.
+inline void emit_bench_json_fields(
+    const std::string& name,
+    std::initializer_list<std::pair<const char*, double>> fields) {
+  const std::string path = util::env::string_or("GEOLOC_BENCH_JSON", "");
+  if (path.empty()) return;
+  if (std::FILE* f = std::fopen(path.c_str(), "a")) {
+    std::fprintf(f, "{\"name\":\"%s\",\"threads\":%u", name.c_str(),
+                 util::thread_count());
+    for (const auto& [key, value] : fields) {
+      std::fprintf(f, ",\"%s\":%.6g", key, value);
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+  }
+}
+
 /// Append a snapshot of the obs metrics registry (plus any recorded trace
 /// spans) to $GEOLOC_METRICS_JSON, each line tagged {"bench":"<name>"} so
 /// the records diff the same way GEOLOC_BENCH_JSON timing records do.

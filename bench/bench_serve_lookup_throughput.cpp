@@ -201,6 +201,10 @@ int main() {
     if (threads == 1) one_thread_rate = rate;
     std::printf("  %d thread(s): %10.2f Mlookups/s  (%.2fx of 1 thread)\n",
                 threads, rate / 1e6, rate / one_thread_rate);
+    bench::emit_bench_json_fields(
+        "serve_lookup_throughput/scaling",
+        {{"reader_threads", static_cast<double>(threads)},
+         {"lookups_per_s", rate}});
   }
 
   std::printf("\nGeoService reads with a hot-swap writer (4 readers):\n");
@@ -221,11 +225,21 @@ int main() {
     stop.store(true, std::memory_order_relaxed);
     writer.join();
     std::printf("  4 readers + writer: %10.2f Mlookups/s\n", rate / 1e6);
+    bench::emit_bench_json_fields("serve_lookup_throughput/hot_swap",
+                                  {{"reader_threads", 4.0},
+                                   {"lookups_per_s", rate}});
   }
 
   const double speedup = flat_rate / trie_rate;
   std::printf("\nflat vs trie speedup: %.2fx — %s (acceptance: >= 5x)\n",
               speedup, speedup >= 5.0 ? "PASS" : "FAIL");
+  bench::emit_bench_json_fields("serve_lookup_throughput/single_thread",
+                                {{"trie_lookups_per_s", trie_rate},
+                                 {"flat_lookups_per_s", flat_rate},
+                                 {"batch_lookups_per_s", batch_rate},
+                                 {"snapshot_lookups_per_s", snap_rate},
+                                 {"service_lookups_per_s", service_rate},
+                                 {"flat_vs_trie_speedup", speedup}});
   bench::emit_metrics_snapshot("serve_lookup_throughput");
   return speedup >= 5.0 ? 0 : 1;
 }

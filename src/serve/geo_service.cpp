@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/env.h"
+
 namespace geoloc::serve {
 
 namespace {
@@ -37,6 +39,7 @@ struct ServeSeries {
   obs::Counter& snapshot_swaps;
   obs::Counter& ttl_scans;    ///< stale_prefixes() sweeps
   obs::Counter& ttl_expired;  ///< entries found past their TTL by a sweep
+  obs::Counter& remeasure_dropped;  ///< pushes shed at the queue cap
 };
 
 ServeSeries& serve_series() {
@@ -47,17 +50,36 @@ ServeSeries& serve_series() {
                        reg.counter("serve.stale_hits"),
                        reg.counter("serve.snapshot_swaps"),
                        reg.counter("serve.ttl_scans"),
-                       reg.counter("serve.ttl_expired")};
+                       reg.counter("serve.ttl_expired"),
+                       reg.counter("serve.remeasure_dropped")};
   return s;
+}
+
+std::size_t remeasure_cap_from_env() {
+  // int_or rejects non-positive values, so "0" (= unbounded) must be an
+  // explicit opt-in via the ctor argument, not an env typo.
+  return static_cast<std::size_t>(
+      util::env::int_or("GEOLOC_SERVE_REMEASURE_CAP", 65536));
 }
 
 }  // namespace
 
 // -- RemeasureQueue --------------------------------------------------------
 
+RemeasureQueue::RemeasureQueue() : cap_(remeasure_cap_from_env()) {}
+
+RemeasureQueue::RemeasureQueue(std::size_t max_pending) : cap_(max_pending) {}
+
 bool RemeasureQueue::push(net::Prefix prefix) {
   const std::lock_guard<std::mutex> lock(mu_);
-  if (!pending_.insert(prefix_key(prefix)).second) return false;
+  // Dedup first: a re-push of a pending prefix is not a drop.
+  if (pending_.contains(prefix_key(prefix))) return false;
+  if (cap_ != 0 && queue_.size() >= cap_) {
+    dropped_.add();
+    serve_series().remeasure_dropped.add();
+    return false;
+  }
+  pending_.insert(prefix_key(prefix));
   queue_.push_back(prefix);
   return true;
 }

@@ -80,18 +80,38 @@ struct ServiceStats {
 };
 
 /// Deduplicating queue of prefixes awaiting re-measurement. Thread-safe.
+///
+/// Bounded: past `capacity()` pending prefixes, further pushes are dropped
+/// (counted on `dropped()` and the process-wide "serve.remeasure_dropped"
+/// series) instead of growing without limit — a stale-heavy workload
+/// hitting a network-facing server must not become a memory-exhaustion
+/// vector. Drops are safe to shed: a dropped prefix simply re-queues on
+/// its next stale hit after a drain.
 class RemeasureQueue {
  public:
-  /// Enqueue; false when the prefix is already pending.
+  /// Bound from GEOLOC_SERVE_REMEASURE_CAP (default 65536).
+  RemeasureQueue();
+  /// Explicit bound; 0 = unbounded.
+  explicit RemeasureQueue(std::size_t max_pending);
+
+  /// Enqueue; false when the prefix is already pending or was dropped at
+  /// the capacity bound.
   bool push(net::Prefix prefix);
   /// Take everything currently queued (clears the pending set).
   std::vector<net::Prefix> drain();
   [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return cap_; }
+  /// Total prefixes dropped at the capacity bound since construction.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.value();
+  }
 
  private:
+  const std::size_t cap_;
   mutable std::mutex mu_;
   std::vector<net::Prefix> queue_;
   std::unordered_set<std::uint64_t> pending_;
+  obs::Counter dropped_;
 };
 
 class GeoService {

@@ -1,0 +1,264 @@
+// The serving wire protocol: a small length-prefixed, pipelined binary
+// format over TCP, designed so that *no sequence of bytes a client can
+// send crashes, hangs, or confuses the server* (DESIGN.md §12).
+//
+// Frame layout (all integers little-endian):
+//
+//   frame   := u32 payload_len || payload        payload_len <= max frame
+//   payload := u8 msg_type || u32 request_id || body
+//
+// Requests                         Replies
+//   0x01 Lookup  {u32 addr, f64 now}   0x81 LookupReply {wire answer}
+//   0x02 Batch   {f64 now, u32 n,      0x82 BatchReply  {u32 n, n answers}
+//                 n x u32 addr}
+//   0x03 Info    {}                    0x83 InfoReply   {snapshot/staleness}
+//   0x04 Stats   {}                    0x84 StatsReply  {service+net counters}
+//                                      0xEE ErrorReply  {u8 code}
+//
+// Defense-in-depth rules, shared by server and client:
+//   * The decoder is incremental and strictly bounds-checked: bytes are
+//     buffered until a whole frame is present; a length prefix above the
+//     configured maximum poisons the stream (framing is unrecoverable)
+//     and surfaces as a typed TooLarge status, never an allocation.
+//   * Body parsing reuses the util/durable bounds-checked PayloadReader:
+//     a short body, trailing junk, or an over-declared batch count is a
+//     typed Malformed/BatchTooLarge error reply — the frame boundary is
+//     still trusted, so the connection survives semantic garbage.
+//   * Every reply echoes the request id (0 when the id itself could not
+//     be parsed), so pipelined clients can always re-associate replies.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "serve/geo_service.h"
+#include "util/durable.h"
+
+namespace geoloc::serve::wire {
+
+/// Hard ceiling on a frame payload unless a config lowers it. Large enough
+/// for a max-batch reply, small enough that no client controls allocation.
+inline constexpr std::uint32_t kDefaultMaxFramePayload = 1u << 20;
+
+/// Provenance strings are capped on the wire (u8 length) so a max-size
+/// batch reply stays under the frame ceiling.
+inline constexpr std::size_t kMaxWireProvenance = 255;
+
+inline constexpr std::size_t kFramePrefixBytes = 4;  ///< the u32 length
+inline constexpr std::size_t kPayloadHeaderBytes = 5;  ///< type + request id
+
+enum class MsgType : std::uint8_t {
+  LookupReq = 0x01,
+  BatchReq = 0x02,
+  InfoReq = 0x03,
+  StatsReq = 0x04,
+  LookupReply = 0x81,
+  BatchReply = 0x82,
+  InfoReply = 0x83,
+  StatsReply = 0x84,
+  ErrorReply = 0xEE,
+};
+
+/// Typed error replies. Fatal codes (FrameTooLarge) are followed by a
+/// close because framing is lost; the rest keep the connection alive.
+enum class ErrorCode : std::uint8_t {
+  Malformed = 1,      ///< short/overlong body inside an intact frame
+  FrameTooLarge = 2,  ///< length prefix above the maximum (fatal)
+  UnknownType = 3,    ///< unrecognised msg_type
+  BadRequest = 4,     ///< well-formed but semantically invalid
+  BatchTooLarge = 5,  ///< batch count above the server limit
+  Overloaded = 6,     ///< admission control / load shedding
+  Draining = 7,       ///< server is shutting down gracefully
+};
+std::string_view to_string(ErrorCode c) noexcept;
+
+// -- incremental frame decoder ---------------------------------------------
+
+/// Accumulates raw bytes and yields complete frame payloads. Strictly
+/// bounds-checked: an oversized length prefix poisons the decoder (every
+/// later next() reports TooLarge) because the byte stream can no longer
+/// be re-synchronised.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  void feed(std::span<const std::byte> bytes);
+
+  enum class Status : std::uint8_t {
+    NeedMore,  ///< no complete frame buffered yet
+    Frame,     ///< *payload points at the next frame (valid until feed())
+    TooLarge,  ///< poisoned: length prefix exceeded the maximum
+  };
+  Status next(std::span<const std::byte>* payload);
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buf_.size() - pos_;
+  }
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+
+ private:
+  std::size_t max_payload_;
+  std::vector<std::byte> buf_;
+  std::size_t pos_ = 0;
+  bool poisoned_ = false;
+};
+
+// -- requests --------------------------------------------------------------
+
+struct Request {
+  MsgType type = MsgType::LookupReq;
+  std::uint32_t request_id = 0;
+  // LookupReq / BatchReq
+  double now_s = 0.0;
+  net::IPv4Address address;                  ///< LookupReq
+  std::vector<net::IPv4Address> addresses;   ///< BatchReq
+};
+
+enum class ParseStatus : std::uint8_t {
+  Ok,
+  Malformed,
+  UnknownType,
+  BatchTooLarge,
+};
+
+/// Parse one frame payload into a request. On Malformed the request id is
+/// still recovered when at least the payload header was present.
+ParseStatus parse_request(std::span<const std::byte> payload,
+                          std::size_t max_batch, Request* out);
+
+std::vector<std::byte> encode_lookup_request(std::uint32_t request_id,
+                                             net::IPv4Address address,
+                                             double now_s);
+std::vector<std::byte> encode_batch_request(
+    std::uint32_t request_id, std::span<const net::IPv4Address> addresses,
+    double now_s);
+std::vector<std::byte> encode_info_request(std::uint32_t request_id);
+std::vector<std::byte> encode_stats_request(std::uint32_t request_id);
+
+// -- replies ---------------------------------------------------------------
+
+/// One geolocation answer as it travels on the wire.
+struct WireAnswer {
+  bool found = false;
+  bool stale = false;
+  net::Prefix prefix;
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+  double age_s = 0.0;
+  float confidence_radius_km = 0.0f;
+  std::uint8_t method = 0;
+  std::uint8_t tier = 0;
+  std::uint32_t dataset_version = 0;
+  std::string provenance;
+};
+
+struct InfoReply {
+  bool has_snapshot = false;
+  bool draining = false;
+  std::uint32_t dataset_version = 0;
+  double created_at_s = 0.0;
+  std::uint64_t entries = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t remeasure_depth = 0;    ///< stale-prefix queue depth
+  std::uint64_t remeasure_dropped = 0;  ///< dropped at the queue cap
+};
+
+struct StatsReply {
+  // serve::ServiceStats
+  std::uint64_t lookups = 0;
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t stale_hits = 0;
+  std::uint64_t swaps = 0;
+  // server-side counters
+  std::uint64_t conns_accepted = 0;
+  std::uint64_t conns_shed = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t shed_requests = 0;
+  std::uint64_t deadline_closed = 0;
+};
+
+struct Reply {
+  MsgType type = MsgType::ErrorReply;
+  std::uint32_t request_id = 0;
+  WireAnswer answer;               ///< LookupReply
+  std::vector<WireAnswer> batch;   ///< BatchReply
+  InfoReply info;                  ///< InfoReply
+  StatsReply stats;                ///< StatsReply
+  ErrorCode error = ErrorCode::Malformed;  ///< ErrorReply
+};
+
+/// Parse one frame payload into a reply (client side). False on any
+/// malformed byte — the client treats that as a protocol error and closes.
+[[nodiscard]] bool parse_reply(std::span<const std::byte> payload,
+                               Reply* out);
+
+/// Server-side encoders append one complete frame to `out`.
+void encode_error(std::vector<std::byte>& out, std::uint32_t request_id,
+                  ErrorCode code);
+void encode_lookup_reply(std::vector<std::byte>& out,
+                         std::uint32_t request_id, const Answer& answer);
+void encode_batch_reply(std::vector<std::byte>& out, std::uint32_t request_id,
+                        std::span<const Answer> answers);
+void encode_info_reply(std::vector<std::byte>& out, std::uint32_t request_id,
+                       const InfoReply& info);
+void encode_stats_reply(std::vector<std::byte>& out, std::uint32_t request_id,
+                        const StatsReply& stats);
+
+/// Append `payload` to `out` as one length-prefixed frame.
+void append_frame(std::vector<std::byte>& out,
+                  std::span<const std::byte> payload);
+
+// -- blocking client -------------------------------------------------------
+
+/// Minimal blocking client over the wire protocol, used by the examples,
+/// the chaos harness and the load-generator bench. Not a production
+/// client: one socket, synchronous, millisecond-deadline reads.
+class TcpClient {
+ public:
+  TcpClient() = default;
+  ~TcpClient();
+  TcpClient(TcpClient&& other) noexcept;
+  TcpClient& operator=(TcpClient&& other) noexcept;
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Connect to 127.0.0.1:port. False (with *error) on failure.
+  bool connect(std::uint16_t port, std::string* error = nullptr);
+
+  [[nodiscard]] bool connected() const noexcept { return fd_ >= 0; }
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Send raw bytes (whole-buffer, retrying short writes). False once the
+  /// peer has closed.
+  bool send_raw(std::span<const std::byte> bytes);
+  /// Frame `payload` and send it.
+  bool send_frame(std::span<const std::byte> payload);
+
+  /// Block until one complete reply frame (true), or EOF / timeout /
+  /// protocol garbage (false, with `*eof` set when the peer closed).
+  bool recv_reply(Reply* out, int timeout_ms = 5000, bool* eof = nullptr);
+
+  /// Block until the peer closes the connection. False on timeout (the
+  /// connection is then still open — a deadline that should have fired
+  /// did not).
+  bool recv_eof(int timeout_ms = 5000);
+
+  /// Half-close: no more requests, but replies still flow.
+  void shutdown_write();
+  /// Abort the connection with an RST (SO_LINGER 0 + close).
+  void reset();
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace geoloc::serve::wire

@@ -20,6 +20,23 @@
 //                         explicitly via CheckpointPolicy::path)
 //   GEOLOC_CHECKPOINT_EVERY=N   checkpoint cadence in completed rounds
 //                         (default 1 = every round boundary)
+//   GEOLOC_SERVE_PORT=N   TCP port for serve::Server (default 0 =
+//                         kernel-assigned; printed at startup)
+//   GEOLOC_SERVE_THREADS=N       epoll worker threads (default
+//                         min(cores, 4), clamped to max_threads())
+//   GEOLOC_SERVE_MAX_CONNS=N     admission limit; connections past it get
+//                         one typed OVERLOADED reply and a close
+//   GEOLOC_SERVE_MAX_BATCH=N     addresses per batch request (default 2048)
+//   GEOLOC_SERVE_READ_DEADLINE_MS / GEOLOC_SERVE_WRITE_DEADLINE_MS
+//                         per-connection deadlines (default 5000, capped
+//                         at 60000 — the slowloris defense must fire)
+//   GEOLOC_SERVE_DRAIN_MS=N      graceful-stop flush budget (default 2000)
+//   GEOLOC_SERVE_MAX_OUTQ=N      per-connection output-queue bound, bytes
+//                         (default 1 MiB; backpressure past it)
+//   GEOLOC_SERVE_MAX_OUTSTANDING=N  server-wide queued-reply bound, bytes
+//                         (default 8 MiB; requests shed past it)
+//   GEOLOC_SERVE_REMEASURE_CAP=N    stale-prefix queue bound (default
+//                         65536; drops counted on serve.remeasure_dropped)
 #pragma once
 
 #include <algorithm>

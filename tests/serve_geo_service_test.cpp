@@ -167,6 +167,34 @@ TEST(RemeasureQueue, DedupsUntilDrained) {
   EXPECT_TRUE(q.push(p1));  // drain resets the pending set
 }
 
+TEST(RemeasureQueue, DropsAtCapacityAndCountsTheDrops) {
+  RemeasureQueue q(/*max_pending=*/2);
+  EXPECT_EQ(q.capacity(), 2u);
+  const auto p1 = *net::Prefix::parse("10.0.0.0/24");
+  const auto p2 = *net::Prefix::parse("10.0.1.0/24");
+  const auto p3 = *net::Prefix::parse("10.0.2.0/24");
+  EXPECT_TRUE(q.push(p1));
+  EXPECT_TRUE(q.push(p2));
+  EXPECT_FALSE(q.push(p3));  // at capacity: shed, not queued
+  EXPECT_EQ(q.dropped(), 1u);
+  EXPECT_EQ(q.size(), 2u);
+  // A re-push of an already-pending prefix is a dedup, not a drop.
+  EXPECT_FALSE(q.push(p1));
+  EXPECT_EQ(q.dropped(), 1u);
+
+  // Draining frees capacity; the shed prefix simply re-queues on its next
+  // stale hit.
+  EXPECT_EQ(q.drain().size(), 2u);
+  EXPECT_TRUE(q.push(p3));
+  EXPECT_EQ(q.dropped(), 1u);  // cumulative, not reset by drain
+}
+
+TEST(RemeasureQueue, DefaultCapacityComesFromEnv) {
+  RemeasureQueue q;
+  EXPECT_EQ(q.capacity(), 65536u);  // GEOLOC_SERVE_REMEASURE_CAP default
+  EXPECT_EQ(q.dropped(), 0u);
+}
+
 // The TSan target: many readers hammering lookups while a writer hot-swaps
 // versions. Each version encodes its number in the entry latitude, so a
 // torn or mixed read would show up as version/latitude disagreement.
