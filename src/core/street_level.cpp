@@ -114,16 +114,16 @@ void StreetLevel::run_tier(std::size_t target_col, const geo::GeoPoint& center,
     cost.charge_geocode_queries(1);
     if (!zips_seen.insert(zip).second) return;
     // Overpass-style area query: amenities with a website around the zip
-    // (the zone and its neighbours).
-    for (const std::string& zone : mapping.neighbor_zones(zip)) {
-      for (landmark::WebsiteId id : eco.websites_in_zip(zone)) {
-        if (!sites_seen.insert(id).second) continue;
-        ++out.websites_tested;
-        cost.charge_web_tests(1);
-        if (eco.website(id).passes_tests &&
-            static_cast<int>(passing.size()) < config_.max_landmarks_per_tier) {
-          passing.push_back(id);
-        }
+    // (the zone and its neighbours), answered by the spatial zip index.
+    // The IDs arrive in the zone scan order the nested legacy loop used,
+    // so the landmark cap admits the same sites.
+    for (landmark::WebsiteId id : eco.websites_near_zip(mapping, zip)) {
+      if (!sites_seen.insert(id).second) continue;
+      ++out.websites_tested;
+      cost.charge_web_tests(1);
+      if (eco.website(id).passes_tests &&
+          static_cast<int>(passing.size()) < config_.max_landmarks_per_tier) {
+        passing.push_back(id);
       }
     }
   };

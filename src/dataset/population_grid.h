@@ -5,12 +5,17 @@
 // town): each place spreads its population over a Gaussian footprint whose
 // width grows slowly with population. Queries are snapped to a 1 km grid to
 // match GPWv4's granularity.
+//
+// Kernel lookup runs against a spatial::IntervalIndex over kernel centres;
+// kernel_indices_near_scan keeps the original halo-registration semantics
+// as the reference the equivalence suite compares against.
 #pragma once
 
 #include <vector>
 
 #include "geo/geopoint.h"
 #include "sim/world.h"
+#include "spatial/interval_index.h"
 
 namespace geoloc::dataset {
 
@@ -29,6 +34,21 @@ class PopulationGrid {
   /// People per square kilometre at `p` (snapped to the 1 km grid).
   [[nodiscard]] double density_per_km2(const geo::GeoPoint& p) const;
 
+  /// Kernels contributing at `p` under the original 1-degree-cell +
+  /// 2-cell-halo registration semantics, ascending kernel index (the
+  /// density summation order). Index-backed.
+  [[nodiscard]] std::vector<std::size_t> kernel_indices_near(
+      const geo::GeoPoint& p) const;
+
+  /// Reference implementation: per-kernel halo replay over every kernel.
+  /// Identical result to kernel_indices_near on every input.
+  [[nodiscard]] std::vector<std::size_t> kernel_indices_near_scan(
+      const geo::GeoPoint& p) const;
+
+  [[nodiscard]] std::size_t kernel_count() const noexcept {
+    return kernels_.size();
+  }
+
  private:
   struct Kernel {
     geo::GeoPoint center;
@@ -37,14 +57,13 @@ class PopulationGrid {
     double norm;      ///< people / (2*pi*sigma^2)
   };
 
-  // Coarse lat/lon cell index so each query only visits nearby kernels.
-  [[nodiscard]] std::vector<const Kernel*> kernels_near(
-      const geo::GeoPoint& p) const;
+  /// True when the original build would register a kernel at `center`
+  /// into the 1-degree cell `key` (the 5x5 clamped/normalized halo).
+  static bool halo_covers(const geo::GeoPoint& center, int key);
 
   PopulationGridConfig config_;
   std::vector<Kernel> kernels_;
-  // cell key = (lat_cell * 4096 + lon_cell); 1-degree cells
-  std::vector<std::pair<int, std::vector<std::size_t>>> cells_;
+  spatial::IntervalIndex index_;  ///< kernel centres; payload = kernel index
 };
 
 }  // namespace geoloc::dataset

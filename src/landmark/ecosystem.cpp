@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <map>
 
 #include "geo/geodesy.h"
+#include "obs/metrics.h"
 
 namespace geoloc::landmark {
 
@@ -48,18 +50,52 @@ sim::PlaceId nearest_of(const sim::World& world,
   return best;
 }
 
-}  // namespace
-
-std::int64_t WebEcosystem::cell_of(const geo::GeoPoint& p) noexcept {
+/// The original coarse 1-degree cell key.
+std::int64_t cell_key(const geo::GeoPoint& p) noexcept {
   const auto lat = static_cast<std::int64_t>(std::floor(p.lat_deg)) + 90;
   const auto lon = static_cast<std::int64_t>(std::floor(p.lon_deg)) + 180;
   return lat * 4096 + lon;
+}
+
+/// The probe-cell footprint of a passing_near query: the 1-degree cell
+/// keys the original hash-grid scan visits, in its (lat, lon) scan order,
+/// duplicates preserved. The footprint — not the exact disk — defines the
+/// query's semantics, so the index-backed path reproduces it.
+std::vector<std::int64_t> probe_cells(const geo::GeoPoint& p,
+                                      double radius_km, int& lat_lo,
+                                      int& lat_hi, int& lon_lo, int& lon_hi) {
+  const double dlat = radius_km / 111.0;
+  const double dlon =
+      radius_km / std::max(20.0, 111.0 * std::cos(geo::deg_to_rad(p.lat_deg)));
+  lat_lo = static_cast<int>(std::floor(p.lat_deg - dlat));
+  lat_hi = static_cast<int>(std::floor(p.lat_deg + dlat));
+  lon_lo = static_cast<int>(std::floor(p.lon_deg - dlon));
+  lon_hi = static_cast<int>(std::floor(p.lon_deg + dlon));
+  std::vector<std::int64_t> probes;
+  probes.reserve(static_cast<std::size_t>(lat_hi - lat_lo + 1) *
+                 static_cast<std::size_t>(lon_hi - lon_lo + 1));
+  for (int lat = lat_lo; lat <= lat_hi; ++lat) {
+    for (int lon = lon_lo; lon <= lon_hi; ++lon) {
+      const geo::GeoPoint probe{
+          static_cast<double>(lat) + 0.5,
+          geo::normalize_lon(static_cast<double>(lon) + 0.5)};
+      probes.push_back(cell_key(probe));
+    }
+  }
+  return probes;
+}
+
+}  // namespace
+
+std::int64_t WebEcosystem::cell_of(const geo::GeoPoint& p) noexcept {
+  return cell_key(p);
 }
 
 WebEcosystem WebEcosystem::build(sim::World& world,
                                  const MappingService& mapping,
                                  const EcosystemConfig& config) {
   WebEcosystem eco;
+  eco.grid_ = mapping.grid();
   auto gen = world.rng().fork("web-ecosystem").gen();
 
   const auto cdn_pops = top_cities(world, config.cdn_pop_count);
@@ -150,46 +186,110 @@ WebEcosystem WebEcosystem::build(sim::World& world,
         world.router_of(server.place);
         w.server = world.add_host(server);
 
-        eco.passing_cells_[cell_of(w.poi_location)].push_back(w.id);
         ++eco.passing_count_;
       }
 
-      eco.by_zip_[w.recorded_zip].push_back(w.id);
       eco.websites_.push_back(std::move(w));
     }
   }
+
+  // Index construction (the generation loop above is untouched so the RNG
+  // draw sequence — and with it every existing artifact — is preserved).
+  std::vector<spatial::IntervalIndex::Item> zip_items;
+  std::vector<spatial::IntervalIndex::Item> passing_items;
+  zip_items.reserve(eco.websites_.size());
+  passing_items.reserve(eco.passing_count_);
+  for (const Website& w : eco.websites_) {
+    // recorded_zip came from ZipGrid::format, so it always parses and is
+    // in bounds; the zone representative's leaf token is the bucket key.
+    if (const auto key = spatial::ZipGrid::parse(w.recorded_zip)) {
+      zip_items.push_back({eco.grid_.representative(*key), w.id});
+    }
+    if (w.passes_tests) passing_items.push_back({w.poi_location, w.id});
+  }
+  eco.zip_index_ = spatial::IntervalIndex::build(zip_items);
+  eco.passing_index_ = spatial::IntervalIndex::build(passing_items);
   return eco;
 }
 
 std::span<const WebsiteId> WebEcosystem::websites_in_zip(
     const std::string& zip) const {
-  const auto it = by_zip_.find(zip);
-  if (it == by_zip_.end()) return {};
-  return it->second;
+  const auto token = grid_.token_of_zip(zip);
+  if (!token) return {};
+  return zip_index_.at_token(*token);
+}
+
+std::vector<WebsiteId> WebEcosystem::websites_in_zip_scan(
+    const std::string& zip) const {
+  std::vector<WebsiteId> out;
+  for (const Website& w : websites_) {
+    if (w.recorded_zip == zip) out.push_back(w.id);
+  }
+  return out;
+}
+
+std::vector<WebsiteId> WebEcosystem::websites_near_zip(
+    const MappingService& mapping, const std::string& zip) const {
+  std::vector<WebsiteId> out;
+  for (const std::string& zone : mapping.neighbor_zones(zip)) {
+    const auto ids = websites_in_zip(zone);
+    out.insert(out.end(), ids.begin(), ids.end());
+  }
+  return out;
 }
 
 std::vector<WebsiteId> WebEcosystem::passing_near(const geo::GeoPoint& p,
                                                   double radius_km) const {
+  static obs::Counter& queries =
+      obs::Registry::instance().counter("spatial.eco.passing_near");
+  queries.add();
+
+  int lat_lo = 0, lat_hi = 0, lon_lo = 0, lon_hi = 0;
+  const std::vector<std::int64_t> probes =
+      probe_cells(p, radius_km, lat_lo, lat_hi, lon_lo, lon_hi);
+
+  // One covering query for the whole probe footprint (a guaranteed
+  // superset), then the exact per-candidate predicate: within the radius
+  // AND in a probed 1-degree cell.
+  const auto rect = spatial::LatLonRect::from_degrees(
+      lat_lo, static_cast<double>(lat_hi) + 1.0, lon_lo,
+      static_cast<double>(lon_hi) + 1.0);
+  const std::vector<std::uint32_t> cand =
+      passing_index_.candidates_in_rect(rect);
+
+  std::map<std::int64_t, std::vector<WebsiteId>> buckets;
+  for (const std::uint32_t id : cand) {
+    if (geo::distance_km(websites_[id].poi_location, p) <= radius_km) {
+      buckets[cell_of(websites_[id].poi_location)].push_back(id);
+    }
+  }
+  // Candidates arrive in token order; within a 1-degree cell the original
+  // scan emits ascending IDs (its buckets were filled in ID order).
+  for (auto& [key, ids] : buckets) std::sort(ids.begin(), ids.end());
+
   std::vector<WebsiteId> out;
-  // Scan the 1-degree cells covering the radius (cheap: radius <= a few
-  // hundred km in every caller).
-  const double dlat = radius_km / 111.0;
-  const double dlon =
-      radius_km / std::max(20.0, 111.0 * std::cos(geo::deg_to_rad(p.lat_deg)));
-  const int lat_lo = static_cast<int>(std::floor(p.lat_deg - dlat));
-  const int lat_hi = static_cast<int>(std::floor(p.lat_deg + dlat));
-  const int lon_lo = static_cast<int>(std::floor(p.lon_deg - dlon));
-  const int lon_hi = static_cast<int>(std::floor(p.lon_deg + dlon));
-  for (int lat = lat_lo; lat <= lat_hi; ++lat) {
-    for (int lon = lon_lo; lon <= lon_hi; ++lon) {
-      const geo::GeoPoint probe{static_cast<double>(lat) + 0.5,
-                                geo::normalize_lon(static_cast<double>(lon) + 0.5)};
-      const auto it = passing_cells_.find(cell_of(probe));
-      if (it == passing_cells_.end()) continue;
-      for (WebsiteId id : it->second) {
-        if (geo::distance_km(websites_[id].poi_location, p) <= radius_km) {
-          out.push_back(id);
-        }
+  for (const std::int64_t key : probes) {
+    if (const auto it = buckets.find(key); it != buckets.end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+  }
+  return out;
+}
+
+std::vector<WebsiteId> WebEcosystem::passing_near_scan(
+    const geo::GeoPoint& p, double radius_km) const {
+  // The original 1-degree hash-grid scan, expressed without the grid: for
+  // each probe cell in scan order, every passing site in that cell (by ID,
+  // the grid's bucket order) within the radius.
+  int lat_lo = 0, lat_hi = 0, lon_lo = 0, lon_hi = 0;
+  const std::vector<std::int64_t> probes =
+      probe_cells(p, radius_km, lat_lo, lat_hi, lon_lo, lon_hi);
+  std::vector<WebsiteId> out;
+  for (const std::int64_t key : probes) {
+    for (const Website& w : websites_) {
+      if (w.passes_tests && cell_of(w.poi_location) == key &&
+          geo::distance_km(w.poi_location, p) <= radius_km) {
+        out.push_back(w.id);
       }
     }
   }

@@ -8,16 +8,21 @@
 // locally-hosted tests (paper: 2.5%), and false passes (CDN/remote sites
 // that slip through) have serving infrastructure far from their postal
 // address, which is what poisons the tier-3 minimum-delay mapping.
+//
+// Lookup paths run against spatial::IntervalIndex structures (zip-token
+// buckets for websites_in_zip, a poi-location index for passing_near);
+// the *_scan methods keep the original linear/hash-grid semantics as the
+// reference implementations the equivalence suite compares against.
 #pragma once
 
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "landmark/mapping_service.h"
 #include "sim/world.h"
+#include "spatial/interval_index.h"
 
 namespace geoloc::landmark {
 
@@ -89,13 +94,32 @@ class WebEcosystem {
 
   /// Websites whose recorded postal address falls in `zip` (the Overpass
   /// "amenities with a website near this zip" query of the replication).
+  /// Ascending ID; one zip-token lookup against the interval index.
   [[nodiscard]] std::span<const WebsiteId> websites_in_zip(
       const std::string& zip) const;
 
+  /// Reference implementation: linear scan over every website. Identical
+  /// result to websites_in_zip on every input (equivalence suite).
+  [[nodiscard]] std::vector<WebsiteId> websites_in_zip_scan(
+      const std::string& zip) const;
+
+  /// Concatenation of websites_in_zip over the zone and its 8 neighbours,
+  /// in the harvester's zone scan order — the per-sample-point website
+  /// query of the tier-2/3 pipeline.
+  [[nodiscard]] std::vector<WebsiteId> websites_near_zip(
+      const MappingService& mapping, const std::string& zip) const;
+
   /// Passing websites whose *postal address* is within `radius_km` of `p` —
   /// used by the closest-landmark oracle and the Figure 5b proximity table.
+  /// One rect-covering query against the poi-location index, filtered to
+  /// the exact probe-cell footprint of the original hash-grid scan so the
+  /// result (content and order) is identical to passing_near_scan.
   [[nodiscard]] std::vector<WebsiteId> passing_near(const geo::GeoPoint& p,
                                                     double radius_km) const;
+
+  /// Reference implementation of the original 1-degree hash-grid scan.
+  [[nodiscard]] std::vector<WebsiteId> passing_near_scan(
+      const geo::GeoPoint& p, double radius_km) const;
 
   [[nodiscard]] std::size_t total_count() const noexcept {
     return websites_.size();
@@ -106,11 +130,15 @@ class WebEcosystem {
 
  private:
   std::vector<Website> websites_;
-  std::unordered_map<std::string, std::vector<WebsiteId>> by_zip_;
-  // coarse 1-degree spatial index over passing sites
-  std::unordered_map<std::int64_t, std::vector<WebsiteId>> passing_cells_;
+  /// recorded-zip zone token -> website IDs (ascending within a zone).
+  spatial::IntervalIndex zip_index_;
+  /// poi-location leaf token -> passing website IDs.
+  spatial::IntervalIndex passing_index_;
+  spatial::ZipGrid grid_{0.045};  ///< copy of the mapping service's grid
   std::size_t passing_count_ = 0;
 
+  /// The original coarse 1-degree cell key (kept: passing_near's probe
+  /// footprint and the scan references are defined in terms of it).
   static std::int64_t cell_of(const geo::GeoPoint& p) noexcept;
 };
 

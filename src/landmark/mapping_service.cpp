@@ -1,42 +1,24 @@
 #include "landmark/mapping_service.h"
 
-#include <cmath>
-#include <cstdio>
+#include "obs/metrics.h"
 
 namespace geoloc::landmark {
 
 std::string MappingService::zone_of(const geo::GeoPoint& p) const {
-  const int lat_cell =
-      static_cast<int>(std::floor((p.lat_deg + 90.0) / cell_deg_));
-  const int lon_cell =
-      static_cast<int>(std::floor((p.lon_deg + 180.0) / cell_deg_));
-  char buf[32];
-  std::snprintf(buf, sizeof buf, "Z%05dx%05d", lat_cell, lon_cell);
-  return buf;
+  return grid_.format(grid_.key_of(p));
 }
 
 std::string MappingService::reverse_geocode(const geo::GeoPoint& p) const {
+  static obs::Counter& geocodes =
+      obs::Registry::instance().counter("spatial.zip.reverse_geocodes");
+  geocodes.add();
   queries_.fetch_add(1, std::memory_order_relaxed);
   return zone_of(p);
 }
 
 std::vector<std::string> MappingService::neighbor_zones(
     const std::string& zip) const {
-  int lat_cell = 0, lon_cell = 0;
-  if (std::sscanf(zip.c_str(), "Z%05dx%05d", &lat_cell, &lon_cell) != 2) {
-    return {zip};
-  }
-  std::vector<std::string> zones;
-  zones.reserve(9);
-  for (int dlat = -1; dlat <= 1; ++dlat) {
-    for (int dlon = -1; dlon <= 1; ++dlon) {
-      char buf[32];
-      std::snprintf(buf, sizeof buf, "Z%05dx%05d", lat_cell + dlat,
-                    lon_cell + dlon);
-      zones.emplace_back(buf);
-    }
-  }
-  return zones;
+  return grid_.neighbor_zones(zip);
 }
 
 }  // namespace geoloc::landmark

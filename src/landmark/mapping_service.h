@@ -3,6 +3,10 @@
 // to zip codes over a deterministic grid of postal zones (~5 km cells), and
 // counts queries so pipelines can charge the cost model with the real
 // study's observed 8-queries-per-second rate limit.
+//
+// The zone geometry (key arithmetic, formatting, strict parsing) lives in
+// spatial::ZipGrid; this class adds the query counter and the service
+// surface the pipelines talk to.
 #pragma once
 
 #include <atomic>
@@ -11,13 +15,14 @@
 #include <vector>
 
 #include "geo/geopoint.h"
+#include "spatial/zip_grid.h"
 
 namespace geoloc::landmark {
 
 class MappingService {
  public:
   /// `cell_deg` controls the zip-zone size: 0.045 deg ~ 5 km.
-  explicit MappingService(double cell_deg = 0.045) : cell_deg_(cell_deg) {}
+  explicit MappingService(double cell_deg = 0.045) : grid_(cell_deg) {}
 
   /// Zip code of the zone containing `p`, e.g. "Z02924x04105".
   [[nodiscard]] std::string reverse_geocode(const geo::GeoPoint& p) const;
@@ -39,10 +44,14 @@ class MappingService {
     queries_.store(0, std::memory_order_relaxed);
   }
 
-  [[nodiscard]] double cell_deg() const noexcept { return cell_deg_; }
+  [[nodiscard]] double cell_deg() const noexcept { return grid_.cell_deg(); }
+
+  /// The zone grid behind the service — the bridge from zip keys to
+  /// spatial leaf tokens for index-backed zip lookups.
+  [[nodiscard]] const spatial::ZipGrid& grid() const noexcept { return grid_; }
 
  private:
-  double cell_deg_;
+  spatial::ZipGrid grid_;
   mutable std::atomic<std::uint64_t> queries_{0};
 };
 

@@ -1,0 +1,115 @@
+#include "spatial/admin.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "geo/geodesy.h"
+#include "obs/metrics.h"
+
+namespace geoloc::spatial {
+
+std::string_view to_string(AdminLevel level) noexcept {
+  switch (level) {
+    case AdminLevel::Country: return "country";
+    case AdminLevel::Region: return "region";
+    case AdminLevel::Locality: return "locality";
+    case AdminLevel::Street: return "street";
+  }
+  return "?";
+}
+
+AdminHierarchy AdminHierarchy::build(const sim::World& world,
+                                     double zip_cell_deg) {
+  AdminHierarchy h;
+  h.zips_ = ZipGrid{zip_cell_deg};
+  const std::span<const sim::Place> places = world.places();
+
+  // Countries first, in name order (std::map, not unordered: area IDs must
+  // not depend on hash iteration).
+  std::map<std::string, AdminId> country_ids;
+  for (const sim::Place& pl : places) country_ids.emplace(pl.country, 0);
+  for (auto& [name, id] : country_ids) {
+    id = static_cast<AdminId>(h.areas_.size());
+    h.areas_.push_back(AdminArea{AdminLevel::Country, name, kNoAdmin, {}, 0});
+  }
+
+  // Regions: one per real city, in place order.
+  std::vector<AdminId> region_by_place(places.size(), kNoAdmin);
+  for (sim::PlaceId p = 0; p < places.size(); ++p) {
+    if (places[p].satellite) continue;
+    const AdminId id = static_cast<AdminId>(h.areas_.size());
+    region_by_place[p] = id;
+    h.areas_.push_back(AdminArea{AdminLevel::Region, places[p].name,
+                                 country_ids.at(places[p].country),
+                                 places[p].location, p});
+  }
+
+  // Localities: every place, parented to its (parent city's) region.
+  h.locality_by_place_.assign(places.size(), kNoAdmin);
+  h.place_points_.resize(places.size());
+  for (sim::PlaceId p = 0; p < places.size(); ++p) {
+    const AdminId id = static_cast<AdminId>(h.areas_.size());
+    h.locality_by_place_[p] = id;
+    h.place_points_[p] = places[p].location;
+    h.areas_.push_back(AdminArea{AdminLevel::Locality, places[p].name,
+                                 region_by_place[places[p].parent],
+                                 places[p].location, p});
+  }
+
+  h.place_index_ = IntervalIndex::build(h.place_points_);
+  return h;
+}
+
+std::size_t AdminHierarchy::count(AdminLevel level) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(areas_.begin(), areas_.end(),
+                    [level](const AdminArea& a) { return a.level == level; }));
+}
+
+std::vector<AdminId> AdminHierarchy::chain(AdminId id) const {
+  std::vector<AdminId> out;
+  for (AdminId cur = id; cur != kNoAdmin; cur = areas_.at(cur).parent) {
+    out.push_back(cur);
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+AdminPath AdminHierarchy::locate(const geo::GeoPoint& p) const {
+  static obs::Counter& locates =
+      obs::Registry::instance().counter("spatial.admin.locates");
+  locates.add();
+
+  AdminPath path;
+  path.street = zips_.format(zips_.key_of(p));
+  if (place_points_.empty()) return path;
+
+  // Expanding-radius nearest-place search: most queries land within a few
+  // tens of km of a place, so the first ring usually suffices; the final
+  // ring degenerates to "everything" and guarantees termination.
+  sim::PlaceId best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (double radius_km = 50.0;; radius_km *= 4.0) {
+    const bool last = radius_km > 2.5e4;  // > half the Earth's circumference
+    const std::vector<std::uint32_t> cand = place_index_.candidates_in_disk(
+        geo::Disk{p, last ? 2.1e4 : radius_km});
+    for (const std::uint32_t place : cand) {
+      const double d = geo::distance_km(place_points_[place], p);
+      if (d < best_d || (d == best_d && place < best)) {
+        best_d = d;
+        best = place;
+      }
+    }
+    // A hit inside the queried radius is provably the global nearest;
+    // candidates outside it (covering slack) can't prove that yet.
+    if (best_d <= radius_km || last) break;
+  }
+
+  path.locality = locality_by_place_[best];
+  path.region = areas_[path.locality].parent;
+  path.country = path.region != kNoAdmin ? areas_[path.region].parent : kNoAdmin;
+  return path;
+}
+
+}  // namespace geoloc::spatial

@@ -1,0 +1,82 @@
+// Typed administrative hierarchy over the simulated world, ordered
+// general → specific: country → region → locality → street.
+//
+//   Country  — distinct Place::country values
+//   Region   — each real city (a metro region; its satellites belong to it)
+//   Locality — every place, city or satellite town
+//   Street   — the postal zone (ZipGrid key) of the queried coordinate
+//
+// locate() resolves a coordinate to its path through the hierarchy by
+// assigning it to the nearest place, found with an expanding-radius query
+// against the spatial IntervalIndex rather than a scan over every place.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/world.h"
+#include "spatial/interval_index.h"
+#include "spatial/zip_grid.h"
+
+namespace geoloc::spatial {
+
+enum class AdminLevel : std::uint8_t { Country, Region, Locality, Street };
+std::string_view to_string(AdminLevel level) noexcept;
+
+using AdminId = std::uint32_t;
+inline constexpr AdminId kNoAdmin = ~AdminId{0};
+
+struct AdminArea {
+  AdminLevel level = AdminLevel::Country;
+  std::string name;
+  AdminId parent = kNoAdmin;       ///< enclosing area; kNoAdmin for countries
+  geo::GeoPoint center;            ///< representative point
+  sim::PlaceId place = 0;          ///< backing place (regions and localities)
+};
+
+/// A coordinate's path through the hierarchy, general → specific.
+struct AdminPath {
+  AdminId country = kNoAdmin;
+  AdminId region = kNoAdmin;
+  AdminId locality = kNoAdmin;
+  std::string street;              ///< postal-zone key of the coordinate
+};
+
+class AdminHierarchy {
+ public:
+  /// Build from the world's places. Deterministic: area IDs depend only on
+  /// the world's place order, never on hash iteration or thread count.
+  static AdminHierarchy build(const sim::World& world, double zip_cell_deg);
+
+  [[nodiscard]] std::span<const AdminArea> areas() const noexcept {
+    return areas_;
+  }
+  [[nodiscard]] const AdminArea& area(AdminId id) const {
+    return areas_.at(id);
+  }
+  [[nodiscard]] std::size_t count(AdminLevel level) const noexcept;
+
+  /// Ancestors of `id` from the top down, ending with `id` itself.
+  [[nodiscard]] std::vector<AdminId> chain(AdminId id) const;
+
+  /// Locality area of a place.
+  [[nodiscard]] AdminId locality_of(sim::PlaceId place) const {
+    return locality_by_place_.at(place);
+  }
+
+  /// Resolve a coordinate: nearest place (expanding-radius index query,
+  /// exact-distance refined; ties break to the lowest place ID) plus the
+  /// postal zone of the coordinate itself.
+  [[nodiscard]] AdminPath locate(const geo::GeoPoint& p) const;
+
+ private:
+  std::vector<AdminArea> areas_;
+  std::vector<AdminId> locality_by_place_;  ///< indexed by PlaceId
+  std::vector<geo::GeoPoint> place_points_; ///< indexed by PlaceId
+  IntervalIndex place_index_;               ///< payload = PlaceId
+  ZipGrid zips_{0.045};
+};
+
+}  // namespace geoloc::spatial

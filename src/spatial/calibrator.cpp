@@ -1,0 +1,107 @@
+#include "spatial/calibrator.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+#include "util/durable.h"
+
+namespace geoloc::spatial {
+
+namespace {
+/// Minimum pairs before a fit is trusted over the fallback.
+constexpr std::uint64_t kMinSamples = 3;
+}  // namespace
+
+Calibrator::Calibrator(int cell_level)
+    : level_(std::clamp(cell_level, 0, kMaxLevel)) {}
+
+void Calibrator::add_sample(const geo::GeoPoint& where, double delay_ms,
+                            double distance_km) {
+  static obs::Counter& samples =
+      obs::Registry::instance().counter("spatial.calibrator.samples");
+  samples.add();
+
+  const std::uint64_t key = CellId::from_point(where, level_).token_lo();
+  for (Acc* acc : {&cells_[key], &global_}) {
+    ++acc->n;
+    acc->sx += delay_ms;
+    acc->sy += distance_km;
+    acc->sxx += delay_ms * delay_ms;
+    acc->sxy += delay_ms * distance_km;
+  }
+}
+
+std::optional<double> Calibrator::slope_of(const Acc& acc) {
+  if (acc.n < kMinSamples || acc.sxx <= 0.0) return std::nullopt;
+  const double slope = acc.sxy / acc.sxx;
+  if (slope <= 0.0) return std::nullopt;
+  return std::min(slope, geo::kSoiTwoThirdsKmPerMs);
+}
+
+Calibrator::Fit Calibrator::fit_at(const geo::GeoPoint& p) const {
+  const std::uint64_t key = CellId::from_point(p, level_).token_lo();
+  if (const auto it = cells_.find(key); it != cells_.end()) {
+    if (const auto slope = slope_of(it->second)) {
+      return Fit{*slope, it->second.n, true};
+    }
+  }
+  if (const auto slope = slope_of(global_)) {
+    return Fit{*slope, global_.n, true};
+  }
+  return Fit{};
+}
+
+bool Calibrator::save(const std::string& path, std::string* error) const {
+  util::durable::PayloadWriter w;
+  w.pod(static_cast<std::int32_t>(level_));
+  w.pod(static_cast<std::uint64_t>(cells_.size()));
+  const auto put = [&w](const Acc& acc) {
+    w.pod(acc.n);
+    w.pod(acc.sx);
+    w.pod(acc.sy);
+    w.pod(acc.sxx);
+    w.pod(acc.sxy);
+  };
+  put(global_);
+  for (const auto& [key, acc] : cells_) {  // std::map: key order, stable
+    w.pod(key);
+    put(acc);
+  }
+  return util::durable::write_framed(path, kCalibratorMagic,
+                                     kCalibratorVersion, w.data(), error);
+}
+
+std::optional<Calibrator> Calibrator::load(const std::string& path) {
+  const util::durable::FramedRead fr =
+      util::durable::read_framed(path, kCalibratorMagic);
+  if (!fr.ok() || fr.version != kCalibratorVersion) return std::nullopt;
+
+  util::durable::PayloadReader r(fr.payload);
+  std::int32_t level = 0;
+  std::uint64_t n_cells = 0;
+  if (!r.pod(level) || !r.pod(n_cells)) return std::nullopt;
+  if (level < 0 || level > kMaxLevel ||
+      n_cells > fr.payload.size() / sizeof(Acc)) {
+    return std::nullopt;
+  }
+
+  const auto get = [&r](Acc& acc) {
+    return r.pod(acc.n) && r.pod(acc.sx) && r.pod(acc.sy) && r.pod(acc.sxx) &&
+           r.pod(acc.sxy);
+  };
+  Calibrator c(level);
+  if (!get(c.global_)) return std::nullopt;
+  std::uint64_t prev_key = 0;
+  for (std::uint64_t i = 0; i < n_cells; ++i) {
+    std::uint64_t key = 0;
+    Acc acc;
+    if (!r.pod(key) || !get(acc)) return std::nullopt;
+    if (i > 0 && key <= prev_key) return std::nullopt;  // must be ascending
+    prev_key = key;
+    c.cells_.emplace_hint(c.cells_.end(), key, acc);
+  }
+  if (!r.exhausted()) return std::nullopt;
+  return c;
+}
+
+}  // namespace geoloc::spatial

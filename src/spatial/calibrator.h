@@ -1,0 +1,87 @@
+// Per-region delay → distance calibration keyed by hierarchy cell
+// (DESIGN.md §13).
+//
+// The street-level tiers convert a landmark's minimum D1+D2 delay into a
+// distance with one global speed (4/9 c). Real last miles differ by
+// region; the Calibrator accumulates (delay_ms, distance_km) pairs into
+// the level-`cell_level` cell containing each sample and fits a
+// through-origin least-squares line per cell, with a global fit as the
+// fallback for unseen cells. Slopes are clamped into (0, 2/3 c] — a
+// calibrated speed can never exceed the physical speed of internet.
+//
+// Accumulators live in a std::map keyed by cell token, so serialization
+// and equality are deterministic regardless of insertion order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "geo/constants.h"
+#include "geo/geopoint.h"
+#include "spatial/cell.h"
+
+namespace geoloc::spatial {
+
+/// Artifact magic of a serialized Calibrator: "SPCAL001".
+inline constexpr std::uint64_t kCalibratorMagic = 0x3130304C41435053ULL;
+inline constexpr std::uint32_t kCalibratorVersion = 1;
+
+class Calibrator {
+ public:
+  /// `cell_level` picks the region granularity: level 4 cells span 11.25
+  /// degrees (~continental subregions), level 6 spans ~2.8 degrees.
+  explicit Calibrator(int cell_level = 4);
+
+  void add_sample(const geo::GeoPoint& where, double delay_ms,
+                  double distance_km);
+
+  struct Fit {
+    double km_per_ms = geo::kSoiFourNinthsKmPerMs;
+    std::uint64_t samples = 0;
+    bool calibrated = false;  ///< false = the uncalibrated default speed
+  };
+
+  /// Fit for the cell containing `p`: the per-cell fit when the cell has
+  /// enough samples, else the global fit, else the 4/9-c default.
+  [[nodiscard]] Fit fit_at(const geo::GeoPoint& p) const;
+
+  [[nodiscard]] double km_per_ms_at(const geo::GeoPoint& p) const {
+    return fit_at(p).km_per_ms;
+  }
+  [[nodiscard]] double estimate_distance_km(const geo::GeoPoint& p,
+                                            double delay_ms) const {
+    return delay_ms * km_per_ms_at(p);
+  }
+
+  [[nodiscard]] std::uint64_t sample_count() const noexcept {
+    return global_.n;
+  }
+  [[nodiscard]] std::size_t cell_count() const noexcept {
+    return cells_.size();
+  }
+  [[nodiscard]] int cell_level() const noexcept { return level_; }
+
+  /// Durable framed serialization (magic "SPCAL001").
+  bool save(const std::string& path, std::string* error = nullptr) const;
+  static std::optional<Calibrator> load(const std::string& path);
+
+  friend bool operator==(const Calibrator&, const Calibrator&) = default;
+
+ private:
+  struct Acc {
+    std::uint64_t n = 0;
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    friend bool operator==(const Acc&, const Acc&) = default;
+  };
+  /// Through-origin least squares over the accumulated pairs; nullopt when
+  /// under-sampled or the slope falls outside (0, 2/3 c].
+  static std::optional<double> slope_of(const Acc& acc);
+
+  int level_;
+  std::map<std::uint64_t, Acc> cells_;  ///< keyed by cell token_lo
+  Acc global_;
+};
+
+}  // namespace geoloc::spatial

@@ -1,0 +1,48 @@
+#include "spatial/cell.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace geoloc::spatial {
+
+CellId CellId::from_point(const geo::GeoPoint& p, int level) {
+  level = std::clamp(level, 0, kMaxLevel);
+  const double lon = geo::normalize_lon(p.lon_deg);
+  const int face = lon < 0.0 ? 0 : 1;
+  const double cells = static_cast<double>(1u << level);
+  // Fractions of the face square in [0, 1]; the upper edge (latitude 90,
+  // or a longitude landing exactly on the face's eastern boundary after
+  // rounding) clamps into the last row/column.
+  const double u = (p.lat_deg + 90.0) / 180.0;
+  const double v = (lon - (face == 0 ? -180.0 : 0.0)) / 180.0;
+  const auto clamp_cell = [cells](double f) {
+    const double scaled = std::floor(f * cells);
+    return static_cast<std::uint32_t>(
+        std::clamp(scaled, 0.0, cells - 1.0));
+  };
+  return CellId{level, face, clamp_cell(u), clamp_cell(v)};
+}
+
+std::uint64_t CellId::leaf_token(const geo::GeoPoint& p) {
+  return from_point(p, kMaxLevel).token_lo();
+}
+
+std::uint64_t CellId::token_lo() const noexcept {
+  const int shift = 2 * (kMaxLevel - level_);
+  return (static_cast<std::uint64_t>(face_) << (2 * kMaxLevel)) |
+         (detail::morton(i_, j_) << shift);
+}
+
+std::uint64_t CellId::token_hi() const noexcept {
+  const int shift = 2 * (kMaxLevel - level_);
+  return token_lo() + (1ULL << shift);
+}
+
+std::string CellId::to_string() const {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "L%d/f%d/%u,%u", level(), face(), i_, j_);
+  return buf;
+}
+
+}  // namespace geoloc::spatial

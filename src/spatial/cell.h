@@ -1,0 +1,149 @@
+// Hierarchical cell decomposition of the sphere for the spatial index
+// subsystem (DESIGN.md §13).
+//
+// The world splits into two level-0 "faces" — the western hemisphere
+// (longitude [-180, 0)) and the eastern ([0, 180)) — each a 180° x 180°
+// square in lat/lon space. Every cell subdivides into four children
+// (quadtree), so a level-L cell spans 180/2^L degrees of both latitude and
+// longitude. Level 20 leaves span ~0.00017°, about 19 m of latitude: fine
+// enough that the street-level tiers' postal zones (~0.045°) and POI
+// coordinates never collide.
+//
+// Cells at any level map onto *leaf-token intervals*: the Morton
+// (Z-order) interleave of a cell's (row, column) bits, extended to leaf
+// depth, names the contiguous range of level-20 leaves the cell contains.
+// Payloads indexed by their leaf token can therefore be queried for any
+// covering cell with one binary search per cell — the cells → intervals →
+// sorted arrays design of spatial::IntervalIndex.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geo/geopoint.h"
+
+namespace geoloc::spatial {
+
+/// Deepest subdivision level. 2 * 20 Morton bits + 1 face bit = 41-bit
+/// leaf tokens.
+inline constexpr int kMaxLevel = 20;
+
+/// Kilometres per degree of latitude (and of longitude at the equator) on
+/// the spherical model — pi * R / 180.
+inline constexpr double kKmPerDegree = 111.19492664455873;
+
+/// A cell of the hierarchy: (level, face, row i from the south pole,
+/// column j from the face's western edge). Invalid cells compare equal to
+/// CellId{} and fail valid().
+class CellId {
+ public:
+  constexpr CellId() = default;
+  constexpr CellId(int level, int face, std::uint32_t i, std::uint32_t j)
+      : level_(static_cast<std::uint8_t>(level)),
+        face_(static_cast<std::uint8_t>(face)),
+        i_(i),
+        j_(j) {}
+
+  /// The level-`level` cell containing `p`. Latitude 90 and the row/column
+  /// grid edges clamp into the last cell, so every valid GeoPoint has a
+  /// cell at every level.
+  static CellId from_point(const geo::GeoPoint& p, int level);
+
+  /// The leaf (level-20) token of the cell containing `p` — the key type
+  /// of IntervalIndex.
+  static std::uint64_t leaf_token(const geo::GeoPoint& p);
+
+  [[nodiscard]] constexpr int level() const noexcept { return level_; }
+  [[nodiscard]] constexpr int face() const noexcept { return face_; }
+  [[nodiscard]] constexpr std::uint32_t i() const noexcept { return i_; }
+  [[nodiscard]] constexpr std::uint32_t j() const noexcept { return j_; }
+
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return level_ <= kMaxLevel && face_ <= 1 && i_ < (1u << level_) &&
+           j_ < (1u << level_);
+  }
+
+  /// Cell edge length in degrees (180 / 2^level).
+  [[nodiscard]] constexpr double size_deg() const noexcept {
+    return 180.0 / static_cast<double>(1u << level_);
+  }
+
+  // -- lat/lon bounds ------------------------------------------------------
+  [[nodiscard]] constexpr double lat_lo() const noexcept {
+    return -90.0 + i_ * size_deg();
+  }
+  [[nodiscard]] constexpr double lat_hi() const noexcept {
+    return lat_lo() + size_deg();
+  }
+  [[nodiscard]] constexpr double lon_lo() const noexcept {
+    return (face_ == 0 ? -180.0 : 0.0) + j_ * size_deg();
+  }
+  [[nodiscard]] constexpr double lon_hi() const noexcept {
+    return lon_lo() + size_deg();
+  }
+  [[nodiscard]] geo::GeoPoint center() const noexcept {
+    return geo::GeoPoint{(lat_lo() + lat_hi()) / 2.0,
+                         geo::normalize_lon((lon_lo() + lon_hi()) / 2.0)};
+  }
+
+  // -- hierarchy arithmetic ------------------------------------------------
+  [[nodiscard]] constexpr CellId parent() const noexcept {
+    return CellId{level_ - 1, face_, i_ >> 1, j_ >> 1};
+  }
+  /// Child `k` in [0, 4), ordered so ascending k is ascending token range.
+  [[nodiscard]] constexpr CellId child(int k) const noexcept {
+    return CellId{level_ + 1, face_, (i_ << 1) | (static_cast<std::uint32_t>(k) >> 1),
+                  (j_ << 1) | (static_cast<std::uint32_t>(k) & 1)};
+  }
+  /// True when `other` is this cell or one of its descendants.
+  [[nodiscard]] constexpr bool contains(const CellId& other) const noexcept {
+    if (other.face_ != face_ || other.level_ < level_) return false;
+    const int shift = other.level_ - level_;
+    return (other.i_ >> shift) == i_ && (other.j_ >> shift) == j_;
+  }
+  [[nodiscard]] bool contains(const geo::GeoPoint& p) const {
+    return from_point(p, level_) == *this;
+  }
+
+  // -- leaf-token interval -------------------------------------------------
+  /// First leaf token of this cell's descendants (inclusive).
+  [[nodiscard]] std::uint64_t token_lo() const noexcept;
+  /// One past the last leaf token of this cell's descendants (exclusive).
+  [[nodiscard]] std::uint64_t token_hi() const noexcept;
+
+  /// "L<level>/f<face>/<i>,<j>" — debug output.
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr bool operator==(const CellId&, const CellId&) = default;
+
+ private:
+  std::uint8_t level_ = 0xFF;  ///< 0xFF marks the invalid default cell
+  std::uint8_t face_ = 0xFF;
+  std::uint32_t i_ = 0;
+  std::uint32_t j_ = 0;
+};
+
+namespace detail {
+/// Spread the low 20 bits of `v` into the even bit positions of a 40-bit
+/// word (standard Morton dilation).
+constexpr std::uint64_t dilate20(std::uint64_t v) noexcept {
+  v &= 0xFFFFFULL;
+  v = (v | (v << 16)) & 0x0000FFFF0000FFFFULL;
+  v = (v | (v << 8)) & 0x00FF00FF00FF00FFULL;
+  v = (v | (v << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  v = (v | (v << 2)) & 0x3333333333333333ULL;
+  v = (v | (v << 1)) & 0x5555555555555555ULL;
+  return v;
+}
+
+/// Morton (Z-order) interleave of a row/column pair at `level` bits,
+/// extended to leaf depth: rows occupy odd bits, columns even bits, and
+/// the result is shifted so a cell's interleave prefixes all of its
+/// descendants'.
+constexpr std::uint64_t morton(std::uint32_t i, std::uint32_t j) noexcept {
+  return (dilate20(i) << 1) | dilate20(j);
+}
+}  // namespace detail
+
+}  // namespace geoloc::spatial

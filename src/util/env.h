@@ -37,6 +37,9 @@
 //                         (default 8 MiB; requests shed past it)
 //   GEOLOC_SERVE_REMEASURE_CAP=N    stale-prefix queue bound (default
 //                         65536; drops counted on serve.remeasure_dropped)
+//   GEOLOC_SPATIAL_MAX_CELLS=N   covering budget for spatial index queries
+//                         (default 64, clamped to [4, 4096]; more cells =
+//                         tighter coverings, fewer false candidates)
 #pragma once
 
 #include <algorithm>

@@ -72,6 +72,38 @@ TEST(MappingService, MalformedZoneFallsBack) {
   EXPECT_EQ(zones[0], "garbage");
 }
 
+TEST(MappingService, MalformedZoneKeysAreRejectedNotMisparsed) {
+  // The strict zone parser (spatial::ZipGrid::parse, replacing the old
+  // sscanf) must reject anything the formatter could not have produced:
+  // neighbor_zones answers {input} instead of expanding a misread key.
+  MappingService m;
+  for (const char* bad : {
+           "Z1x2",              // fields too short
+           "Z00001x00002junk",  // trailing garbage (sscanf accepted this)
+           "Z00001x00002 ",     // trailing whitespace
+           "Z+0001x00002",      // explicit sign
+           "z00001x00002",      // wrong case
+           "Z00001y00002",      // wrong separator
+           "Zx",                // empty fields
+           "Z0000Ax00002",      // hex digit
+       }) {
+    const auto zones = m.neighbor_zones(bad);
+    ASSERT_EQ(zones.size(), 1u) << "\"" << bad << "\"";
+    EXPECT_EQ(zones[0], bad);
+  }
+}
+
+TEST(MappingService, WideZoneKeysRoundTripThroughNeighborZones) {
+  // %05d is a minimum width: a fine grid can produce 6-digit cells. The
+  // parser accepts its own formatter's output at any width.
+  MappingService fine{0.001};
+  const std::string z = fine.zone_of(geo::GeoPoint{89.9, 179.9});
+  EXPECT_GT(z.size(), 12u);
+  const auto zones = fine.neighbor_zones(z);
+  EXPECT_EQ(zones.size(), 9u);
+  EXPECT_NE(std::find(zones.begin(), zones.end(), z), zones.end());
+}
+
 TEST(MappingService, CellSizeIsConfigurable) {
   MappingService coarse{0.5};
   MappingService fine{0.01};

@@ -1,0 +1,153 @@
+#include "spatial/admin.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <random>
+#include <set>
+#include <string>
+
+#include "geo/geodesy.h"
+#include "landmark/mapping_service.h"
+#include "test_scenario.h"
+
+namespace geoloc::spatial {
+namespace {
+
+const AdminHierarchy& hierarchy() {
+  static const AdminHierarchy h =
+      AdminHierarchy::build(testing::small_scenario().world(), 0.045);
+  return h;
+}
+
+/// Brute-force nearest place with the locate() tie rule (lowest PlaceId).
+sim::PlaceId nearest_place_scan(const sim::World& world,
+                                const geo::GeoPoint& p) {
+  sim::PlaceId best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (sim::PlaceId id = 0; id < world.places().size(); ++id) {
+    const double d = geo::distance_km(world.place(id).location, p);
+    if (d < best_d || (d == best_d && id < best)) {
+      best_d = d;
+      best = id;
+    }
+  }
+  return best;
+}
+
+TEST(SpatialAdmin, CountsMatchTheWorldStructure) {
+  const auto& world = testing::small_scenario().world();
+  const AdminHierarchy& h = hierarchy();
+
+  std::set<std::string> countries;
+  std::size_t cities = 0;
+  for (const sim::Place& pl : world.places()) {
+    countries.insert(pl.country);
+    if (!pl.satellite) ++cities;
+  }
+  EXPECT_EQ(h.count(AdminLevel::Country), countries.size());
+  EXPECT_EQ(h.count(AdminLevel::Region), cities);
+  EXPECT_EQ(h.count(AdminLevel::Locality), world.places().size());
+  EXPECT_EQ(h.count(AdminLevel::Street), 0u);  // streets are virtual
+  EXPECT_EQ(h.areas().size(),
+            countries.size() + cities + world.places().size());
+}
+
+TEST(SpatialAdmin, ChainsRunCountryRegionLocality) {
+  const auto& world = testing::small_scenario().world();
+  const AdminHierarchy& h = hierarchy();
+  for (sim::PlaceId p = 0; p < world.places().size(); ++p) {
+    const AdminId loc = h.locality_of(p);
+    const auto chain = h.chain(loc);
+    ASSERT_EQ(chain.size(), 3u) << "place " << p;
+    EXPECT_EQ(h.area(chain[0]).level, AdminLevel::Country);
+    EXPECT_EQ(h.area(chain[1]).level, AdminLevel::Region);
+    EXPECT_EQ(h.area(chain[2]).level, AdminLevel::Locality);
+    EXPECT_EQ(chain[2], loc);
+    // The locality's region is the parent city's region; the region's
+    // country matches the place's country string.
+    const sim::Place& pl = world.place(p);
+    EXPECT_EQ(h.area(chain[1]).place, pl.parent);
+    EXPECT_EQ(h.area(chain[0]).name, pl.country);
+    EXPECT_EQ(h.area(chain[2]).name, pl.name);
+  }
+}
+
+TEST(SpatialAdmin, SatellitesShareTheParentCityRegion) {
+  const auto& world = testing::small_scenario().world();
+  const AdminHierarchy& h = hierarchy();
+  bool saw_satellite = false;
+  for (sim::PlaceId p = 0; p < world.places().size(); ++p) {
+    if (!world.place(p).satellite) continue;
+    saw_satellite = true;
+    const AdminId sat_region = h.area(h.locality_of(p)).parent;
+    const AdminId parent_region =
+        h.area(h.locality_of(world.place(p).parent)).parent;
+    EXPECT_EQ(sat_region, parent_region) << "place " << p;
+  }
+  EXPECT_TRUE(saw_satellite);
+}
+
+TEST(SpatialAdmin, LocateFindsTheNearestPlace) {
+  const auto& world = testing::small_scenario().world();
+  const AdminHierarchy& h = hierarchy();
+  std::mt19937 rng(5);
+  std::uniform_real_distribution<double> lat(-90.0, 90.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+
+  std::vector<geo::GeoPoint> pts;
+  // Place centres and nearby jitters (the common case) ...
+  int n = 0;
+  for (const sim::Place& pl : world.places()) {
+    if (++n > 30) break;
+    pts.push_back(pl.location);
+    pts.push_back(geo::destination(pl.location, 37.0, 3.0));
+  }
+  // ... plus remote points where the expanding search must widen.
+  for (int i = 0; i < 30; ++i) pts.push_back({lat(rng), lon(rng)});
+  pts.push_back({90.0, 0.0});
+  pts.push_back({-90.0, 11.0});
+  pts.push_back({-48.9, -123.4});  // Point Nemo: far from everything
+
+  for (const geo::GeoPoint& p : pts) {
+    const AdminPath path = h.locate(p);
+    const sim::PlaceId want = nearest_place_scan(world, p);
+    ASSERT_NE(path.locality, kNoAdmin);
+    EXPECT_EQ(h.area(path.locality).place, want)
+        << p.lat_deg << "," << p.lon_deg;
+    // Path is internally consistent.
+    EXPECT_EQ(h.area(path.locality).parent, path.region);
+    EXPECT_EQ(h.area(path.region).parent, path.country);
+  }
+}
+
+TEST(SpatialAdmin, StreetKeyMatchesTheMappingServiceZone) {
+  const landmark::MappingService mapping;  // same 0.045-degree zones
+  const AdminHierarchy& h = hierarchy();
+  std::mt19937 rng(6);
+  std::uniform_real_distribution<double> lat(-90.0, 90.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  for (int i = 0; i < 100; ++i) {
+    const geo::GeoPoint p{lat(rng), lon(rng)};
+    EXPECT_EQ(h.locate(p).street, mapping.zone_of(p));
+  }
+}
+
+TEST(SpatialAdmin, EmptyHierarchyLocatesToStreetOnly) {
+  const AdminHierarchy h;
+  const AdminPath path = h.locate({10.0, 20.0});
+  EXPECT_EQ(path.country, kNoAdmin);
+  EXPECT_EQ(path.region, kNoAdmin);
+  EXPECT_EQ(path.locality, kNoAdmin);
+  EXPECT_FALSE(path.street.empty());
+}
+
+TEST(SpatialAdmin, LevelNamesRoundTrip) {
+  EXPECT_EQ(to_string(AdminLevel::Country), "country");
+  EXPECT_EQ(to_string(AdminLevel::Region), "region");
+  EXPECT_EQ(to_string(AdminLevel::Locality), "locality");
+  EXPECT_EQ(to_string(AdminLevel::Street), "street");
+}
+
+}  // namespace
+}  // namespace geoloc::spatial

@@ -1,0 +1,169 @@
+#include "spatial/calibrator.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <random>
+
+#include "eval/street_campaign.h"
+#include "geo/constants.h"
+#include "scenario/scenario.h"
+#include "test_scenario.h"
+
+namespace geoloc::spatial {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const char* name) {
+  return (fs::temp_directory_path() /
+          ("geoloc-spcal-" + std::to_string(::getpid()) + "-" + name))
+      .string();
+}
+
+TEST(SpatialCalibrator, RecoversALinearSlope) {
+  Calibrator cal(4);
+  const geo::GeoPoint paris{48.85, 2.35};
+  // Perfect 100 km/ms samples, all in one region.
+  for (int i = 1; i <= 10; ++i) {
+    cal.add_sample(paris, static_cast<double>(i), 100.0 * i);
+  }
+  const Calibrator::Fit fit = cal.fit_at(paris);
+  EXPECT_TRUE(fit.calibrated);
+  EXPECT_EQ(fit.samples, 10u);
+  EXPECT_NEAR(fit.km_per_ms, 100.0, 1e-9);
+  EXPECT_NEAR(cal.estimate_distance_km(paris, 3.0), 300.0, 1e-6);
+}
+
+TEST(SpatialCalibrator, RegionsAreIndependent) {
+  Calibrator cal(4);
+  const geo::GeoPoint paris{48.85, 2.35};
+  const geo::GeoPoint sydney{-33.87, 151.21};  // a different level-4 cell
+  for (int i = 1; i <= 5; ++i) {
+    cal.add_sample(paris, i, 80.0 * i);    // slow region
+    cal.add_sample(sydney, i, 120.0 * i);  // fast region
+  }
+  EXPECT_NEAR(cal.fit_at(paris).km_per_ms, 80.0, 1e-9);
+  EXPECT_NEAR(cal.fit_at(sydney).km_per_ms, 120.0, 1e-9);
+  EXPECT_EQ(cal.cell_count(), 2u);
+  EXPECT_EQ(cal.sample_count(), 10u);
+}
+
+TEST(SpatialCalibrator, UnseenCellFallsBackToTheGlobalFit) {
+  Calibrator cal(4);
+  const geo::GeoPoint paris{48.85, 2.35};
+  for (int i = 1; i <= 6; ++i) cal.add_sample(paris, i, 90.0 * i);
+  // New York never got a sample: the global fit answers.
+  const Calibrator::Fit fit = cal.fit_at({40.7, -74.0});
+  EXPECT_TRUE(fit.calibrated);
+  EXPECT_NEAR(fit.km_per_ms, 90.0, 1e-9);
+  EXPECT_EQ(fit.samples, 6u);
+}
+
+TEST(SpatialCalibrator, UndersampledCalibratorUsesTheDefaultSpeed) {
+  Calibrator cal;
+  const Calibrator::Fit empty = cal.fit_at({0.0, 0.0});
+  EXPECT_FALSE(empty.calibrated);
+  EXPECT_DOUBLE_EQ(empty.km_per_ms, geo::kSoiFourNinthsKmPerMs);
+
+  // Two samples are below the minimum; still the default.
+  cal.add_sample({0.0, 0.0}, 1.0, 100.0);
+  cal.add_sample({0.0, 0.0}, 2.0, 200.0);
+  EXPECT_FALSE(cal.fit_at({0.0, 0.0}).calibrated);
+}
+
+TEST(SpatialCalibrator, SlopeIsClampedToTheSpeedOfInternet) {
+  Calibrator cal(4);
+  const geo::GeoPoint p{10.0, 10.0};
+  // Implausibly fast samples (300 km/ms > 2/3 c).
+  for (int i = 1; i <= 5; ++i) cal.add_sample(p, i, 300.0 * i);
+  EXPECT_DOUBLE_EQ(cal.fit_at(p).km_per_ms, geo::kSoiTwoThirdsKmPerMs);
+}
+
+TEST(SpatialCalibrator, NonPositiveSlopesAreRejected) {
+  Calibrator cal(4);
+  const geo::GeoPoint p{20.0, 20.0};
+  // Anti-correlated garbage: slope would be negative.
+  for (int i = 1; i <= 5; ++i) cal.add_sample(p, i, -50.0 * i);
+  const Calibrator::Fit fit = cal.fit_at(p);
+  EXPECT_FALSE(fit.calibrated);
+  EXPECT_DOUBLE_EQ(fit.km_per_ms, geo::kSoiFourNinthsKmPerMs);
+}
+
+TEST(SpatialCalibrator, SaveLoadRoundTrip) {
+  Calibrator cal(6);
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> lat(-60.0, 60.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> delay(0.5, 40.0);
+  for (int i = 0; i < 500; ++i) {
+    const double d = delay(rng);
+    cal.add_sample({lat(rng), lon(rng)}, d, d * 95.0);
+  }
+  const std::string path = temp_path("roundtrip.bin");
+  ASSERT_TRUE(cal.save(path));
+  const auto loaded = Calibrator::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, cal);
+  EXPECT_EQ(loaded->cell_level(), 6);
+  fs::remove(path);
+}
+
+TEST(SpatialCalibrator, CorruptionIsDetectedAndQuarantined) {
+  Calibrator cal(4);
+  for (int i = 1; i <= 8; ++i) cal.add_sample({5.0, 5.0}, i, 100.0 * i);
+  const std::string path = temp_path("corrupt.bin");
+  ASSERT_TRUE(cal.save(path));
+
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  char c = 0;
+  f.seekg(52);
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x01);
+  f.seekp(52);
+  f.write(&c, 1);
+  f.close();
+
+  EXPECT_FALSE(Calibrator::load(path));
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  fs::remove(path + ".corrupt");
+}
+
+TEST(SpatialCalibrator, StreetCampaignCalibrationAccumulatesUsableLandmarks) {
+  // A hand-built campaign: one target with clean 4/9-c records and one
+  // with none. calibrate_street_regions must invert measured -> delay and
+  // fit the region around the first target.
+  const auto& s = testing::small_scenario();
+  ASSERT_GE(s.targets().size(), 2u);
+  const geo::GeoPoint where = s.world().host(s.targets()[0]).true_location;
+
+  eval::StreetCampaign campaign;
+  campaign.records.resize(2);
+  // measured = delay * 4/9 c with geographic = 0.8 * measured: the fitted
+  // slope is 0.8 * 4/9 c.
+  for (int i = 1; i <= 6; ++i) {
+    const auto measured =
+        static_cast<float>(i * geo::kSoiFourNinthsKmPerMs);
+    campaign.records[0].distances.push_back({0.8F * measured, measured});
+  }
+
+  const Calibrator cal = eval::calibrate_street_regions(s, campaign, 4);
+  EXPECT_EQ(cal.sample_count(), 6u);
+  const Calibrator::Fit fit = cal.fit_at(where);
+  EXPECT_TRUE(fit.calibrated);
+  EXPECT_NEAR(fit.km_per_ms, 0.8 * geo::kSoiFourNinthsKmPerMs,
+              0.01 * geo::kSoiFourNinthsKmPerMs);
+
+  // An empty campaign calibrates nothing.
+  const Calibrator none =
+      eval::calibrate_street_regions(s, eval::StreetCampaign{}, 4);
+  EXPECT_EQ(none.sample_count(), 0u);
+  EXPECT_FALSE(none.fit_at(where).calibrated);
+}
+
+}  // namespace
+}  // namespace geoloc::spatial

@@ -1,0 +1,160 @@
+#include "spatial/cell.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <set>
+
+#include "geo/geopoint.h"
+
+namespace geoloc::spatial {
+namespace {
+
+std::mt19937 rng(20230415);
+
+geo::GeoPoint random_point() {
+  std::uniform_real_distribution<double> lat(-90.0, 90.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  return geo::GeoPoint{lat(rng), lon(rng)};
+}
+
+TEST(SpatialCell, FromPointContainsThePoint) {
+  for (int i = 0; i < 500; ++i) {
+    const geo::GeoPoint p = random_point();
+    for (int level : {0, 1, 5, 12, kMaxLevel}) {
+      const CellId cell = CellId::from_point(p, level);
+      ASSERT_TRUE(cell.valid()) << cell.to_string();
+      EXPECT_LE(cell.lat_lo(), p.lat_deg);
+      EXPECT_GE(cell.lat_hi(), p.lat_deg);
+      EXPECT_LE(cell.lon_lo(), p.lon_deg);
+      EXPECT_GE(cell.lon_hi(), p.lon_deg);
+      EXPECT_TRUE(cell.contains(p)) << cell.to_string();
+    }
+  }
+}
+
+TEST(SpatialCell, TwoFacesSplitTheWorldAtGreenwich) {
+  EXPECT_EQ(CellId::from_point({0.0, -0.001}, 0).face(), 0);
+  EXPECT_EQ(CellId::from_point({0.0, 0.0}, 0).face(), 1);
+  EXPECT_EQ(CellId::from_point({0.0, -180.0}, 0).face(), 0);
+  EXPECT_EQ(CellId::from_point({0.0, 179.999}, 0).face(), 1);
+}
+
+TEST(SpatialCell, BoundaryPointsClampIntoValidCells) {
+  // Latitude 90 and longitude 180 are valid GeoPoints; they must land in
+  // the last row/column, never in an out-of-range cell.
+  for (int level : {0, 3, 10, kMaxLevel}) {
+    for (const geo::GeoPoint p : {geo::GeoPoint{90.0, 0.0},
+                                  geo::GeoPoint{-90.0, -180.0},
+                                  geo::GeoPoint{90.0, 180.0},
+                                  geo::GeoPoint{45.0, 180.0}}) {
+      const CellId cell = CellId::from_point(p, level);
+      EXPECT_TRUE(cell.valid())
+          << cell.to_string() << " for " << p.lat_deg << "," << p.lon_deg;
+    }
+  }
+}
+
+TEST(SpatialCell, ParentChildRoundTrip) {
+  for (int i = 0; i < 200; ++i) {
+    const geo::GeoPoint p = random_point();
+    const CellId cell = CellId::from_point(p, 9);
+    for (int k = 0; k < 4; ++k) {
+      const CellId child = cell.child(k);
+      ASSERT_TRUE(child.valid());
+      EXPECT_EQ(child.parent(), cell);
+      EXPECT_TRUE(cell.contains(child));
+      EXPECT_FALSE(child.contains(cell));
+    }
+    // from_point at level L+1 yields one of the four children.
+    const CellId deeper = CellId::from_point(p, 10);
+    EXPECT_EQ(deeper.parent(), cell);
+  }
+}
+
+TEST(SpatialCell, ChildTokensPartitionTheParentInterval) {
+  for (int i = 0; i < 200; ++i) {
+    const CellId cell = CellId::from_point(random_point(), 7);
+    std::uint64_t cursor = cell.token_lo();
+    for (int k = 0; k < 4; ++k) {
+      const CellId child = cell.child(k);
+      EXPECT_EQ(child.token_lo(), cursor) << "child " << k;
+      cursor = child.token_hi();
+    }
+    EXPECT_EQ(cursor, cell.token_hi());
+  }
+}
+
+TEST(SpatialCell, TokenIntervalNestsWithContainment) {
+  for (int i = 0; i < 300; ++i) {
+    const geo::GeoPoint p = random_point();
+    const CellId coarse = CellId::from_point(p, 4);
+    const CellId fine = CellId::from_point(p, 15);
+    ASSERT_TRUE(coarse.contains(fine));
+    EXPECT_LE(coarse.token_lo(), fine.token_lo());
+    EXPECT_GE(coarse.token_hi(), fine.token_hi());
+    // The leaf token of the point falls inside both intervals.
+    const std::uint64_t leaf = CellId::leaf_token(p);
+    EXPECT_GE(leaf, fine.token_lo());
+    EXPECT_LT(leaf, fine.token_hi());
+  }
+}
+
+TEST(SpatialCell, LeafTokensAreDistinctForSeparatedPoints) {
+  // Leaf cells span ~19 m; points a degree apart never share one.
+  std::set<std::uint64_t> tokens;
+  for (int lat = -89; lat <= 89; lat += 7) {
+    for (int lon = -179; lon <= 179; lon += 11) {
+      tokens.insert(CellId::leaf_token(
+          {static_cast<double>(lat), static_cast<double>(lon)}));
+    }
+  }
+  EXPECT_EQ(tokens.size(), static_cast<std::size_t>(26 * 33));
+}
+
+TEST(SpatialCell, SiblingCellsAreDisjointByToken) {
+  const CellId cell = CellId::from_point({12.3, 45.6}, 6);
+  for (int a = 0; a < 4; ++a) {
+    for (int b = a + 1; b < 4; ++b) {
+      const CellId ca = cell.child(a);
+      const CellId cb = cell.child(b);
+      EXPECT_LE(ca.token_hi(), cb.token_lo());
+      EXPECT_FALSE(ca.contains(cb));
+      EXPECT_FALSE(cb.contains(ca));
+    }
+  }
+}
+
+TEST(SpatialCell, MortonDilationInterleavesBits) {
+  EXPECT_EQ(detail::dilate20(0), 0ULL);
+  EXPECT_EQ(detail::dilate20(1), 1ULL);
+  EXPECT_EQ(detail::dilate20(0b11), 0b101ULL);
+  EXPECT_EQ(detail::dilate20(0b101), 0b10001ULL);
+  EXPECT_EQ(detail::dilate20(0xFFFFF), 0x5555555555ULL);
+  EXPECT_EQ(detail::morton(0, 1), 1ULL);
+  EXPECT_EQ(detail::morton(1, 0), 2ULL);
+  EXPECT_EQ(detail::morton(0xFFFFF, 0xFFFFF), 0xFFFFFFFFFFULL);
+}
+
+TEST(SpatialCell, InvalidDefaultAndAccessors) {
+  EXPECT_FALSE(CellId{}.valid());
+  const CellId cell{3, 1, 2, 5};
+  EXPECT_EQ(cell.level(), 3);
+  EXPECT_EQ(cell.face(), 1);
+  EXPECT_EQ(cell.i(), 2u);
+  EXPECT_EQ(cell.j(), 5u);
+  EXPECT_DOUBLE_EQ(cell.size_deg(), 22.5);
+  EXPECT_EQ(cell.to_string(), "L3/f1/2,5");
+  EXPECT_FALSE(CellId(3, 1, 8, 0).valid());  // i out of range for level 3
+  EXPECT_FALSE(CellId(3, 2, 0, 0).valid());  // no third face
+}
+
+TEST(SpatialCell, CenterLiesInsideTheCell) {
+  for (int i = 0; i < 200; ++i) {
+    const CellId cell = CellId::from_point(random_point(), 8);
+    EXPECT_TRUE(cell.contains(cell.center())) << cell.to_string();
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::spatial

@@ -1,0 +1,197 @@
+#include "spatial/interval_index.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "util/durable.h"
+#include "util/parallel.h"
+
+namespace geoloc::spatial {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<geo::GeoPoint> random_points(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> lat(-90.0, 90.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::vector<geo::GeoPoint> out(n);
+  for (auto& p : out) p = geo::GeoPoint{lat(rng), lon(rng)};
+  return out;
+}
+
+std::string temp_path(const char* name) {
+  return (fs::temp_directory_path() /
+          ("geoloc-spidx-" + std::to_string(::getpid()) + "-" + name))
+      .string();
+}
+
+TEST(SpatialIntervalIndex, DiskCandidatesAreASupersetAndExactAfterFilter) {
+  const auto points = random_points(2000, 1);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  EXPECT_EQ(idx.size(), points.size());
+
+  std::mt19937 rng(2);
+  std::uniform_real_distribution<double> lat(-85.0, 85.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  std::uniform_real_distribution<double> radius(10.0, 1500.0);
+  for (int trial = 0; trial < 25; ++trial) {
+    const geo::Disk disk{{lat(rng), lon(rng)}, radius(rng)};
+    const auto cand = idx.candidates_in_disk(disk);
+
+    // Exact filter over the candidates == brute force over all points.
+    std::vector<std::uint32_t> got;
+    for (const std::uint32_t id : cand) {
+      if (geo::distance_km(points[id], disk.center) <= disk.radius_km) {
+        got.push_back(id);
+      }
+    }
+    std::sort(got.begin(), got.end());
+    std::vector<std::uint32_t> want;
+    for (std::uint32_t i = 0; i < points.size(); ++i) {
+      if (geo::distance_km(points[i], disk.center) <= disk.radius_km) {
+        want.push_back(i);
+      }
+    }
+    EXPECT_EQ(got, want) << "disk " << disk.center.lat_deg << ","
+                         << disk.center.lon_deg << " r=" << disk.radius_km;
+  }
+}
+
+TEST(SpatialIntervalIndex, CandidatesNeverDuplicate) {
+  const auto points = random_points(500, 3);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const auto cand =
+      idx.candidates_in_disk(geo::Disk{{0.0, 0.0}, 5000.0});
+  auto sorted = cand;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(std::adjacent_find(sorted.begin(), sorted.end()), sorted.end());
+}
+
+TEST(SpatialIntervalIndex, AtTokenReturnsAscendingBucket) {
+  // Several payloads at the same location share a leaf token; the bucket
+  // must come back ascending regardless of insertion order.
+  const geo::GeoPoint p{12.0, 34.0};
+  std::vector<IntervalIndex::Item> items;
+  for (const std::uint32_t id : {7u, 3u, 9u, 1u}) items.push_back({p, id});
+  items.push_back({{13.0, 34.0}, 5u});
+  const IntervalIndex idx = IntervalIndex::build(items);
+  const auto bucket = idx.at_token(CellId::leaf_token(p));
+  ASSERT_EQ(bucket.size(), 4u);
+  EXPECT_TRUE(std::is_sorted(bucket.begin(), bucket.end()));
+  EXPECT_EQ(bucket[0], 1u);
+  EXPECT_EQ(bucket[3], 9u);
+  EXPECT_TRUE(idx.at_token(CellId::leaf_token({50.0, 50.0})).empty());
+}
+
+TEST(SpatialIntervalIndex, EmptyIndexAnswersEverythingEmpty) {
+  const IntervalIndex idx;
+  EXPECT_TRUE(idx.empty());
+  EXPECT_TRUE(idx.at_token(0).empty());
+  EXPECT_TRUE(idx.candidates_in_disk(geo::Disk{{0.0, 0.0}, 1000.0}).empty());
+  EXPECT_TRUE(
+      idx.candidates_in_rect(LatLonRect::from_degrees(-90, 90, -180, 180))
+          .empty());
+}
+
+TEST(SpatialIntervalIndex, BuildIsByteIdenticalAtAnyThreadCount) {
+  const auto points = random_points(10'000, 4);
+  util::set_thread_count(1);
+  const IntervalIndex serial = IntervalIndex::build(points);
+  util::set_thread_count(8);
+  const IntervalIndex parallel = IntervalIndex::build(points);
+  util::set_thread_count(0);
+  EXPECT_EQ(serial, parallel);
+
+  // And through serialization: the bytes on disk are identical too.
+  const std::string p1 = temp_path("serial.bin");
+  const std::string p2 = temp_path("parallel.bin");
+  ASSERT_TRUE(serial.save(p1));
+  ASSERT_TRUE(parallel.save(p2));
+  std::ifstream f1(p1, std::ios::binary), f2(p2, std::ios::binary);
+  const std::string b1((std::istreambuf_iterator<char>(f1)), {});
+  const std::string b2((std::istreambuf_iterator<char>(f2)), {});
+  EXPECT_EQ(b1, b2);
+  fs::remove(p1);
+  fs::remove(p2);
+}
+
+TEST(SpatialIntervalIndex, SaveLoadRoundTrip) {
+  const auto points = random_points(777, 5);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const std::string path = temp_path("roundtrip.bin");
+  ASSERT_TRUE(idx.save(path));
+  const auto loaded = IntervalIndex::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, idx);
+  fs::remove(path);
+}
+
+TEST(SpatialIntervalIndex, EmptyIndexRoundTrips) {
+  const IntervalIndex idx;
+  const std::string path = temp_path("empty.bin");
+  ASSERT_TRUE(idx.save(path));
+  const auto loaded = IntervalIndex::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(*loaded, idx);
+  fs::remove(path);
+}
+
+TEST(SpatialIntervalIndex, MissingFileIsACleanMiss) {
+  EXPECT_FALSE(IntervalIndex::load(temp_path("never-written.bin")));
+}
+
+TEST(SpatialIntervalIndex, CorruptionIsDetectedAndQuarantined) {
+  const auto points = random_points(200, 6);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const std::string path = temp_path("corrupt.bin");
+  ASSERT_TRUE(idx.save(path));
+
+  // Flip one payload byte: the frame checksum must reject the file and
+  // move it aside so a regeneration can write a clean one.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(60);
+  char c = 0;
+  f.seekg(60);
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x20);
+  f.seekp(60);
+  f.write(&c, 1);
+  f.close();
+
+  EXPECT_FALSE(IntervalIndex::load(path));
+  EXPECT_FALSE(fs::exists(path)) << "corrupt file must be quarantined";
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  fs::remove(path + ".corrupt");
+
+  ASSERT_TRUE(idx.save(path));  // regeneration succeeds
+  EXPECT_TRUE(IntervalIndex::load(path).has_value());
+  fs::remove(path);
+}
+
+TEST(SpatialIntervalIndex, ForeignMagicIsRejected) {
+  // A framed file with someone else's magic must not decode.
+  const auto points = random_points(50, 7);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const std::string path = temp_path("foreign.bin");
+  ASSERT_TRUE(idx.save(path));
+  const util::durable::FramedRead fr =
+      util::durable::read_framed(path, kIntervalIndexMagic);
+  ASSERT_TRUE(fr.ok());
+  ASSERT_TRUE(util::durable::write_framed(path, /*magic=*/0x1234,
+                                          kIntervalIndexVersion, fr.payload));
+  EXPECT_FALSE(IntervalIndex::load(path));
+  fs::remove(path);
+  fs::remove(path + ".corrupt");
+}
+
+}  // namespace
+}  // namespace geoloc::spatial
