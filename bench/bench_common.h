@@ -32,6 +32,7 @@
 #include "util/csv.h"
 #include "util/env.h"
 #include "util/parallel.h"
+#include "util/procstat.h"
 
 namespace geoloc::bench {
 
@@ -75,8 +76,12 @@ class WallTimer {
 };
 
 /// Append one timing record to $GEOLOC_BENCH_JSON as a JSON line:
-///   {"name":…,"wall_ms":…,"threads":…,"vps":…,"targets":…}
+///   {"name":…,"wall_ms":…,"threads":…,"vps":…,"targets":…,
+///    "peak_rss_kb":…,"allocs":…}
 /// so sweeps over GEOLOC_THREADS produce a machine-diffable speedup table.
+/// peak_rss_kb is the process high-water mark (VmHWM) at emit time and
+/// allocs the cumulative global operator-new count (util/procstat.h) — the
+/// two columns a perf regression shows up in before wall time moves.
 /// No-op when the variable is unset; also echoed to stdout either way.
 inline void emit_bench_json(const std::string& name, double wall_ms,
                             std::size_t vps, std::size_t targets) {
@@ -88,14 +93,18 @@ inline void emit_bench_json(const std::string& name, double wall_ms,
   if (std::FILE* f = std::fopen(path.c_str(), "a")) {
     std::fprintf(f,
                  "{\"name\":\"%s\",\"wall_ms\":%.3f,\"threads\":%u,"
-                 "\"vps\":%zu,\"targets\":%zu}\n",
-                 name.c_str(), wall_ms, threads, vps, targets);
+                 "\"vps\":%zu,\"targets\":%zu,\"peak_rss_kb\":%zu,"
+                 "\"allocs\":%llu}\n",
+                 name.c_str(), wall_ms, threads, vps, targets,
+                 util::procstat::peak_rss_kb(),
+                 static_cast<unsigned long long>(
+                     util::procstat::alloc_count()));
     std::fclose(f);
   }
 }
 
 /// Append one free-form record to $GEOLOC_BENCH_JSON as a JSON line:
-///   {"name":…,"threads":…,"<field>":<value>,…}
+///   {"name":…,"threads":…,"<field>":<value>,…,"peak_rss_kb":…,"allocs":…}
 /// for benches whose natural outputs are rates/latencies rather than the
 /// wall_ms/vps/targets shape of emit_bench_json(). No-op when unset.
 inline void emit_bench_json_fields(
@@ -109,7 +118,10 @@ inline void emit_bench_json_fields(
     for (const auto& [key, value] : fields) {
       std::fprintf(f, ",\"%s\":%.6g", key, value);
     }
-    std::fprintf(f, "}\n");
+    std::fprintf(f, ",\"peak_rss_kb\":%zu,\"allocs\":%llu}\n",
+                 util::procstat::peak_rss_kb(),
+                 static_cast<unsigned long long>(
+                     util::procstat::alloc_count()));
     std::fclose(f);
   }
 }

@@ -1,0 +1,177 @@
+#include "core/streaming_campaign.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "core/million_scale.h"
+#include "geo/geodesy.h"
+#include "util/parallel.h"
+
+namespace geoloc::core {
+
+std::vector<std::vector<std::size_t>> streamed_select_block(
+    scenario::RttTileSource& reps, std::size_t target_block, int k,
+    std::span<const sim::HostId> col_self) {
+  const std::size_t col_begin = target_block * reps.shape().target_block;
+  const std::size_t col_end =
+      std::min(reps.cols(), col_begin + reps.shape().target_block);
+  const std::size_t n_cols = col_end - col_begin;
+  const auto kk = static_cast<std::size_t>(std::max(k, 0));
+  const auto& vps = reps.campaign().vps;
+
+  // Per column, a max-heap of the k smallest (rtt, row) pairs. The pair
+  // ordering is the one the dense partial_sort uses, and the set of k
+  // smallest pairs is independent of scan order, so the sorted heap equals
+  // the dense selection exactly — while only ever holding one VP-block
+  // tile plus k pairs per column.
+  std::vector<std::vector<std::pair<float, std::size_t>>> best(n_cols);
+  for (std::size_t vb = 0; vb < reps.vp_blocks(); ++vb) {
+    const auto& t = reps.tile(vb, target_block);
+    for (std::size_t rr = 0; rr < t.rows(); ++rr) {
+      const std::size_t r = t.vp_begin + rr;
+      const float* row = t.rtt.data() + rr * t.cols();
+      for (std::size_t cc = 0; cc < n_cols; ++cc) {
+        const float rtt = row[cc];
+        if (scenario::RttMatrix::is_missing(rtt)) continue;
+        if (!col_self.empty() && vps[r] == col_self[col_begin + cc]) continue;
+        auto& heap = best[cc];
+        const std::pair<float, std::size_t> cand{rtt, r};
+        if (heap.size() < kk) {
+          heap.push_back(cand);
+          std::push_heap(heap.begin(), heap.end());
+        } else if (kk != 0 && cand < heap.front()) {
+          std::pop_heap(heap.begin(), heap.end());
+          heap.back() = cand;
+          std::push_heap(heap.begin(), heap.end());
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<std::size_t>> out(n_cols);
+  for (std::size_t cc = 0; cc < n_cols; ++cc) {
+    std::sort(best[cc].begin(), best[cc].end());
+    out[cc].reserve(best[cc].size());
+    for (const auto& [rtt, r] : best[cc]) out[cc].push_back(r);
+  }
+  return out;
+}
+
+StreamingCampaignOutcome run_streaming_campaign(
+    scenario::RttTileSource& reps, scenario::RttTileSource& targets,
+    std::span<const std::uint32_t> target_to_rep_col,
+    const StreamingCampaignConfig& config) {
+  const auto& tc = targets.campaign();
+  const sim::World& world = *tc.world;
+  const std::size_t n_targets = targets.cols();
+  const bool identity = target_to_rep_col.empty();
+  if (identity && reps.cols() != n_targets) {
+    throw std::invalid_argument(
+        "run_streaming_campaign: identity mapping needs reps.cols() == "
+        "targets.cols()");
+  }
+  if (!identity && target_to_rep_col.size() != n_targets) {
+    throw std::invalid_argument(
+        "run_streaming_campaign: target_to_rep_col must cover every target");
+  }
+
+  StreamingCampaignOutcome out;
+  out.targets = n_targets;
+  out.errors_km.assign(n_targets, -1.0);
+
+  // Group target columns under the rep block their /24 column lives in, so
+  // each rep tile stripe is generated once and every dependent target
+  // consumes it while it is resident.
+  const auto rep_col_of = [&](std::size_t t) -> std::size_t {
+    return identity ? t : target_to_rep_col[t];
+  };
+  std::vector<std::vector<std::uint32_t>> targets_of_block(
+      reps.target_blocks());
+  for (std::size_t t = 0; t < n_targets; ++t) {
+    targets_of_block[rep_col_of(t) / reps.shape().target_block].push_back(
+        static_cast<std::uint32_t>(t));
+  }
+
+  struct TargetOutcome {
+    double error_km = -1.0;
+    std::uint32_t cells = 0;
+  };
+  for (std::size_t tb = 0; tb < reps.target_blocks(); ++tb) {
+    const auto& block_targets = targets_of_block[tb];
+    if (block_targets.empty()) continue;
+    // Self-VP exclusion during selection is the dense pipeline's
+    // anchors-as-both rule; it only applies when rep columns ARE target
+    // columns (identity mapping).
+    const auto selection = streamed_select_block(
+        reps, tb, config.k,
+        identity ? std::span<const sim::HostId>(tc.dsts)
+                 : std::span<const sim::HostId>{});
+    const std::size_t col_begin = tb * reps.shape().target_block;
+    // Final pings + CBG per target: each column is a pure function of its
+    // selection and the sparse cells it computes, so the block maps in
+    // parallel and folds in column order (bit-identical at any thread
+    // count).
+    const std::vector<TargetOutcome> results =
+        util::parallel_map<TargetOutcome>(
+            block_targets.size(), [&](std::size_t i) {
+              const std::size_t t = block_targets[i];
+              const auto& rows = selection[rep_col_of(t) - col_begin];
+              const sim::HostId target = tc.dsts[t];
+              TargetOutcome to;
+              std::vector<VpObservation> obs;
+              obs.reserve(rows.size());
+              for (const std::size_t r : rows) {
+                if (tc.vps[r] == target) continue;
+                const float rtt = targets.cell(r, t);
+                ++to.cells;
+                if (scenario::RttMatrix::is_missing(rtt)) continue;
+                obs.push_back(VpObservation{
+                    world.host(tc.vps[r]).reported_location, rtt});
+              }
+              const CbgResult res = cbg_geolocate(obs, config.cbg);
+              if (res.ok) {
+                to.error_km = geo::distance_km(
+                    res.estimate, world.host(target).true_location);
+              }
+              return to;
+            });
+    for (std::size_t i = 0; i < block_targets.size(); ++i) {
+      out.errors_km[block_targets[i]] = results[i].error_km;
+      out.target_cells += results[i].cells;
+      if (results[i].error_km >= 0.0) {
+        ++out.located;
+      } else {
+        ++out.failed;
+      }
+    }
+  }
+  out.rep_cells = reps.stats().generated_cells;
+  out.rep_stats = reps.stats();
+  out.target_stats = targets.stats();
+  return out;
+}
+
+scenario::RttTileSource make_resilient_rep_source(
+    const scenario::Scenario& s, const atlas::FaultModel* faults,
+    scenario::TileShape shape, std::size_t budget_tiles) {
+  scenario::TileCampaign c;
+  c.world = &s.world();
+  c.latency = &s.latency();
+  c.vps = s.vps();
+  c.group = 3;
+  c.dsts.reserve(s.targets().size() * 3);
+  for (const sim::HostId target : s.targets()) {
+    const RepresentativeFallback fb =
+        resilient_representatives(s, target, faults, 3);
+    for (const sim::HostId rep : fb.chosen) c.dsts.push_back(rep);
+    for (std::size_t i = fb.chosen.size(); i < 3; ++i) {
+      c.dsts.push_back(sim::kInvalidHost);
+    }
+  }
+  c.stream = s.world().rng().fork("campaign-reps-resilient");
+  c.ping_packets = s.config().ping_packets;
+  return scenario::RttTileSource(std::move(c), shape, budget_tiles);
+}
+
+}  // namespace geoloc::core

@@ -1,0 +1,78 @@
+#include "geo/geodesy_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/constants.h"
+
+namespace geoloc::geo {
+
+void PointsSoA::reserve(std::size_t n) {
+  lat_rad.reserve(n);
+  lon_deg.reserve(n);
+  cos_lat.reserve(n);
+  x.reserve(n);
+  y.reserve(n);
+  z.reserve(n);
+}
+
+void PointsSoA::push_back(const GeoPoint& p) {
+  const double lat = deg_to_rad(p.lat_deg);
+  const double lon = deg_to_rad(p.lon_deg);
+  const double cl = std::cos(lat);
+  lat_rad.push_back(lat);
+  lon_deg.push_back(p.lon_deg);
+  cos_lat.push_back(cl);
+  x.push_back(cl * std::cos(lon));
+  y.push_back(cl * std::sin(lon));
+  z.push_back(std::sin(lat));
+}
+
+PointsSoA PointsSoA::build(std::span<const GeoPoint> points) {
+  PointsSoA soa;
+  soa.reserve(points.size());
+  for (const GeoPoint& p : points) soa.push_back(p);
+  return soa;
+}
+
+void distance_km_batch(const GeoPoint& from, const PointsSoA& pts,
+                       std::size_t begin, std::size_t end,
+                       double* out) noexcept {
+  // Mirror of the scalar distance_km body, operation for operation: `from`
+  // plays the role of `a`, so lat1/cos(lat1) hoist out of the loop and the
+  // per-point terms come precomputed from the SoA. Any change here must
+  // keep the expression order or the bit-identity contract breaks.
+  const double lat1 = deg_to_rad(from.lat_deg);
+  const double cos_lat1 = std::cos(lat1);
+  for (std::size_t j = begin; j < end; ++j) {
+    const double lat2 = pts.lat_rad[j];
+    const double dlat = lat2 - lat1;
+    const double dlon = deg_to_rad(pts.lon_deg[j] - from.lon_deg);
+    const double sin_dlat = std::sin(dlat / 2.0);
+    const double sin_dlon = std::sin(dlon / 2.0);
+    const double h =
+        sin_dlat * sin_dlat + cos_lat1 * pts.cos_lat[j] * sin_dlon * sin_dlon;
+    out[j - begin] = 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+  }
+}
+
+void chord_distance_km_batch(const PointsSoA& from_pts, std::size_t i,
+                             const PointsSoA& pts, std::size_t begin,
+                             std::size_t end, double* out) noexcept {
+  const double fx = from_pts.x[i];
+  const double fy = from_pts.y[i];
+  const double fz = from_pts.z[i];
+  for (std::size_t j = begin; j < end; ++j) {
+    const double dx = pts.x[j] - fx;
+    const double dy = pts.y[j] - fy;
+    const double dz = pts.z[j] - fz;
+    // Half the chord length is sin(angle / 2); asin recovers the
+    // great-circle angle without the cancellation the dot-product form
+    // suffers for near-coincident points.
+    const double half_chord = std::sqrt(dx * dx + dy * dy + dz * dz) * 0.5;
+    out[j - begin] =
+        2.0 * kEarthRadiusKm * std::asin(std::min(1.0, half_chord));
+  }
+}
+
+}  // namespace geoloc::geo

@@ -1,0 +1,76 @@
+// Batched geodesic kernels over SoA point sets (DESIGN.md §14).
+//
+// The dense RTT pipeline calls the scalar haversine once per (VP, target)
+// pair through two Host structs — pointer-chasing and re-deriving
+// deg_to_rad/cos(lat) for the same endpoints millions of times. The
+// streaming tile pipeline instead converts each host list once into a
+// PointsSoA — separate contiguous arrays for the per-point subexpressions
+// (lat in radians, raw longitude degrees, cos(lat)) plus the 3-D unit
+// vectors — and runs one-to-many kernels over flat doubles.
+//
+// Two kernels, two contracts:
+//
+//   distance_km_batch — BIT-IDENTICAL to the scalar distance_km oracle.
+//     It performs the same floating-point operations in the same order and
+//     association; the only change is that the per-point pure
+//     subexpressions (deg_to_rad(lat_deg), cos(lat_rad)) are computed once
+//     at SoA build time instead of per call. Same double inputs through
+//     the same libm give the same doubles, so tile-generated RTTs equal
+//     dense-path RTTs byte for byte (asserted by the scale test suite).
+//
+//   chord_distance_km_batch — the unit-vector form (great-circle angle via
+//     the chord length, 2R·asin(|u−v|/2)): mathematically equal, NOT
+//     bit-identical. The inner loop is pure mul/add over x[]y[]z[] with a
+//     single asin per element, so the compiler can vectorise everything
+//     but the libm call. Contract: absolute error vs the scalar oracle
+//     ≤ 1e-6 km (one millimetre) — except within ~100 km of the exact
+//     antipode, where asin's conditioning diverges (dθ/dchord → ∞ as the
+//     chord approaches the diameter) and no chord formulation can hold a
+//     millimetre; there the bound is 1e-3 km (one metre). Asserted over
+//     adversarial point pairs (poles, anti-meridian, antipodal,
+//     near-coincident). Use it only where byte-identity with the dense
+//     path is not required.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geo/geopoint.h"
+
+namespace geoloc::geo {
+
+/// Structure-of-arrays view of a point list: the precomputed per-point
+/// terms of the haversine plus unit vectors. Built once per host list,
+/// ~56 bytes per point.
+struct PointsSoA {
+  std::vector<double> lat_rad;  ///< deg_to_rad(lat_deg)
+  std::vector<double> lon_deg;  ///< raw longitude (haversine subtracts degrees)
+  std::vector<double> cos_lat;  ///< cos(lat_rad)
+  std::vector<double> x, y, z;  ///< unit vector on the sphere
+
+  [[nodiscard]] std::size_t size() const noexcept { return lat_rad.size(); }
+  [[nodiscard]] bool empty() const noexcept { return lat_rad.empty(); }
+
+  void reserve(std::size_t n);
+  void push_back(const GeoPoint& p);
+
+  [[nodiscard]] static PointsSoA build(std::span<const GeoPoint> points);
+};
+
+/// out[j - begin] = distance_km(from, points[j]) for j in [begin, end) —
+/// bit-identical to the scalar oracle (see the contract above).
+/// Precondition: end <= pts.size(), out has end - begin slots.
+void distance_km_batch(const GeoPoint& from, const PointsSoA& pts,
+                       std::size_t begin, std::size_t end,
+                       double* out) noexcept;
+
+/// Chord-based fast kernel: out[j - begin] ≈ distance_km(pts_from[i],
+/// pts[j]) within 1e-6 km (1e-3 km for near-antipodal pairs; see the
+/// contract above). The from-side point comes from a SoA too so the
+/// caller amortises its unit vector.
+void chord_distance_km_batch(const PointsSoA& from_pts, std::size_t i,
+                             const PointsSoA& pts, std::size_t begin,
+                             std::size_t end, double* out) noexcept;
+
+}  // namespace geoloc::geo

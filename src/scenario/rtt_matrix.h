@@ -6,6 +6,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <limits>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -16,10 +17,13 @@ namespace geoloc::scenario {
 class RttMatrix {
  public:
   RttMatrix() = default;
+  /// Throws std::length_error when rows * cols overflows std::size_t — the
+  /// durable loader validates its counts the same way, and a silently
+  /// wrapped allocation here would hand out a tiny matrix with out-of-range
+  /// indexing instead of failing loudly.
   RttMatrix(std::size_t rows, std::size_t cols)
-      : rows_(rows),
-        cols_(cols),
-        data_(rows * cols, std::numeric_limits<float>::quiet_NaN()) {}
+      : rows_(rows), cols_(cols), data_(checked_extent(rows, cols),
+                                        std::numeric_limits<float>::quiet_NaN()) {}
 
   [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
   [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
@@ -43,6 +47,15 @@ class RttMatrix {
   bool load(const std::string& path, std::uint64_t tag);
 
  private:
+  [[nodiscard]] static std::size_t checked_extent(std::size_t rows,
+                                                  std::size_t cols) {
+    if (cols != 0 &&
+        rows > std::numeric_limits<std::size_t>::max() / cols) {
+      throw std::length_error("RttMatrix: rows * cols overflows size_t");
+    }
+    return rows * cols;
+  }
+
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::vector<float> data_;

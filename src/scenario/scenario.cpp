@@ -8,8 +8,8 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "scenario/tile_source.h"
 #include "util/env.h"
-#include "util/parallel.h"
 
 namespace geoloc::scenario {
 
@@ -220,22 +220,13 @@ const RttMatrix& Scenario::target_rtts() const {
   }
   matrix_metrics().cache_misses.add();
   const auto start = std::chrono::steady_clock::now();
-  m = std::make_unique<RttMatrix>(vps_.size(), targets_.size());
-  const util::RngStream stream = world_->rng().fork("campaign-target");
-  // Every (r, c) cell forks its own RNG stream and owns its own matrix
-  // slot, so rows materialise in parallel with bit-identical results for
-  // any GEOLOC_THREADS — which keeps the disk-cache tag honest.
-  util::parallel_for(
-      vps_.size(),
-      [&](std::size_t r) {
-        for (std::size_t c = 0; c < targets_.size(); ++c) {
-          auto gen = stream.fork("m", (r << 20) | c).gen();
-          const auto rtt = latency_->min_rtt_ms(vps_[r], targets_[c],
-                                                config_.ping_packets, gen);
-          if (rtt) m->set(r, c, static_cast<float>(*rtt));
-        }
-      },
-      /*grain=*/1);
+  // Small worlds still get the dense matrix, but it is assembled from the
+  // streaming tile source (one scratch tile at a time) — byte-identical to
+  // the old per-cell loop for any tile shape and GEOLOC_THREADS, which
+  // keeps the disk-cache tag honest. Million-scale consumers skip this
+  // method entirely and stream the tiles directly (DESIGN.md §14).
+  m = std::make_unique<RttMatrix>(
+      RttTileSource::for_targets(*this).materialise());
   matrix_metrics().cells.add(vps_.size() * targets_.size());
   matrix_metrics().materialise_wall_ms.observe(
       std::chrono::duration<double, std::milli>(
@@ -259,36 +250,10 @@ const RttMatrix& Scenario::representative_rtts() const {
   }
   matrix_metrics().cache_misses.add();
   const auto start = std::chrono::steady_clock::now();
-  m = std::make_unique<RttMatrix>(vps_.size(), targets_.size());
-  const util::RngStream stream = world_->rng().fork("campaign-reps");
-  // Parallel over target columns: the hitlist lookup happens once per
-  // column, and every cell's randomness is a pure function of (r, c).
-  util::parallel_for(
-      targets_.size(),
-      [&](std::size_t c) {
-        const auto& set = hitlist_->for_target(targets_[c]);
-        for (std::size_t r = 0; r < vps_.size(); ++r) {
-          auto gen = stream.fork("m", (r << 20) | c).gen();
-          // Min RTT per responsive representative, median across them. With
-          // at most three values the median is cheap to compute by hand.
-          double vals[3];
-          int n = 0;
-          for (const auto& rep : set.reps) {
-            const auto rtt = latency_->min_rtt_ms(vps_[r], rep.host,
-                                                  config_.ping_packets, gen);
-            if (rtt) vals[n++] = *rtt;
-          }
-          if (n == 0) continue;
-          if (n > 1 && vals[0] > vals[1]) std::swap(vals[0], vals[1]);
-          if (n > 2 && vals[1] > vals[2]) std::swap(vals[1], vals[2]);
-          if (n > 1 && vals[0] > vals[1]) std::swap(vals[0], vals[1]);
-          const double med = (n == 3)   ? vals[1]
-                             : (n == 2) ? (vals[0] + vals[1]) / 2.0
-                                        : vals[0];
-          m->set(r, c, static_cast<float>(med));
-        }
-      },
-      /*grain=*/1);
+  // Same tiling as target_rtts(); the representative campaign's median
+  // semantics live in the tile source's cell recipe.
+  m = std::make_unique<RttMatrix>(
+      RttTileSource::for_representatives(*this).materialise());
   matrix_metrics().cells.add(vps_.size() * targets_.size());
   matrix_metrics().materialise_wall_ms.observe(
       std::chrono::duration<double, std::milli>(

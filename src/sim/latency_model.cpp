@@ -8,6 +8,28 @@
 
 namespace geoloc::sim {
 
+namespace {
+
+// Substream label hashes of the pair generators, hoisted so the batch path
+// does not re-run FNV-1a per cell. Keep in sync with the string literals in
+// pair_gen/city_pair_gen call sites below (the scale suite asserts the batch
+// path is bit-identical to the scalar one, which pins these).
+constexpr std::uint64_t kInflationLabel = util::hash_label("inflation");
+constexpr std::uint64_t kInflationHostLabel = util::hash_label("inflation-host");
+constexpr std::uint64_t kOverheadCityLabel = util::hash_label("overhead-city");
+constexpr std::uint64_t kOverheadLocalLabel = util::hash_label("overhead-local");
+
+/// The shared seed derivation of pair_gen/city_pair_gen with the label
+/// already hashed and the unordered pair already split into (lo, hi).
+util::Pcg32 keyed_gen(std::uint64_t seed, std::uint64_t label_hash,
+                      std::uint64_t lo, std::uint64_t hi) noexcept {
+  std::uint64_t s = seed ^ label_hash ^ (lo * 0x9e3779b97f4a7c15ULL) ^
+                    (hi * 0xc2b2ae3d27d4eb4fULL);
+  return util::Pcg32{util::splitmix64(s)};
+}
+
+}  // namespace
+
 LatencyModel::LatencyModel(const World& world, const LatencyModelConfig& config)
     : world_(&world),
       config_(config),
@@ -88,16 +110,113 @@ std::optional<double> LatencyModel::min_rtt_ms(HostId src, HostId dst,
 LatencyModel::PingSample LatencyModel::ping_sample(HostId src, HostId dst,
                                                    int packets,
                                                    util::Pcg32& gen) const {
+  if (!world_->host(dst).responsive) return {};
+  return ping_sample_with_base(base_rtt_ms(src, dst), /*responsive=*/true,
+                               packets, gen);
+}
+
+LatencyModel::PingSample LatencyModel::ping_sample_with_base(
+    double base_rtt, bool responsive, int packets, util::Pcg32& gen) const {
   PingSample sample;
-  if (!world_->host(dst).responsive) return sample;
-  const double base = base_rtt_ms(src, dst);
+  if (!responsive) return sample;
   for (int i = 0; i < packets; ++i) {
     if (gen.chance(config_.loss_rate)) continue;
-    const double rtt = base + gen.exponential(config_.jitter_mean_ms);
+    const double rtt = base_rtt + gen.exponential(config_.jitter_mean_ms);
     ++sample.packets_received;
     if (!sample.min_rtt_ms || rtt < *sample.min_rtt_ms) sample.min_rtt_ms = rtt;
   }
   return sample;
+}
+
+LatencyModel::HostSoA LatencyModel::host_soa(
+    std::span<const HostId> hosts) const {
+  HostSoA soa;
+  const std::size_t n = hosts.size();
+  soa.ids.assign(hosts.begin(), hosts.end());
+  soa.location.reserve(n);
+  soa.points.reserve(n);
+  soa.city.reserve(n);
+  soa.last_mile_ms.reserve(n);
+  soa.access_penalty_ms.reserve(n);
+  soa.local_peering.reserve(n);
+  soa.responsive.reserve(n);
+  for (const HostId id : hosts) {
+    if (id == kInvalidHost) {
+      // Placeholder slot (e.g. a /24 with fewer than three usable
+      // representatives): never responsive, so its base RTT is never
+      // consumed and no packet draws happen — identical to probing an
+      // unresponsive host.
+      soa.location.emplace_back();
+      soa.points.push_back(geo::GeoPoint{});
+      soa.city.push_back(0);
+      soa.last_mile_ms.push_back(0.0);
+      soa.access_penalty_ms.push_back(0.0);
+      soa.local_peering.push_back(0);
+      soa.responsive.push_back(0);
+      continue;
+    }
+    const Host& h = world_->host(id);
+    soa.location.push_back(h.true_location);
+    soa.points.push_back(h.true_location);
+    soa.city.push_back(world_->place(h.place).parent);
+    soa.last_mile_ms.push_back(h.last_mile_ms);
+    soa.access_penalty_ms.push_back(world_->access_penalty_ms(h.place));
+    soa.local_peering.push_back(world_->has_local_peering(h.place) ? 1 : 0);
+    soa.responsive.push_back(h.responsive ? 1 : 0);
+  }
+  return soa;
+}
+
+void LatencyModel::base_rtt_ms_batch(const HostSoA& src, std::size_t i,
+                                     const HostSoA& dst, std::size_t begin,
+                                     std::size_t end, CityPairCache& cache,
+                                     double* out) const {
+  if (begin >= end) return;
+  // Pass 1: great-circle distances into `out`, bit-identical to the scalar
+  // distance_km per the batch-kernel contract. Pass 2 consumes each d and
+  // overwrites the slot with the finished base RTT, replicating the scalar
+  // base_rtt_ms / pair_inflation expressions term for term and in the same
+  // association — that is what makes the tile pipeline byte-identical to
+  // the dense one.
+  geo::distance_km_batch(src.location[i], dst.points, begin, end, out);
+  const std::uint64_t city_a = src.city[i];
+  const std::uint64_t host_a = src.ids[i];
+  for (std::size_t j = begin; j < end; ++j) {
+    const double d = out[j - begin];
+    const double prop = geo::distance_to_min_rtt_ms(d);
+    const std::uint64_t city_b = dst.city[j];
+    const std::uint64_t clo = std::min(city_a, city_b);
+    const std::uint64_t chi = std::max(city_a, city_b);
+    const auto [it, fresh] = cache.try_emplace((clo << 32) | chi);
+    if (fresh) {
+      auto cigen = keyed_gen(seed_, kInflationLabel, clo, chi);
+      it->second.inflation_city =
+          cigen.lognormal(config_.inflation_mu, config_.inflation_sigma);
+      auto cogen = keyed_gen(seed_, kOverheadCityLabel, clo, chi);
+      it->second.overhead_city = cogen.exponential(config_.overhead_mean_ms);
+    }
+    const std::uint64_t host_b = dst.ids[j];
+    const std::uint64_t hlo = std::min(host_a, host_b);
+    const std::uint64_t hhi = std::max(host_a, host_b);
+    auto hgen = keyed_gen(seed_, kInflationHostLabel, hlo, hhi);
+    const double raw = it->second.inflation_city *
+                       hgen.lognormal(0.0, config_.inflation_host_sigma);
+    const double short_boost =
+        1.0 + config_.short_path_boost_km / (d + config_.short_path_floor_km);
+    const double inflation = std::max(config_.min_inflation, raw * short_boost);
+    auto lgen = keyed_gen(seed_, kOverheadLocalLabel, hlo, hhi);
+    const double dist_scale = 0.25 + 0.75 * std::min(1.0, d / 500.0);
+    const double overhead =
+        it->second.overhead_city * dist_scale +
+        lgen.exponential(config_.overhead_local_mean_ms);
+    double penalty = 0.0;
+    const bool same_city = city_a == city_b;
+    if (!(same_city && src.local_peering[i])) {
+      penalty = src.access_penalty_ms[i] + dst.access_penalty_ms[j];
+    }
+    out[j - begin] = prop * inflation + overhead + src.last_mile_ms[i] +
+                     dst.last_mile_ms[j] + penalty;
+  }
 }
 
 double LatencyModel::router_hop_rtt_ms(HostId src, HostId hop,

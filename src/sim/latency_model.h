@@ -18,6 +18,11 @@
 // jitter, like a real path.
 #pragma once
 
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geodesy_batch.h"
 #include "sim/world.h"
 #include "util/rng.h"
 
@@ -85,6 +90,58 @@ class LatencyModel {
   /// the two are interchangeable without perturbing downstream streams.
   [[nodiscard]] PingSample ping_sample(HostId src, HostId dst, int packets,
                                        util::Pcg32& gen) const;
+
+  // -- batched SoA path (DESIGN.md §14) -----------------------------------
+  // The streaming tile pipeline synthesises base RTTs one VP row at a time
+  // against thousands of destinations. The scalar path would chase Host and
+  // Place pointers and re-hash the substream labels for every cell; the
+  // batch path gathers the world fields once per host list, hoists the
+  // label hashes, caches the per-city-pair draws within a row, and takes
+  // its distances from the bit-identical batch kernel — so the outputs
+  // equal the scalar path double for double (asserted by the scale suite).
+
+  /// SoA gather of exactly the World/Host fields base_rtt_ms reads.
+  struct HostSoA {
+    std::vector<HostId> ids;
+    std::vector<geo::GeoPoint> location;  ///< true locations (kernel `from` side)
+    geo::PointsSoA points;                ///< true locations, precomputed terms
+    std::vector<std::uint64_t> city;      ///< parent city of the host's place
+    std::vector<double> last_mile_ms;
+    std::vector<double> access_penalty_ms;
+    std::vector<char> local_peering;      ///< has_local_peering(host.place)
+    std::vector<char> responsive;
+
+    [[nodiscard]] std::size_t size() const noexcept { return ids.size(); }
+  };
+  [[nodiscard]] HostSoA host_soa(std::span<const HostId> hosts) const;
+
+  /// The two draws base_rtt_ms keys on the unordered *city* pair. They are
+  /// values, not generator state — each (pair, label) substream is
+  /// independent — so caching them per row is exact, and a row over one
+  /// metro's targets pays the lognormal/exponential machinery once per
+  /// distinct city instead of once per cell.
+  struct CityPairDraws {
+    double inflation_city = 0.0;  ///< lognormal(inflation_mu, inflation_sigma)
+    double overhead_city = 0.0;   ///< exponential(overhead_mean_ms)
+  };
+  using CityPairCache = std::unordered_map<std::uint64_t, CityPairDraws>;
+
+  /// out[j - begin] = base_rtt_ms(src.ids[i], dst.ids[j]) for j in
+  /// [begin, end), bit-identical to the scalar method. `cache` persists
+  /// across calls for the same row (or any rows — it is keyed on the
+  /// unordered city pair, which is row-independent).
+  void base_rtt_ms_batch(const HostSoA& src, std::size_t i, const HostSoA& dst,
+                         std::size_t begin, std::size_t end,
+                         CityPairCache& cache, double* out) const;
+
+  /// ping_sample with the pair's deterministic base RTT already in hand:
+  /// consumes `gen` identically to ping_sample(src, dst, ...) and returns
+  /// the same value when (base_rtt, responsive) match that pair. The tile
+  /// generator calls this with batched bases; the scalar ping_sample is a
+  /// thin wrapper, so the loss/jitter logic exists exactly once.
+  [[nodiscard]] PingSample ping_sample_with_base(double base_rtt,
+                                                 bool responsive, int packets,
+                                                 util::Pcg32& gen) const;
 
   /// The RTT a traceroute from `src` reports for intermediate router `hop`:
   /// base RTT skewed by reverse-path asymmetry plus the router's ICMP

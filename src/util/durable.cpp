@@ -5,11 +5,13 @@
 #include <memory>
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include "obs/log.h"
 #include "obs/metrics.h"
+#include "util/env.h"
 
 namespace geoloc::util::durable {
 
@@ -336,6 +338,117 @@ FramedRead read_framed(const std::string& path, std::uint64_t magic,
   r.payload.assign(payload.begin(), payload.end());
   metrics().reads_ok.add();
   return r;
+}
+
+namespace {
+
+/// Holds a FramedRead so its payload vector outlives the view aliasing it.
+struct BufferKeepalive {
+  std::vector<std::byte> bytes;
+};
+
+/// munmap-on-destruction owner of a whole-file read-only mapping.
+struct MmapKeepalive {
+  void* base = nullptr;
+  std::size_t length = 0;
+  ~MmapKeepalive() {
+    if (base != nullptr && base != MAP_FAILED) ::munmap(base, length);
+  }
+  MmapKeepalive() = default;
+  MmapKeepalive(const MmapKeepalive&) = delete;
+  MmapKeepalive& operator=(const MmapKeepalive&) = delete;
+};
+
+/// The buffered fallback: run read_framed and re-home its payload vector in
+/// the view's keepalive so the span stays valid.
+FramedView fallback_buffered(const std::string& path, std::uint64_t magic,
+                             bool quarantine_corrupt) {
+  FramedView v;
+  FramedRead r = read_framed(path, magic, quarantine_corrupt);
+  v.status = r.status;
+  v.version = r.version;
+  v.error = std::move(r.error);
+  v.mapped = false;
+  if (r.ok()) {
+    auto keep = std::make_shared<BufferKeepalive>();
+    keep->bytes = std::move(r.payload);
+    v.payload = keep->bytes;
+    v.keepalive = std::move(keep);
+  }
+  return v;
+}
+
+}  // namespace
+
+FramedView read_framed_mapped(const std::string& path, std::uint64_t magic,
+                              bool quarantine_corrupt) {
+  if (env::flag("GEOLOC_DURABLE_NO_MMAP")) {
+    return fallback_buffered(path, magic, quarantine_corrupt);
+  }
+
+  FramedView v;
+  const auto corrupt = [&](std::string why) -> FramedView& {
+    v.status = ReadStatus::Corrupt;
+    v.error = "durable: " + path + ": " + std::move(why);
+    v.payload = {};
+    v.keepalive.reset();
+    if (quarantine_corrupt) quarantine(path);
+    return v;
+  };
+
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      v.status = ReadStatus::NotFound;
+      v.error = "durable: cannot open: " + path;
+      metrics().reads_missing.add();
+      return v;
+    }
+    return fallback_buffered(path, magic, quarantine_corrupt);
+  }
+  struct ::stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return fallback_buffered(path, magic, quarantine_corrupt);
+  }
+  const auto size = static_cast<std::size_t>(st.st_size);
+  if (size < kFrameOverheadBytes) {
+    ::close(fd);
+    return corrupt("truncated frame (" + std::to_string(size) + " bytes)");
+  }
+  void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping holds its own reference to the file
+  if (base == MAP_FAILED) {
+    return fallback_buffered(path, magic, quarantine_corrupt);
+  }
+  auto keep = std::make_shared<MmapKeepalive>();
+  keep->base = base;
+  keep->length = size;
+
+  // Identical validation sequence to read_framed, against the mapping.
+  const auto* h = static_cast<const std::byte*>(base);
+  if (load_u64(h + 0) != kFrameMagic) return corrupt("bad frame magic");
+  if (load_u64(h + 32) != xxh64(std::span<const std::byte>(h, 32))) {
+    return corrupt("header checksum mismatch");
+  }
+  if (load_u64(h + 8) != magic) return corrupt("foreign artifact magic");
+  const std::uint64_t payload_len = load_u64(h + 24);
+  if (payload_len != size - kFrameOverheadBytes) {
+    return corrupt("payload length " + std::to_string(payload_len) +
+                   " does not match file size " + std::to_string(size));
+  }
+  const std::span<const std::byte> payload(h + kFrameHeaderBytes, payload_len);
+  if (load_u64(h + kFrameHeaderBytes + payload_len) != xxh64(payload)) {
+    return corrupt("payload checksum mismatch");
+  }
+
+  v.status = ReadStatus::Ok;
+  v.version = load_u32(h + 16);
+  v.payload = payload;
+  v.keepalive = std::move(keep);
+  v.mapped = true;
+  metrics().reads_ok.add();
+  return v;
 }
 
 }  // namespace geoloc::util::durable

@@ -28,6 +28,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <span>
 #include <string>
 #include <type_traits>
@@ -116,6 +117,38 @@ struct FramedRead {
 [[nodiscard]] FramedRead read_framed(const std::string& path,
                                      std::uint64_t magic,
                                      bool quarantine_corrupt = true);
+
+/// Zero-copy variant of a framed read: `payload` views the verified bytes
+/// in place instead of owning a copy, and `keepalive` pins the backing
+/// storage (an mmap'd file, or the fallback heap buffer) for as long as any
+/// copy of it is held. Consumers that parse the payload into flat arrays —
+/// the spatial interval index — can alias it directly and skip the
+/// payload-sized allocation + memcpy of read_framed.
+struct FramedView {
+  ReadStatus status = ReadStatus::IoError;
+  std::uint32_t version = 0;            ///< caller format version (when Ok)
+  std::span<const std::byte> payload;   ///< verified payload bytes (when Ok)
+  /// Owns whatever `payload` points into. Keep (a copy of) this alive for
+  /// the lifetime of anything aliasing the payload.
+  std::shared_ptr<const void> keepalive;
+  bool mapped = false;                  ///< true = mmap, false = heap buffer
+  std::string error;                    ///< one-line reason (when not Ok)
+
+  [[nodiscard]] bool ok() const noexcept { return status == ReadStatus::Ok; }
+};
+
+/// Read and validate a framed file via mmap(PROT_READ, MAP_PRIVATE); the
+/// full header + XXH64 validation of read_framed runs against the mapping
+/// before a payload byte is exposed, and corrupt files are quarantined the
+/// same way. When mmap is unavailable (open/fstat/mmap failure, or
+/// GEOLOC_DURABLE_NO_MMAP=1) this degrades to the buffered read_framed with
+/// the copied payload parked in `keepalive` — callers never need a second
+/// code path. The payload starts kFrameHeaderBytes (40) into the
+/// page-aligned mapping, so 8-byte-aligned fields at 8-byte payload offsets
+/// stay aligned.
+[[nodiscard]] FramedView read_framed_mapped(const std::string& path,
+                                            std::uint64_t magic,
+                                            bool quarantine_corrupt = true);
 
 // -- bounds-checked payload codecs -----------------------------------------
 

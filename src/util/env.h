@@ -40,6 +40,20 @@
 //   GEOLOC_SPATIAL_MAX_CELLS=N   covering budget for spatial index queries
 //                         (default 64, clamped to [4, 4096]; more cells =
 //                         tighter coverings, fewer false candidates)
+//   GEOLOC_RTT_TILE_VPS=N / GEOLOC_RTT_TILE_TARGETS=N   tile geometry of
+//                         the streaming RTT producer (default 256 x 512;
+//                         any shape yields the same bytes — DESIGN.md §14)
+//   GEOLOC_RTT_TILE_BUDGET=N    max tiles resident in a source's LRU cache
+//                         (default 64, clamped to >= 1; bounds peak memory,
+//                         never results)
+//   GEOLOC_DURABLE_NO_MMAP=1    force the buffered read path for framed
+//                         artifacts (read_framed_mapped falls back; the
+//                         mmap fast path is the default)
+//   GEOLOC_MS_SLASH24S=N / GEOLOC_MS_TARGETS_PER_24=N / GEOLOC_MS_VPS=N
+//                         bench_million_scale world size (defaults
+//                         100000 / 10 / 128 = the 1M-target point)
+//   GEOLOC_MS_RSS_CEILING_MB=N  bench_million_scale memory gate
+//                         (default 4096)
 #pragma once
 
 #include <algorithm>

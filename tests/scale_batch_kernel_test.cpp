@@ -1,0 +1,189 @@
+// Batched geodesic kernels vs the scalar oracles (DESIGN.md §14).
+//
+// distance_km_batch carries a BIT-IDENTITY contract against the scalar
+// geo::distance_km — the whole tile-vs-dense equivalence argument rests on
+// it — so the assertions here are EXPECT_EQ on doubles, not near-equality.
+// chord_distance_km_batch carries a documented 1e-6 km tolerance instead.
+// Both run over the adversarial pairs where haversine implementations
+// diverge first: poles, anti-meridian crossings, antipodal and
+// near-coincident points. The LatencyModel batch base-RTT path is pinned
+// the same way against the scalar base_rtt_ms.
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geo/geodesy.h"
+#include "geo/geodesy_batch.h"
+#include "geo/geopoint.h"
+#include "sim/latency_model.h"
+#include "test_scenario.h"
+#include "util/rng.h"
+
+namespace geoloc {
+namespace {
+
+std::vector<geo::GeoPoint> adversarial_points() {
+  return {
+      {90.0, 0.0},           // north pole
+      {-90.0, 0.0},          // south pole
+      {90.0, 137.0},         // pole with a nonzero longitude
+      {0.0, 0.0},            // origin
+      {0.0, 180.0},          // anti-meridian
+      {0.0, -180.0},         // anti-meridian, other sign
+      {45.0, 179.999999},    // just west of the anti-meridian
+      {45.0, -179.999999},   // just east of it
+      {-45.0, 135.0},        // antipode of (45, -45)
+      {45.0, -45.0},
+      {10.0, 10.0},          // near-coincident pair
+      {10.0, 10.0000001},
+      {10.0000001, 10.0},
+      {52.5200, 13.4050},    // Berlin
+      {-33.8688, 151.2093},  // Sydney (≈ antipodal to the Azores)
+      {38.7223, -27.2206},   // Azores
+      {1e-12, -1e-12},       // denormal-adjacent coordinates
+  };
+}
+
+std::vector<geo::GeoPoint> random_points(std::size_t n, std::uint64_t seed) {
+  util::Pcg32 gen{seed};
+  std::vector<geo::GeoPoint> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({gen.uniform(-90.0, 90.0), gen.uniform(-180.0, 180.0)});
+  }
+  return pts;
+}
+
+TEST(ScaleBatchKernel, HaversineBatchIsBitIdenticalOnAdversarialPoints) {
+  const auto pts = adversarial_points();
+  const geo::PointsSoA soa = geo::PointsSoA::build(pts);
+  std::vector<double> out(pts.size());
+  for (const geo::GeoPoint& from : pts) {
+    geo::distance_km_batch(from, soa, 0, pts.size(), out.data());
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      const double oracle = geo::distance_km(from, pts[j]);
+      // Bit-identity, not tolerance: compare exact doubles.
+      EXPECT_EQ(oracle, out[j]) << "from (" << from.lat_deg << ","
+                                << from.lon_deg << ") to (" << pts[j].lat_deg
+                                << "," << pts[j].lon_deg << ")";
+    }
+  }
+}
+
+TEST(ScaleBatchKernel, HaversineBatchIsBitIdenticalOnRandomPoints) {
+  const auto pts = random_points(512, /*seed=*/0xabcdefULL);
+  const auto froms = random_points(32, /*seed=*/0x123456ULL);
+  const geo::PointsSoA soa = geo::PointsSoA::build(pts);
+  std::vector<double> out(pts.size());
+  for (const geo::GeoPoint& from : froms) {
+    geo::distance_km_batch(from, soa, 0, pts.size(), out.data());
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      EXPECT_EQ(geo::distance_km(from, pts[j]), out[j]);
+    }
+  }
+}
+
+TEST(ScaleBatchKernel, HaversineBatchHonorsSubranges) {
+  const auto pts = random_points(100, /*seed=*/7);
+  const geo::PointsSoA soa = geo::PointsSoA::build(pts);
+  const geo::GeoPoint from{48.8566, 2.3522};
+  std::vector<double> full(pts.size());
+  geo::distance_km_batch(from, soa, 0, pts.size(), full.data());
+  std::vector<double> part(30);
+  geo::distance_km_batch(from, soa, 40, 70, part.data());
+  for (std::size_t j = 0; j < 30; ++j) EXPECT_EQ(full[40 + j], part[j]);
+}
+
+TEST(ScaleBatchKernel, ChordKernelWithinMillimetreOfOracle) {
+  auto pts = adversarial_points();
+  const auto extra = random_points(256, /*seed=*/99);
+  pts.insert(pts.end(), extra.begin(), extra.end());
+  const geo::PointsSoA soa = geo::PointsSoA::build(pts);
+  std::vector<double> out(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    geo::chord_distance_km_batch(soa, i, soa, 0, pts.size(), out.data());
+    for (std::size_t j = 0; j < pts.size(); ++j) {
+      const double oracle = geo::distance_km(pts[i], pts[j]);
+      // Millimetre everywhere except near the antipode, where asin's
+      // conditioning diverges and the documented bound relaxes to 1 m
+      // (geodesy_batch.h). 19 915 km ≈ 100 km short of half circumference.
+      const double tol = oracle > 19'915.0 ? 1e-3 : 1e-6;
+      EXPECT_NEAR(oracle, out[j], tol)
+          << "pair " << i << " -> " << j << " off by "
+          << std::abs(oracle - out[j]) << " km";
+    }
+  }
+}
+
+TEST(ScaleBatchKernel, PointsSoAPrecomputesWhatItClaims) {
+  const auto pts = adversarial_points();
+  const geo::PointsSoA soa = geo::PointsSoA::build(pts);
+  ASSERT_EQ(soa.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(soa.lat_rad[i], geo::deg_to_rad(pts[i].lat_deg));
+    EXPECT_EQ(soa.lon_deg[i], pts[i].lon_deg);
+    EXPECT_EQ(soa.cos_lat[i], std::cos(geo::deg_to_rad(pts[i].lat_deg)));
+    // Unit vectors are unit length.
+    const double norm = soa.x[i] * soa.x[i] + soa.y[i] * soa.y[i] +
+                        soa.z[i] * soa.z[i];
+    EXPECT_NEAR(norm, 1.0, 1e-12);
+  }
+}
+
+// The batch base-RTT path (SoA gather + one-to-many kernel + cached
+// city-pair draws) must reproduce the scalar base_rtt_ms doubles exactly:
+// the tile cells feed these into the same packet loop the dense path uses,
+// so any drift here is a byte-level campaign divergence.
+TEST(ScaleBatchKernel, BatchBaseRttMatchesScalarBitForBit) {
+  const auto& s = testing::small_scenario();
+  const auto& latency = s.latency();
+  const auto& vps = s.vps();
+  const auto& targets = s.targets();
+  const std::size_t n_vps = std::min<std::size_t>(40, vps.size());
+  const auto vp_soa = latency.host_soa(
+      std::span<const sim::HostId>(vps.data(), n_vps));
+  const auto dst_soa = latency.host_soa(targets);
+
+  std::vector<double> out(targets.size());
+  for (std::size_t i = 0; i < n_vps; ++i) {
+    sim::LatencyModel::CityPairCache cache;
+    latency.base_rtt_ms_batch(vp_soa, i, dst_soa, 0, targets.size(), cache,
+                              out.data());
+    for (std::size_t j = 0; j < targets.size(); ++j) {
+      EXPECT_EQ(latency.base_rtt_ms(vps[i], targets[j]), out[j])
+          << "vp row " << i << ", target col " << j;
+    }
+  }
+}
+
+// The city-pair cache stores the *draw values* keyed on the unordered city
+// pair; reusing a cached draw must not perturb later cells (each
+// (pair, label) substream is independent of consumption order). Running
+// the same row twice — once with a cold cache, once warm — must agree.
+TEST(ScaleBatchKernel, CityPairCacheIsOrderInsensitive) {
+  const auto& s = testing::small_scenario();
+  const auto& latency = s.latency();
+  const auto& vps = s.vps();
+  const auto& targets = s.targets();
+  const auto vp_soa = latency.host_soa(
+      std::span<const sim::HostId>(vps.data(), 8));
+  const auto dst_soa = latency.host_soa(targets);
+
+  std::vector<double> cold(targets.size()), warm(targets.size());
+  for (std::size_t i = 0; i < 8; ++i) {
+    sim::LatencyModel::CityPairCache fresh;
+    latency.base_rtt_ms_batch(vp_soa, i, dst_soa, 0, targets.size(), fresh,
+                              cold.data());
+    sim::LatencyModel::CityPairCache shared;
+    // Prime the cache with the second half, then compute the full row.
+    latency.base_rtt_ms_batch(vp_soa, i, dst_soa, targets.size() / 2,
+                              targets.size(), shared, warm.data());
+    latency.base_rtt_ms_batch(vp_soa, i, dst_soa, 0, targets.size(), shared,
+                              warm.data());
+    EXPECT_EQ(cold, warm) << "row " << i;
+  }
+}
+
+}  // namespace
+}  // namespace geoloc

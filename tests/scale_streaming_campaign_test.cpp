@@ -1,0 +1,200 @@
+// Streaming million-scale campaign vs the dense pipeline (DESIGN.md §14).
+//
+// run_streaming_campaign executes MillionScale's algorithm — rep-based VP
+// selection, final pings, CBG — against tile sources instead of dense
+// matrices. With the scenario's own campaigns and the identity
+// target→rep-column mapping the two pipelines must agree bitwise: same
+// selected rows per target, same per-target errors, at every tile shape and
+// thread count. streamed_all_vp_errors is held to the same standard against
+// eval::all_vp_errors.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/million_scale.h"
+#include "core/streaming_campaign.h"
+#include "eval/experiments.h"
+#include "scenario/tile_source.h"
+#include "test_scenario.h"
+#include "util/parallel.h"
+
+namespace geoloc {
+namespace {
+
+using scenario::RttTileSource;
+using scenario::TileShape;
+
+struct ThreadGuard {
+  ThreadGuard() = default;
+  ~ThreadGuard() { util::set_thread_count(0); }
+};
+
+/// Dense per-target outcome of the original algorithm: selected rows and
+/// the resulting CBG error (-1 when CBG failed).
+struct DenseOutcome {
+  std::vector<std::vector<std::size_t>> rows;
+  std::vector<double> errors_km;
+};
+
+DenseOutcome dense_pipeline(const scenario::Scenario& s, int k) {
+  const core::MillionScale ms(s);
+  DenseOutcome out;
+  out.rows.resize(s.targets().size());
+  out.errors_km.assign(s.targets().size(), -1.0);
+  for (std::size_t t = 0; t < s.targets().size(); ++t) {
+    out.rows[t] = ms.select_vps_by_representatives(t, k);
+    const core::CbgResult res = ms.geolocate(out.rows[t], t);
+    if (res.ok) out.errors_km[t] = ms.error_km(res.estimate, t);
+  }
+  return out;
+}
+
+TEST(ScaleStreamingCampaign, SelectionMatchesDensePartialSortPerColumn) {
+  const auto& s = testing::small_scenario();
+  (void)s.representative_rtts();  // warm the dense oracle
+  const core::MillionScale ms(s);
+  for (const TileShape& shape :
+       {TileShape{16, 64}, TileShape{7, 13}, TileShape{1024, 4096}}) {
+    RttTileSource reps = RttTileSource::for_representatives(s, shape);
+    for (std::size_t tb = 0; tb < reps.target_blocks(); ++tb) {
+      const auto block = core::streamed_select_block(
+          reps, tb, /*k=*/3, std::span<const sim::HostId>(s.targets()));
+      const std::size_t col_begin = tb * reps.shape().target_block;
+      for (std::size_t cc = 0; cc < block.size(); ++cc) {
+        const auto dense = ms.select_vps_by_representatives(col_begin + cc, 3);
+        EXPECT_EQ(dense, block[cc])
+            << "column " << col_begin + cc << " at shape " << shape.vp_block
+            << "x" << shape.target_block;
+      }
+    }
+  }
+}
+
+TEST(ScaleStreamingCampaign, KLargerThanCandidatesAndKZeroMatchDense) {
+  const auto& s = testing::small_scenario();
+  (void)s.representative_rtts();
+  const core::MillionScale ms(s);
+  RttTileSource reps = RttTileSource::for_representatives(s, {16, 64});
+  const auto all = core::streamed_select_block(
+      reps, 0, /*k=*/100000, std::span<const sim::HostId>(s.targets()));
+  const auto none = core::streamed_select_block(
+      reps, 0, /*k=*/0, std::span<const sim::HostId>(s.targets()));
+  const std::size_t n =
+      std::min(reps.shape().target_block, reps.cols());
+  for (std::size_t cc = 0; cc < n; ++cc) {
+    EXPECT_EQ(ms.select_vps_by_representatives(cc, 100000), all[cc]);
+    EXPECT_TRUE(none[cc].empty());
+  }
+}
+
+TEST(ScaleStreamingCampaign, CampaignMatchesDensePipelineAcrossShapesAndThreads) {
+  const auto& s = testing::small_scenario();
+  (void)s.target_rtts();
+  (void)s.representative_rtts();
+  const DenseOutcome dense = dense_pipeline(s, /*k=*/3);
+  ThreadGuard guard;
+  for (const unsigned threads : {1u, 8u}) {
+    util::set_thread_count(threads);
+    for (const TileShape& shape : {TileShape{16, 64}, TileShape{7, 13}}) {
+      RttTileSource reps = RttTileSource::for_representatives(s, shape);
+      RttTileSource targets = RttTileSource::for_targets(s, shape);
+      const auto outcome = core::run_streaming_campaign(reps, targets);
+      ASSERT_EQ(outcome.targets, s.targets().size());
+      ASSERT_EQ(outcome.errors_km.size(), dense.errors_km.size());
+      for (std::size_t t = 0; t < dense.errors_km.size(); ++t) {
+        // Bitwise double equality: same observations, same CBG solve.
+        EXPECT_EQ(dense.errors_km[t], outcome.errors_km[t])
+            << "target " << t << " at " << threads << " thread(s), shape "
+            << shape.vp_block << "x" << shape.target_block;
+      }
+      const auto located = static_cast<std::size_t>(std::count_if(
+          dense.errors_km.begin(), dense.errors_km.end(),
+          [](double e) { return e >= 0.0; }));
+      EXPECT_EQ(outcome.located, located);
+      EXPECT_EQ(outcome.failed, dense.errors_km.size() - located);
+      EXPECT_GT(outcome.rep_cells, 0u);
+      EXPECT_GT(outcome.target_cells, 0u);
+      // The whole point: the final-ping campaign is sparse — k cells per
+      // target, never the dense rows x cols.
+      EXPECT_LE(outcome.target_cells, 3 * s.targets().size());
+    }
+  }
+}
+
+TEST(ScaleStreamingCampaign, ExplicitIdentityMappingDisablesSelfExclusion) {
+  // A non-empty mapping (even the identity values) routes through the
+  // shared-rep-column path, which cannot assume rep column == target, so
+  // self-VP exclusion moves entirely to the final-ping stage. The outcome
+  // may legitimately differ from the dense pipeline only for targets whose
+  // own anchor won selection; everything else must agree.
+  const auto& s = testing::small_scenario();
+  RttTileSource reps = RttTileSource::for_representatives(s, {16, 64});
+  RttTileSource targets = RttTileSource::for_targets(s, {16, 64});
+  std::vector<std::uint32_t> identity(s.targets().size());
+  for (std::size_t t = 0; t < identity.size(); ++t) {
+    identity[t] = static_cast<std::uint32_t>(t);
+  }
+  const auto outcome =
+      core::run_streaming_campaign(reps, targets, identity);
+  EXPECT_EQ(outcome.targets, s.targets().size());
+  EXPECT_EQ(outcome.located + outcome.failed, outcome.targets);
+  // Most targets still locate: the self anchor rarely has the lowest
+  // median RTT to its own /24's reps from a *different* /24's perspective.
+  EXPECT_GT(outcome.located, outcome.targets / 2);
+}
+
+TEST(ScaleStreamingCampaign, MappingSizeIsValidated) {
+  const auto& s = testing::small_scenario();
+  RttTileSource reps = RttTileSource::for_representatives(s, {16, 64});
+  RttTileSource targets = RttTileSource::for_targets(s, {16, 64});
+  const std::vector<std::uint32_t> short_map(s.targets().size() / 2, 0);
+  EXPECT_THROW(core::run_streaming_campaign(reps, targets, short_map),
+               std::invalid_argument);
+}
+
+TEST(ScaleStreamingCampaign, StreamedAllVpErrorsMatchesDenseBitwise) {
+  const auto& s = testing::small_scenario();
+  const std::vector<double>& dense = eval::all_vp_errors(s);
+  ThreadGuard guard;
+  for (const unsigned threads : {1u, 8u}) {
+    util::set_thread_count(threads);
+    for (const TileShape& shape : {TileShape{16, 64}, TileShape{7, 13}}) {
+      const std::vector<double> streamed =
+          eval::streamed_all_vp_errors(s, {}, shape);
+      ASSERT_EQ(dense.size(), streamed.size());
+      for (std::size_t t = 0; t < dense.size(); ++t) {
+        EXPECT_EQ(dense[t], streamed[t])
+            << "target " << t << " at " << threads << " thread(s)";
+      }
+    }
+  }
+}
+
+TEST(ScaleStreamingCampaign, ResilientRepSourceIsDeterministicAndFaultAware) {
+  const auto& s = testing::small_scenario();
+  RttTileSource a = core::make_resilient_rep_source(s, nullptr, {16, 64});
+  RttTileSource b = core::make_resilient_rep_source(s, nullptr, {16, 64});
+  ASSERT_EQ(a.rows(), b.rows());
+  ASSERT_EQ(a.cols(), s.targets().size());
+  // Same construction → same campaign → same bytes.
+  const scenario::RttMatrix ma = a.materialise();
+  const scenario::RttMatrix mb = b.materialise();
+  for (std::size_t r = 0; r < ma.rows(); ++r) {
+    for (std::size_t c = 0; c < ma.cols(); ++c) {
+      const float x = ma.at(r, c);
+      const float y = mb.at(r, c);
+      ASSERT_TRUE((scenario::RttMatrix::is_missing(x) &&
+                   scenario::RttMatrix::is_missing(y)) ||
+                  x == y)
+          << "(" << r << ", " << c << ")";
+    }
+  }
+  // The fault-aware source uses its own RNG stream: it is a different
+  // campaign from the hitlist-ordered one, not a re-labelling.
+  EXPECT_EQ(a.campaign().group, 3u);
+  EXPECT_EQ(a.campaign().dsts.size(), 3 * s.targets().size());
+}
+
+}  // namespace
+}  // namespace geoloc

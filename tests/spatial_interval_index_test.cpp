@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <random>
@@ -175,6 +176,91 @@ TEST(SpatialIntervalIndex, CorruptionIsDetectedAndQuarantined) {
   ASSERT_TRUE(idx.save(path));  // regeneration succeeds
   EXPECT_TRUE(IntervalIndex::load(path).has_value());
   fs::remove(path);
+}
+
+TEST(SpatialIntervalIndex, LoadIsZeroCopyAndAnswersQueriesFromTheMapping) {
+  const auto points = random_points(1500, 8);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const std::string path = temp_path("mmap.bin");
+  ASSERT_TRUE(idx.save(path));
+
+  const auto loaded = IntervalIndex::load(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->zero_copy());
+  EXPECT_TRUE(loaded->mapped());
+  EXPECT_EQ(*loaded, idx);
+
+  // Queries against the mapping equal queries against the owned build.
+  const geo::Disk disk{{10.0, 20.0}, 2000.0};
+  EXPECT_EQ(loaded->candidates_in_disk(disk), idx.candidates_in_disk(disk));
+  const auto token = CellId::leaf_token(points[42]);
+  const auto a = idx.at_token(token);
+  const auto b = loaded->at_token(token);
+  EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+
+  // A copy shares the mapping: it must survive the original's destruction.
+  auto copy = *loaded;
+  EXPECT_TRUE(copy.zero_copy());
+  EXPECT_EQ(copy, idx);
+  fs::remove(path);
+}
+
+TEST(SpatialIntervalIndex, BufferedFallbackLoadsWhenMmapIsDisabled) {
+  const auto points = random_points(600, 9);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const std::string path = temp_path("nommap.bin");
+  ASSERT_TRUE(idx.save(path));
+
+  ::setenv("GEOLOC_DURABLE_NO_MMAP", "1", 1);
+  const auto loaded = IntervalIndex::load(path);
+  ::unsetenv("GEOLOC_DURABLE_NO_MMAP");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->zero_copy());   // still aliases the fallback buffer
+  EXPECT_FALSE(loaded->mapped());     // ...but it is not a mapping
+  EXPECT_EQ(*loaded, idx);
+  fs::remove(path);
+}
+
+TEST(SpatialIntervalIndex, ZeroCopyIndexReserializesIdentically) {
+  // save() reads through the accessors, so a mapped index writes the same
+  // bytes an owning one does.
+  const auto points = random_points(400, 10);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const std::string p1 = temp_path("reserialize-1.bin");
+  const std::string p2 = temp_path("reserialize-2.bin");
+  ASSERT_TRUE(idx.save(p1));
+  const auto loaded = IntervalIndex::load(p1);
+  ASSERT_TRUE(loaded.has_value() && loaded->zero_copy());
+  ASSERT_TRUE(loaded->save(p2));
+  std::ifstream f1(p1, std::ios::binary), f2(p2, std::ios::binary);
+  const std::string b1((std::istreambuf_iterator<char>(f1)), {});
+  const std::string b2((std::istreambuf_iterator<char>(f2)), {});
+  EXPECT_EQ(b1, b2);
+  fs::remove(p1);
+  fs::remove(p2);
+}
+
+TEST(SpatialIntervalIndex, MappedCorruptionStillQuarantines) {
+  // The mmap path validates the checksum against the mapping before any
+  // byte is exposed; corruption must quarantine exactly like the buffered
+  // reader.
+  const auto points = random_points(300, 11);
+  const IntervalIndex idx = IntervalIndex::build(points);
+  const std::string path = temp_path("mmap-corrupt.bin");
+  ASSERT_TRUE(idx.save(path));
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(72);
+  char c = 0;
+  f.seekg(72);
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x01);
+  f.seekp(72);
+  f.write(&c, 1);
+  f.close();
+  EXPECT_FALSE(IntervalIndex::load(path));
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+  fs::remove(path + ".corrupt");
 }
 
 TEST(SpatialIntervalIndex, ForeignMagicIsRejected) {
