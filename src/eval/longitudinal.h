@@ -1,0 +1,186 @@
+// Longitudinal campaign driver: the freshness economics of a published
+// geolocation dataset.
+//
+// The source paper produces one snapshot; a *publishable* dataset (its
+// stated goal) is a sequence of them, and the interesting question
+// becomes economic: the world churns (sim/churn.h), every stale entry is
+// a lie served to users, and every re-measurement costs ping credits the
+// platform meters. This driver advances a scenario world month by month,
+// runs a bounded re-measurement campaign each epoch through the resilient
+// executor, compiles and publishes a snapshot version per epoch, and
+// hot-swaps it into a serve::GeoService — the full production loop, not
+// one pipeline run.
+//
+// Three re-measurement policies compete on an accuracy-vs-credit frontier
+// (freshness_frontier, surfaced by bench_freshness_economics):
+//
+//   * **TtlExpiry** — the naive operator: re-measure whatever the TTL
+//     clock says is due, oldest first. Spends credits uniformly; blind to
+//     where the world actually moved.
+//   * **StalenessQueue** — demand-driven: the epoch's lookup workload
+//     trips stale hits, the service enqueues those prefixes
+//     (serve::RemeasureQueue), and the campaign re-measures in first-hit
+//     order. Spends credits where users look.
+//   * **DiffTriggered** — churn-driven: every published diff
+//     (publish::DiffStats::moved_prefixes) strikes the /16 blocks it saw
+//     move; due entries are then ranked by P(moved since last measured)
+//     under a two-rate model — members of struck blocks not yet
+//     re-measured since the strike accumulate move probability at the
+//     wave pace, everything else at the base reassignment rate. Because
+//     churn is wave-correlated within /16 blocks, last month's observed
+//     movers indict their neighbours. Caveat the frontier quantifies:
+//     the diff only observes a mover when the rotation re-measures it,
+//     so the strike lags by the rotation period — at tight budgets the
+//     signal decays into an age proxy and the policy converges to
+//     TtlExpiry rather than beating it (see EXPERIMENTS.md).
+//
+// Determinism & durability: every run is byte-identical across
+// GEOLOC_THREADS (the oracle is the final snapshot's serialized bytes),
+// and with `state_dir` set the driver persists per-epoch snapshots plus a
+// framed driver-state file, so a run killed at any point — even mid-
+// campaign, via the executor's own checkpoint — resumes to the exact same
+// bytes. Churn is *replayed*, not persisted: epochs are a deterministic
+// function of the seed, so resume re-derives the world instead of
+// serializing it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "publish/compile.h"
+#include "scenario/scenario.h"
+#include "sim/churn.h"
+
+namespace geoloc::eval {
+
+enum class RemeasurePolicy : std::uint8_t {
+  TtlExpiry = 0,
+  StalenessQueue = 1,
+  DiffTriggered = 2,
+};
+
+[[nodiscard]] std::string_view to_string(RemeasurePolicy p) noexcept;
+[[nodiscard]] std::span<const RemeasurePolicy> all_policies() noexcept;
+
+struct LongitudinalConfig {
+  /// Epochs to advance past the bootstrap snapshot (epoch 0 compiles the
+  /// full dataset; epochs 1..epochs churn + re-measure + republish).
+  std::uint64_t epochs = 6;
+  /// Simulated seconds per epoch (one month, matching the default
+  /// CompileOptions::ok_ttl_s so trusted entries come due every epoch).
+  double epoch_s = 30 * 86'400.0;
+
+  sim::ChurnConfig churn;        ///< world evolution (seed lives here)
+  publish::CompileOptions compile;  ///< TTL ladder + technique selection
+
+  /// Max prefixes re-measured per epoch — the credit budget knob the
+  /// frontier sweeps. 0 = unbounded (re-measure everything due).
+  std::size_t budget_prefixes = 0;
+  std::size_t vps_per_target = 8;  ///< VPs pinging each re-measured target
+  int packets = 3;
+  /// Executor submission batch per round. Part of the run's fingerprint:
+  /// the killed and resumed invocations must agree on the round structure
+  /// for the mid-campaign checkpoint to be accepted. Small values force
+  /// multi-round campaigns (what makes interrupt_epoch actually bite).
+  std::size_t campaign_batch = 10'000;
+
+  /// Lookups served per epoch. The workload is deterministic and skewed
+  /// (popularity ~ u^2 over the target list) — it scores the
+  /// user-experienced error and feeds the StalenessQueue policy.
+  std::size_t lookups_per_epoch = 256;
+
+  /// Directory for per-epoch snapshots + driver state; empty disables
+  /// durability (and resume).
+  std::string state_dir;
+  /// Interrupt the campaign of this epoch after `interrupt_after_rounds`
+  /// rounds (the deterministic kill -9 stand-in; requires state_dir for
+  /// the run to be resumable). 0 = never interrupt.
+  std::uint64_t interrupt_epoch = 0;
+  std::uint64_t interrupt_after_rounds = 1;
+};
+
+/// One epoch of the longitudinal loop, as scored ground truth.
+struct EpochStats {
+  std::uint64_t epoch = 0;
+
+  // What the world did (sim::EpochChurnSummary digest).
+  std::size_t prefixes_churned = 0;
+  std::size_t vps_active = 0;
+
+  // What the policy did.
+  std::size_t stale_prefixes = 0;     ///< due at the epoch boundary
+  std::size_t selected_prefixes = 0;  ///< actually re-measured (<= budget)
+  std::size_t requests = 0;
+  std::uint64_t credits_spent = 0;
+  std::size_t refreshed_entries = 0;
+
+  // User-experienced quality, scored on the epoch's lookup workload
+  // *before* the campaign ran (the state users actually saw). The mean is
+  // the frontier's accuracy axis: lookups are popularity-skewed, so it
+  // weights each prefix by how often users actually hit it — the median
+  // rides along as the robust per-epoch diagnostic.
+  double query_mean_error_km = 0.0;
+  double query_median_error_km = 0.0;
+  double stale_hit_fraction = 0.0;
+
+  // Published-dataset quality after the epoch's republish.
+  double snapshot_median_error_km = 0.0;
+  double diff_churn_fraction = 0.0;
+  std::uint32_t dataset_version = 0;
+};
+
+struct LongitudinalResult {
+  RemeasurePolicy policy = RemeasurePolicy::TtlExpiry;
+  /// Epochs executed in *this* process. A resumed run only re-populates
+  /// the epochs after the resume point; completed_epochs counts all.
+  std::vector<EpochStats> epochs;
+  std::uint64_t completed_epochs = 0;
+  std::uint64_t total_credits = 0;  ///< cumulative, survives resume
+
+  /// Mean over epochs of the per-epoch query-workload *mean* error — the
+  /// frontier's accuracy axis (what users experienced, credit for credit,
+  /// weighted by how often they asked).
+  double mean_query_error_km = 0.0;
+  /// Published-dataset median error after the final epoch.
+  double final_snapshot_error_km = 0.0;
+
+  /// Serialized bytes of the final published snapshot — the byte-identity
+  /// oracle for thread-count and kill/resume invariance.
+  std::vector<std::byte> final_snapshot_bytes;
+
+  /// True when the run stopped at LongitudinalConfig::interrupt_epoch
+  /// with the campaign checkpointed; re-invoke run_longitudinal with the
+  /// same config (minus the interrupt) and state_dir to finish.
+  bool interrupted = false;
+};
+
+/// Run the longitudinal loop. Mutates the scenario's world (churn) and
+/// detaches it from the RTT disk cache — pass a scenario instance built
+/// for this run, not a shared fixture. Byte-identical across
+/// GEOLOC_THREADS and across kill/resume (see LongitudinalResult).
+LongitudinalResult run_longitudinal(scenario::Scenario& s,
+                                    RemeasurePolicy policy,
+                                    const LongitudinalConfig& cfg = {});
+
+/// One point of the accuracy-vs-credit frontier.
+struct FrontierPoint {
+  RemeasurePolicy policy = RemeasurePolicy::TtlExpiry;
+  std::size_t budget_prefixes = 0;
+  std::uint64_t credits_spent = 0;
+  double mean_query_error_km = 0.0;
+  double final_snapshot_error_km = 0.0;
+};
+
+/// Sweep budgets x policies, each cell on a freshly built scenario (churn
+/// mutates the world, so runs cannot share one), and return the frontier
+/// BENCH_freshness_economics.json publishes. `base` should have its
+/// cache_dir cleared by the caller if disk caching is unwanted for the
+/// *bootstrap* matrices (every post-churn epoch detaches automatically).
+std::vector<FrontierPoint> freshness_frontier(
+    const scenario::ScenarioConfig& base,
+    std::span<const std::size_t> budgets, const LongitudinalConfig& cfg);
+
+}  // namespace geoloc::eval

@@ -29,6 +29,7 @@ DiffStats diff_snapshots(const Snapshot& from, const Snapshot& to,
   d.to_entries = to.size();
 
   std::vector<double> moves_km;
+  std::vector<double> nonzero_moves_km;
   std::size_t i = 0, j = 0;
   while (i < from.size() || j < to.size()) {
     if (i == from.size()) {
@@ -56,8 +57,15 @@ DiffStats diff_snapshots(const Snapshot& from, const Snapshot& to,
     }
     ++d.retained;
     const double move = geo::distance_km(a.location, b.location);
-    if (move > 0.0) moves_km.push_back(move);
-    if (move > move_threshold_km) ++d.moved;
+    // Every retained entry contributes its displacement — including 0 for
+    // the ones that held still. Medianing only the movers silently
+    // overstated churn on mostly-static snapshots (the common case).
+    moves_km.push_back(move);
+    if (move > 0.0) nonzero_moves_km.push_back(move);
+    if (move > move_threshold_km) {
+      ++d.moved;
+      d.moved_prefixes.push_back(b.prefix);
+    }
     if (move > d.max_move_km) d.max_move_km = move;
     if (a.method != b.method) ++d.method_changes;
     if (a.tier != b.tier) ++d.tier_changes;
@@ -66,6 +74,9 @@ DiffStats diff_snapshots(const Snapshot& from, const Snapshot& to,
     ++j;
   }
   if (!moves_km.empty()) d.median_move_km = util::median(moves_km);
+  if (!nonzero_moves_km.empty()) {
+    d.median_nonzero_move_km = util::median(nonzero_moves_km);
+  }
   return d;
 }
 
@@ -82,10 +93,10 @@ std::string format_diff(const DiffStats& d) {
   out += buf;
   std::snprintf(
       buf, sizeof buf,
-      "  moved %zu (median %.1f km, max %.1f km), method changes %zu, "
-      "tier changes %zu\n",
-      d.moved, d.median_move_km, d.max_move_km, d.method_changes,
-      d.tier_changes);
+      "  moved %zu (median %.1f km over retained, %.1f km over movers, "
+      "max %.1f km), method changes %zu, tier changes %zu\n",
+      d.moved, d.median_move_km, d.median_nonzero_move_km, d.max_move_km,
+      d.method_changes, d.tier_changes);
   out += buf;
   std::snprintf(buf, sizeof buf, "  churn fraction %.1f%%\n",
                 100.0 * d.churn_fraction());

@@ -9,6 +9,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "publish/snapshot.h"
 
@@ -30,8 +31,22 @@ struct DiffStats {
   std::size_t tier_changes = 0;    ///< CbgVerdict tier changed
   std::size_t refreshed = 0;       ///< measured_at_s advanced
 
-  double median_move_km = 0.0;  ///< over retained entries that moved at all
+  /// Median displacement over ALL retained entries, unmoved (0 km) ones
+  /// included. An earlier version medianed only the nonzero moves, which
+  /// overstated churn whenever most of the dataset held still — and would
+  /// mislead any policy reading the median as "how much did the world
+  /// move". The moved-only view lives in median_nonzero_move_km.
+  double median_move_km = 0.0;
+  /// Median over retained entries with a nonzero displacement; 0 when no
+  /// entry moved at all.
+  double median_nonzero_move_km = 0.0;
   double max_move_km = 0.0;
+
+  /// Retained prefixes whose location moved beyond the threshold, in
+  /// snapshot (ascending prefix) order — the diff-triggered re-measurement
+  /// policy's input signal (eval/longitudinal.h): a moved prefix marks its
+  /// neighbourhood as churning.
+  std::vector<net::Prefix> moved_prefixes;
 
   /// (added + removed + moved) / max(from_entries, to_entries); 0 when both
   /// snapshots are empty.

@@ -58,6 +58,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <span>
@@ -113,10 +114,25 @@ struct SnapshotEntry {
   [[nodiscard]] double age_s(double now_s) const noexcept {
     return now_s - measured_at_s;
   }
-  /// True when the entry has outlived its TTL at `now_s` (ttl_s == 0
-  /// never goes stale).
+  /// First instant at which the entry counts as stale, or +inf when
+  /// ttl_s == 0 (staleness disabled). Exposed so every consumer —
+  /// stale_at here, serve::GeoService::stale_prefixes, the longitudinal
+  /// driver's TTL policy — derives the boundary from one definition.
+  [[nodiscard]] double stale_horizon_s() const noexcept {
+    return ttl_s > 0.0f
+               ? measured_at_s + static_cast<double>(ttl_s)
+               : std::numeric_limits<double>::infinity();
+  }
+  /// True when the entry has reached its staleness horizon at `now_s`:
+  /// stale iff now_s >= measured_at_s + ttl_s (ttl_s == 0 never goes
+  /// stale). The boundary is *inclusive* — an entry measured at the start
+  /// of an epoch with ttl equal to the epoch length is due exactly at the
+  /// next epoch. An earlier version used a strict `>`, so under exact
+  /// epoch arithmetic (ttl == k * epoch_s) entries were never considered
+  /// stale at the instant they were due and TTL-driven re-measurement
+  /// silently skipped a full epoch.
   [[nodiscard]] bool stale_at(double now_s) const noexcept {
-    return ttl_s > 0.0f && age_s(now_s) > static_cast<double>(ttl_s);
+    return now_s >= stale_horizon_s();
   }
 };
 

@@ -195,6 +195,7 @@ const dataset::PopulationGrid& Scenario::population() const {
 
 std::optional<std::string> Scenario::cache_path(
     const std::string& name) const {
+  if (cache_disabled_) return std::nullopt;
   const std::string dir = util::env::string_or("GEOLOC_CACHE_DIR",
                                                config_.cache_dir);
   if (dir.empty()) return std::nullopt;
@@ -262,6 +263,16 @@ const RttMatrix& Scenario::representative_rtts() const {
   if (path) m->save(*path, tag);
   rep_rtts_ = std::move(m);
   return *rep_rtts_;
+}
+
+void Scenario::invalidate_rtt_matrices() {
+  target_rtts_.reset();
+  rep_rtts_.reset();
+  // The fingerprint tag no longer describes this world, so both disk-cache
+  // load and save must stop — including via the GEOLOC_CACHE_DIR override,
+  // hence the flag rather than just clearing config_.cache_dir.
+  config_.cache_dir.clear();
+  cache_disabled_ = true;
 }
 
 std::size_t Scenario::vp_index(sim::HostId vp) const {

@@ -122,6 +122,13 @@ class Scenario {
   [[nodiscard]] std::size_t vp_index(sim::HostId vp) const;
   [[nodiscard]] std::size_t target_index(sim::HostId target) const;
 
+  /// Drop the materialised RTT matrices and detach this scenario from the
+  /// disk cache. Required after mutating the world (sim::ChurnModel): the
+  /// matrices describe the pre-mutation world, and the disk cache is keyed
+  /// by the *config* fingerprint, which does not see world mutations — a
+  /// churned scenario must neither read nor write it.
+  void invalidate_rtt_matrices();
+
  private:
   Scenario(ScenarioConfig config, bool build_web);
   void build();
@@ -146,6 +153,10 @@ class Scenario {
 
   mutable std::unique_ptr<RttMatrix> target_rtts_;
   mutable std::unique_ptr<RttMatrix> rep_rtts_;
+  /// Set by invalidate_rtt_matrices(): the config fingerprint no longer
+  /// describes the (mutated) world, so the disk cache is off for good,
+  /// GEOLOC_CACHE_DIR override included.
+  bool cache_disabled_ = false;
 };
 
 }  // namespace geoloc::scenario

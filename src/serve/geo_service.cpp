@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "geo/geodesy.h"
 #include "util/env.h"
 
 namespace geoloc::serve {
@@ -224,8 +225,15 @@ std::vector<net::Prefix> GeoService::stale_prefixes(double now_s) const {
 std::vector<atlas::MeasurementRequest> plan_remeasurement(
     const scenario::Scenario& s, std::span<const net::Prefix> stale,
     std::size_t vps_per_target, int packets) {
+  return plan_remeasurement(s, stale, std::span<const sim::HostId>(s.vps()),
+                            vps_per_target, packets);
+}
+
+std::vector<atlas::MeasurementRequest> plan_remeasurement(
+    const scenario::Scenario& s, std::span<const net::Prefix> stale,
+    std::span<const sim::HostId> vps, std::size_t vps_per_target,
+    int packets) {
   std::vector<atlas::MeasurementRequest> requests;
-  const auto& vps = s.vps();
   if (vps.empty() || stale.empty()) return requests;
   const std::size_t k =
       vps_per_target == 0 ? vps.size() : std::min(vps_per_target, vps.size());
@@ -238,6 +246,73 @@ std::vector<atlas::MeasurementRequest> plan_remeasurement(
       const std::size_t stride = vps.size() / k ? vps.size() / k : 1;
       for (std::size_t j = 0; j < k; ++j) {
         const std::size_t row = (col + j * stride) % vps.size();
+        requests.push_back(atlas::MeasurementRequest{
+            .vp = vps[row],
+            .target = target,
+            .kind = atlas::MeasurementKind::Ping,
+            .packets = packets});
+      }
+    }
+  }
+  return requests;
+}
+
+std::vector<atlas::MeasurementRequest> plan_remeasurement(
+    const scenario::Scenario& s, std::span<const net::Prefix> stale,
+    const publish::Snapshot& prior, std::span<const sim::HostId> vps,
+    std::size_t vps_per_target, int packets) {
+  std::vector<atlas::MeasurementRequest> requests;
+  if (vps.empty() || stale.empty()) return requests;
+  const std::size_t k =
+      vps_per_target == 0 ? vps.size() : std::min(vps_per_target, vps.size());
+  // (distance to the prior estimate, pool index): recomputed per prefix,
+  // tie-broken by pool order so the plan is bit-stable.
+  std::vector<std::pair<double, std::size_t>> ranked(vps.size());
+  for (const net::Prefix& prefix : stale) {
+    const auto hit = prior.find(prefix.network());
+    for (std::size_t col = 0; col < s.targets().size(); ++col) {
+      const sim::HostId target = s.targets()[col];
+      if (!prefix.contains(s.world().host(target).addr)) continue;
+      if (!hit) {
+        // No prior estimate (a prefix new to the dataset): stride spread.
+        const std::size_t stride = vps.size() / k ? vps.size() / k : 1;
+        for (std::size_t j = 0; j < k; ++j) {
+          requests.push_back(atlas::MeasurementRequest{
+              .vp = vps[(col + j * stride) % vps.size()],
+              .target = target,
+              .kind = atlas::MeasurementKind::Ping,
+              .packets = packets});
+        }
+        continue;
+      }
+      // Guard VPs: a quarter of the budget stays globally spread so a
+      // prefix that moved continents since `prior` still gets constraints
+      // near its *new* home; without them every selected VP sits near the
+      // stale estimate and the fix can't escape it.
+      const std::size_t guards = k > 1 ? std::max<std::size_t>(1, k / 4) : 0;
+      std::vector<std::size_t> rows;
+      rows.reserve(k);
+      const std::size_t stride = vps.size() / k ? vps.size() / k : 1;
+      for (std::size_t j = 0; j < guards; ++j) {
+        const std::size_t row = (col + j * stride) % vps.size();
+        if (std::find(rows.begin(), rows.end(), row) == rows.end()) {
+          rows.push_back(row);
+        }
+      }
+      for (std::size_t row = 0; row < vps.size(); ++row) {
+        ranked[row] = {geo::distance_km(
+                           s.world().host(vps[row]).reported_location,
+                           hit->location),
+                       row};
+      }
+      std::sort(ranked.begin(), ranked.end());
+      for (std::size_t j = 0; j < vps.size() && rows.size() < k; ++j) {
+        const std::size_t row = ranked[j].second;
+        if (std::find(rows.begin(), rows.end(), row) == rows.end()) {
+          rows.push_back(row);
+        }
+      }
+      for (const std::size_t row : rows) {
         requests.push_back(atlas::MeasurementRequest{
             .vp = vps[row],
             .target = target,

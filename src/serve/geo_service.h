@@ -29,7 +29,10 @@
 //     TTL expiries) are bumped alongside. The stale-prefix queue is the
 //     only mutex in the system, taken on the (rare) stale-hit path.
 //
-// Staleness: each entry's measured_at_s + ttl_s is its freshness horizon.
+// Staleness: each entry's measured_at_s + ttl_s is its freshness horizon,
+// inclusive (stale iff now >= horizon; ttl_s == 0 disables staleness) —
+// see SnapshotEntry::stale_horizon_s for the single definition every
+// consumer shares.
 // A lookup past the horizon still answers (stale data beats no data — the
 // snapshot consumer decides) but flags the answer, bumps a counter and
 // enqueues the prefix for re-measurement. plan_remeasurement() turns the
@@ -185,5 +188,23 @@ class GeoService {
 std::vector<atlas::MeasurementRequest> plan_remeasurement(
     const scenario::Scenario& s, std::span<const net::Prefix> stale,
     std::size_t vps_per_target = 50, int packets = 3);
+
+/// Same, but measuring from an explicit VP pool instead of the scenario's
+/// built-in set — the longitudinal driver passes the churn model's
+/// *active* VPs (decommissioned probes removed, newly added ones in).
+std::vector<atlas::MeasurementRequest> plan_remeasurement(
+    const scenario::Scenario& s, std::span<const net::Prefix> stale,
+    std::span<const sim::HostId> vps, std::size_t vps_per_target,
+    int packets);
+
+/// Same, but with proximity VP selection: for each stale prefix, ping from
+/// the `vps_per_target` pool VPs whose reported location is closest to the
+/// prefix's *prior* published estimate (Section 3's result that nearby VPs
+/// carry nearly all of CBG's accuracy at a fraction of the cost). Prefixes
+/// absent from `prior` fall back to the deterministic stride spread.
+std::vector<atlas::MeasurementRequest> plan_remeasurement(
+    const scenario::Scenario& s, std::span<const net::Prefix> stale,
+    const publish::Snapshot& prior, std::span<const sim::HostId> vps,
+    std::size_t vps_per_target, int packets);
 
 }  // namespace geoloc::serve

@@ -220,6 +220,18 @@ void World::misgeolocate(HostId id, const geo::GeoPoint& reported) {
   h.misgeolocated = true;
 }
 
+void World::relocate_host(HostId id, PlaceId place, const geo::GeoPoint& location) {
+  router_of(place);  // the new place joins the topology before hosts land
+  Host& h = hosts_.at(id);
+  h.place = place;
+  h.true_location = location;
+  if (!h.misgeolocated) h.reported_location = location;
+}
+
+void World::set_responsive(HostId id, bool responsive) {
+  hosts_.at(id).responsive = responsive;
+}
+
 HostId World::router_of(PlaceId place) {
   const auto it = router_by_place_.find(place);
   if (it != router_by_place_.end()) return it->second;

@@ -163,6 +163,17 @@ class World {
   /// stay put. Used to seed the Section 4.3 sanitisation experiment.
   void misgeolocate(HostId id, const geo::GeoPoint& reported);
 
+  /// Move a host to a new place (tenancy change: the address now terminates
+  /// somewhere else, so its latencies change from the next measurement on).
+  /// The reported location follows the true one unless the host was
+  /// misgeolocated — a liar keeps lying from its new home. Ensures the new
+  /// place has a topology router. Used by the churn model (sim/churn.h).
+  void relocate_host(HostId id, PlaceId place, const geo::GeoPoint& location);
+
+  /// (De)commission a host: an unresponsive host answers no echo request
+  /// until recommissioned. Used by the churn model for retired anchors/VPs.
+  void set_responsive(HostId id, bool responsive);
+
   /// The topology router serving a place (created on demand).
   HostId router_of(PlaceId place);
   /// Const lookup; kInvalidHost when the place has no router yet.

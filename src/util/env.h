@@ -54,6 +54,26 @@
 //                         100000 / 10 / 128 = the 1M-target point)
 //   GEOLOC_MS_RSS_CEILING_MB=N  bench_million_scale memory gate
 //                         (default 4096)
+//   GEOLOC_CHURN_SEED=N   world-churn RNG seed (sim/churn.h; default
+//                         20240601)
+//   GEOLOC_CHURN_PREFIX_PM=N    /24 reassignment onset rate per epoch,
+//                         integer permille (default 20 = 2%)
+//   GEOLOC_CHURN_WAVE_PM=N      fraction of a migrating /16's remaining
+//                         siblings that follow per epoch, permille
+//                         (default 340)
+//   GEOLOC_CHURN_HOST_PM=N      individual host relocation rate, permille
+//                         (default 5)
+//   GEOLOC_CHURN_VP_DECOM_PM=N  VP decommission rate per epoch, permille
+//                         (default 10)
+//   GEOLOC_CHURN_VP_ADD_PM=N    VP additions per epoch as permille of the
+//                         initial pool (default 10)
+//   GEOLOC_CHURN_DRIFT_PM=N     reported-location drift onset rate,
+//                         permille (default 10)
+//   GEOLOC_CHURN_DRIFT_KM=N     drift step per epoch for a drifting VP,
+//                         km (default 12)
+//   GEOLOC_LONG_DEBUG=1   longitudinal driver: per-epoch policy
+//                         diagnostics on stderr (selection quality vs
+//                         ground truth; eval/longitudinal.cpp)
 #pragma once
 
 #include <algorithm>

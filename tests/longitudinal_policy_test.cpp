@@ -1,0 +1,135 @@
+// The longitudinal driver's structural contract: every policy runs the
+// full epoch loop (churn -> workload -> campaign -> republish -> hot
+// swap), respects the credit budget, stays deterministic, and is
+// byte-identical across GEOLOC_THREADS (the final snapshot's serialized
+// bytes are the oracle — DESIGN.md §9 extended to a multi-epoch world).
+#include "eval/longitudinal.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "scenario/presets.h"
+#include "util/parallel.h"
+
+namespace geoloc::eval {
+namespace {
+
+/// Run fn with the pool sized to `threads`, restoring the default after.
+template <typename Fn>
+auto at_threads(unsigned threads, Fn&& fn) {
+  util::set_thread_count(threads);
+  auto result = fn();
+  util::set_thread_count(0);
+  return result;
+}
+
+scenario::ScenarioConfig base_config() {
+  auto cfg = scenario::small_config();
+  cfg.cache_dir = "";
+  return cfg;
+}
+
+/// Small but real: three months, modest workload, visible churn.
+LongitudinalConfig small_run() {
+  LongitudinalConfig cfg;
+  cfg.epochs = 3;
+  cfg.lookups_per_epoch = 96;
+  cfg.budget_prefixes = 16;
+  cfg.vps_per_target = 4;
+  cfg.packets = 2;
+  cfg.churn.prefix_reassignment_rate = 0.08;
+  return cfg;
+}
+
+LongitudinalResult run(RemeasurePolicy policy,
+                       const LongitudinalConfig& cfg = small_run()) {
+  scenario::Scenario s(base_config());
+  return run_longitudinal(s, policy, cfg);
+}
+
+TEST(Longitudinal, EveryPolicyCompletesTheEpochLoop) {
+  for (const RemeasurePolicy policy : all_policies()) {
+    const LongitudinalResult r = run(policy);
+    SCOPED_TRACE(std::string(to_string(policy)));
+    EXPECT_FALSE(r.interrupted);
+    EXPECT_EQ(r.completed_epochs, 3u);
+    ASSERT_EQ(r.epochs.size(), 3u);
+    EXPECT_FALSE(r.final_snapshot_bytes.empty());
+    EXPECT_GT(r.total_credits, 0u);
+    EXPECT_GT(r.mean_query_error_km, 0.0);
+    for (const EpochStats& e : r.epochs) {
+      // Snapshot versions advance one per epoch (bootstrap is v1).
+      EXPECT_EQ(e.dataset_version, e.epoch + 1);
+      EXPECT_LE(e.selected_prefixes, 16u);
+      // With ttl == epoch length, the whole dataset comes due each epoch.
+      EXPECT_GT(e.stale_prefixes, 0u);
+    }
+  }
+}
+
+TEST(Longitudinal, RepeatRunsAreByteIdentical) {
+  const LongitudinalResult a = run(RemeasurePolicy::DiffTriggered);
+  const LongitudinalResult b = run(RemeasurePolicy::DiffTriggered);
+  EXPECT_EQ(a.final_snapshot_bytes, b.final_snapshot_bytes);
+  EXPECT_EQ(a.total_credits, b.total_credits);
+  EXPECT_DOUBLE_EQ(a.mean_query_error_km, b.mean_query_error_km);
+}
+
+TEST(Longitudinal, ByteIdenticalAcrossThreadCounts) {
+  for (const RemeasurePolicy policy :
+       {RemeasurePolicy::TtlExpiry, RemeasurePolicy::DiffTriggered}) {
+    const auto serial = at_threads(1, [&] { return run(policy); });
+    const auto parallel = at_threads(8, [&] { return run(policy); });
+    SCOPED_TRACE(std::string(to_string(policy)));
+    EXPECT_EQ(serial.final_snapshot_bytes, parallel.final_snapshot_bytes);
+    EXPECT_EQ(serial.total_credits, parallel.total_credits);
+  }
+}
+
+TEST(Longitudinal, PoliciesActuallyDiverge) {
+  // Identical worlds, identical budgets — the selection policy is the only
+  // difference, and it must show up in the published bytes.
+  const LongitudinalResult ttl = run(RemeasurePolicy::TtlExpiry);
+  const LongitudinalResult diff = run(RemeasurePolicy::DiffTriggered);
+  const LongitudinalResult queue = run(RemeasurePolicy::StalenessQueue);
+  EXPECT_NE(ttl.final_snapshot_bytes, diff.final_snapshot_bytes);
+  EXPECT_NE(ttl.final_snapshot_bytes, queue.final_snapshot_bytes);
+}
+
+TEST(Longitudinal, BudgetZeroMeansUnbounded) {
+  LongitudinalConfig cfg = small_run();
+  cfg.epochs = 1;
+  cfg.budget_prefixes = 0;
+  const LongitudinalResult r = run(RemeasurePolicy::TtlExpiry, cfg);
+  ASSERT_EQ(r.epochs.size(), 1u);
+  // Unbounded TTL policy re-measures everything due.
+  EXPECT_EQ(r.epochs[0].selected_prefixes, r.epochs[0].stale_prefixes);
+}
+
+TEST(Longitudinal, TighterBudgetSpendsFewerCredits) {
+  LongitudinalConfig lean = small_run();
+  lean.budget_prefixes = 4;
+  LongitudinalConfig rich = small_run();
+  rich.budget_prefixes = 64;
+  const LongitudinalResult a = run(RemeasurePolicy::TtlExpiry, lean);
+  const LongitudinalResult b = run(RemeasurePolicy::TtlExpiry, rich);
+  EXPECT_LT(a.total_credits, b.total_credits);
+}
+
+TEST(Longitudinal, FrontierCoversTheSweepGrid) {
+  LongitudinalConfig cfg = small_run();
+  cfg.epochs = 2;
+  cfg.lookups_per_epoch = 48;
+  const std::vector<std::size_t> budgets = {8, 24};
+  const auto frontier = freshness_frontier(base_config(), budgets, cfg);
+  ASSERT_EQ(frontier.size(), budgets.size() * all_policies().size());
+  for (const FrontierPoint& p : frontier) {
+    EXPECT_GT(p.credits_spent, 0u);
+    EXPECT_GT(p.mean_query_error_km, 0.0);
+    EXPECT_GT(p.final_snapshot_error_km, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::eval

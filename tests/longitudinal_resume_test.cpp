@@ -1,0 +1,196 @@
+// Multi-epoch kill-and-resume: a longitudinal run interrupted mid-epoch —
+// mid-*campaign*, via the executor's stop_after_rounds kill stand-in —
+// and resumed on a fresh scenario + fresh process must publish a final
+// snapshot byte-identical to an uninterrupted run. State crosses the
+// "kill" only through the state_dir: per-epoch snapshot files, the framed
+// driver-state record, and the executor's own campaign checkpoint. The
+// world itself is never persisted; resume replays churn deterministically.
+#include "eval/longitudinal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "scenario/presets.h"
+#include "util/parallel.h"
+
+namespace geoloc::eval {
+namespace {
+
+namespace fs = std::filesystem;
+
+template <typename Fn>
+auto at_threads(unsigned threads, Fn&& fn) {
+  util::set_thread_count(threads);
+  auto result = fn();
+  util::set_thread_count(0);
+  return result;
+}
+
+scenario::ScenarioConfig base_config() {
+  auto cfg = scenario::small_config();
+  cfg.cache_dir = "";
+  return cfg;
+}
+
+LongitudinalConfig small_run() {
+  LongitudinalConfig cfg;
+  cfg.epochs = 3;
+  cfg.lookups_per_epoch = 64;
+  cfg.budget_prefixes = 12;
+  cfg.vps_per_target = 4;
+  cfg.packets = 2;
+  // 12 prefixes x 4 VPs = 48 requests; 3 rounds of 16, so an
+  // interrupt_after_rounds=1 kill lands mid-campaign with work left.
+  cfg.campaign_batch = 16;
+  cfg.churn.prefix_reassignment_rate = 0.08;
+  return cfg;
+}
+
+class LongitudinalResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("geoloc-long-" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  /// A fresh "process": new scenario, new driver invocation; only the
+  /// state_dir carries anything across.
+  LongitudinalResult process(RemeasurePolicy policy, LongitudinalConfig cfg) {
+    cfg.state_dir = dir_.string();
+    scenario::Scenario s(base_config());
+    return run_longitudinal(s, policy, cfg);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LongitudinalResumeTest, KillMidEpochThenResumeMatchesUninterrupted) {
+  const LongitudinalResult reference = [] {
+    scenario::Scenario s(base_config());
+    return run_longitudinal(s, RemeasurePolicy::DiffTriggered, small_run());
+  }();
+  ASSERT_FALSE(reference.final_snapshot_bytes.empty());
+
+  LongitudinalConfig killed = small_run();
+  killed.interrupt_epoch = 2;
+  killed.interrupt_after_rounds = 1;
+  const LongitudinalResult interrupted =
+      process(RemeasurePolicy::DiffTriggered, killed);
+  EXPECT_TRUE(interrupted.interrupted);
+  EXPECT_EQ(interrupted.completed_epochs, 1u);
+
+  const LongitudinalResult resumed =
+      process(RemeasurePolicy::DiffTriggered, small_run());
+  EXPECT_FALSE(resumed.interrupted);
+  EXPECT_EQ(resumed.completed_epochs, 3u);
+  EXPECT_EQ(resumed.final_snapshot_bytes, reference.final_snapshot_bytes);
+  EXPECT_EQ(resumed.total_credits, reference.total_credits);
+}
+
+TEST_F(LongitudinalResumeTest, ChainedKillsStillConverge) {
+  const LongitudinalResult reference = [] {
+    scenario::Scenario s(base_config());
+    return run_longitudinal(s, RemeasurePolicy::TtlExpiry, small_run());
+  }();
+
+  // Kill during epoch 1, then again during epoch 3, then finish.
+  LongitudinalConfig kill1 = small_run();
+  kill1.interrupt_epoch = 1;
+  EXPECT_TRUE(process(RemeasurePolicy::TtlExpiry, kill1).interrupted);
+
+  LongitudinalConfig kill3 = small_run();
+  kill3.interrupt_epoch = 3;
+  const LongitudinalResult mid = process(RemeasurePolicy::TtlExpiry, kill3);
+  EXPECT_TRUE(mid.interrupted);
+  EXPECT_EQ(mid.completed_epochs, 2u);
+
+  const LongitudinalResult done =
+      process(RemeasurePolicy::TtlExpiry, small_run());
+  EXPECT_FALSE(done.interrupted);
+  EXPECT_EQ(done.final_snapshot_bytes, reference.final_snapshot_bytes);
+  EXPECT_EQ(done.total_credits, reference.total_credits);
+}
+
+TEST_F(LongitudinalResumeTest, ResumeIsThreadCountInvariant) {
+  const LongitudinalResult reference = at_threads(1, [] {
+    scenario::Scenario s(base_config());
+    return run_longitudinal(s, RemeasurePolicy::StalenessQueue, small_run());
+  });
+
+  LongitudinalConfig killed = small_run();
+  killed.interrupt_epoch = 2;
+  EXPECT_TRUE(at_threads(8, [&] {
+                return process(RemeasurePolicy::StalenessQueue, killed);
+              }).interrupted);
+  const LongitudinalResult resumed = at_threads(8, [&] {
+    return process(RemeasurePolicy::StalenessQueue, small_run());
+  });
+  EXPECT_EQ(resumed.final_snapshot_bytes, reference.final_snapshot_bytes);
+}
+
+TEST_F(LongitudinalResumeTest, CompletedRunResumesAsNoOp) {
+  const LongitudinalResult first =
+      process(RemeasurePolicy::DiffTriggered, small_run());
+  EXPECT_EQ(first.completed_epochs, 3u);
+  const LongitudinalResult again =
+      process(RemeasurePolicy::DiffTriggered, small_run());
+  EXPECT_EQ(again.completed_epochs, 3u);
+  EXPECT_TRUE(again.epochs.empty());  // nothing re-executed
+  EXPECT_EQ(again.final_snapshot_bytes, first.final_snapshot_bytes);
+  EXPECT_EQ(again.total_credits, first.total_credits);
+}
+
+TEST_F(LongitudinalResumeTest, ForeignStateIsIgnored) {
+  // A state file from a different configuration must not be resumed into.
+  LongitudinalConfig other = small_run();
+  other.budget_prefixes = 99;
+  const LongitudinalResult theirs =
+      process(RemeasurePolicy::TtlExpiry, other);
+  EXPECT_EQ(theirs.completed_epochs, 3u);
+
+  const LongitudinalResult ours =
+      process(RemeasurePolicy::TtlExpiry, small_run());
+  EXPECT_EQ(ours.completed_epochs, 3u);
+  ASSERT_EQ(ours.epochs.size(), 3u);  // full re-run, not a bogus resume
+
+  const LongitudinalResult reference = [] {
+    scenario::Scenario s(base_config());
+    return run_longitudinal(s, RemeasurePolicy::TtlExpiry, small_run());
+  }();
+  EXPECT_EQ(ours.final_snapshot_bytes, reference.final_snapshot_bytes);
+}
+
+TEST_F(LongitudinalResumeTest, CorruptStateFallsBackToFreshRun) {
+  LongitudinalConfig killed = small_run();
+  killed.interrupt_epoch = 2;
+  EXPECT_TRUE(process(RemeasurePolicy::TtlExpiry, killed).interrupted);
+  {
+    // Scribble over the driver state; the framed read must reject it and
+    // the driver restart from the bootstrap rather than crash or trust it.
+    std::ofstream out(dir_ / "longitudinal.state",
+                      std::ios::binary | std::ios::trunc);
+    out << "garbage";
+  }
+  const LongitudinalResult r =
+      process(RemeasurePolicy::TtlExpiry, small_run());
+  EXPECT_FALSE(r.interrupted);
+  EXPECT_EQ(r.completed_epochs, 3u);
+
+  const LongitudinalResult reference = [] {
+    scenario::Scenario s(base_config());
+    return run_longitudinal(s, RemeasurePolicy::TtlExpiry, small_run());
+  }();
+  EXPECT_EQ(r.final_snapshot_bytes, reference.final_snapshot_bytes);
+}
+
+}  // namespace
+}  // namespace geoloc::eval

@@ -72,9 +72,35 @@ TEST(SnapshotDiff, CountsAddedRemovedMovedAndChanges) {
   EXPECT_EQ(d.method_changes, 1u);
   EXPECT_EQ(d.tier_changes, 1u);
   EXPECT_EQ(d.refreshed, 1u);
-  EXPECT_NEAR(d.median_move_km, 878.0, 10.0);  // Berlin -> Paris
+  // Median over ALL retained entries: moves are [0, 0, ~878], median 0.
+  // The moved-only view carries the displacement.
+  EXPECT_EQ(d.median_move_km, 0.0);
+  EXPECT_NEAR(d.median_nonzero_move_km, 878.0, 10.0);  // Berlin -> Paris
   EXPECT_NEAR(d.max_move_km, 878.0, 10.0);
   EXPECT_NEAR(d.churn_fraction(), 3.0 / 4.0, 1e-12);
+  ASSERT_EQ(d.moved_prefixes.size(), 1u);
+  EXPECT_EQ(d.moved_prefixes[0], *net::Prefix::parse("10.0.1.0/24"));
+}
+
+TEST(SnapshotDiff, MedianCoversUnmovedEntries) {
+  // Regression: a mostly-static snapshot (the common case) must report a
+  // small median, not the median of its few movers. An earlier version
+  // medianed only nonzero moves, reporting ~878 km here — as if the whole
+  // dataset relocated when 1 entry in 5 did.
+  std::vector<Record> before, after;
+  for (int i = 0; i < 5; ++i) {
+    const std::string p = "10.0." + std::to_string(i) + ".0/24";
+    before.push_back(rec(p.c_str(), 52.52, 13.40));
+    after.push_back(i == 0 ? rec(p.c_str(), 48.85, 2.35)
+                           : rec(p.c_str(), 52.52, 13.40));
+  }
+  const DiffStats d = diff_snapshots(*snap(before, 1), *snap(after, 2));
+  EXPECT_EQ(d.retained, 5u);
+  EXPECT_EQ(d.moved, 1u);
+  EXPECT_EQ(d.median_move_km, 0.0);                    // 4 of 5 held still
+  EXPECT_NEAR(d.median_nonzero_move_km, 878.0, 10.0);  // the one mover
+  ASSERT_EQ(d.moved_prefixes.size(), 1u);
+  EXPECT_EQ(d.moved_prefixes[0], *net::Prefix::parse("10.0.0.0/24"));
 }
 
 TEST(SnapshotDiff, IdenticalSnapshotsReportNoChurn) {
@@ -90,6 +116,8 @@ TEST(SnapshotDiff, IdenticalSnapshotsReportNoChurn) {
   EXPECT_EQ(d.refreshed, 0u);
   EXPECT_EQ(d.churn_fraction(), 0.0);
   EXPECT_EQ(d.median_move_km, 0.0);
+  EXPECT_EQ(d.median_nonzero_move_km, 0.0);
+  EXPECT_TRUE(d.moved_prefixes.empty());
 }
 
 TEST(SnapshotDiff, SamePrefixDifferentLengthIsAddPlusRemove) {

@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -325,6 +327,77 @@ TEST_F(SnapshotCorruption, MissingFile) {
                            &error),
             nullptr);
   EXPECT_FALSE(error.empty());
+}
+
+// -- staleness boundary semantics -------------------------------------------
+
+TEST(SnapshotStaleness, BoundaryIsInclusive) {
+  SnapshotEntry e;
+  e.measured_at_s = 1'000.0;
+  e.ttl_s = 500.0f;
+  EXPECT_DOUBLE_EQ(e.stale_horizon_s(), 1'500.0);
+  EXPECT_FALSE(e.stale_at(1'499.999));
+  // Exactly at the horizon: STALE. The longitudinal loop measures at epoch
+  // boundaries with ttl == k * epoch_s; a strict `>` here (the old
+  // behaviour) made every such entry forever "fresh" at the instant it was
+  // due and TTL-driven re-measurement never fired.
+  EXPECT_TRUE(e.stale_at(1'500.0));
+  EXPECT_TRUE(e.stale_at(1'500.001));
+}
+
+TEST(SnapshotStaleness, ZeroTtlNeverGoesStale) {
+  SnapshotEntry e;
+  e.measured_at_s = 0.0;
+  e.ttl_s = 0.0f;
+  EXPECT_FALSE(e.stale_at(0.0));
+  EXPECT_FALSE(e.stale_at(1e12));
+  EXPECT_EQ(e.stale_horizon_s(), std::numeric_limits<double>::infinity());
+}
+
+TEST(SnapshotStaleness, ExactBoundaryAtSimulatedYearsOfUptime) {
+  // Regression for the timestamp-precision audit: measured_at_s is f64
+  // end-to-end (entry, wire, checkpoint), so epoch arithmetic stays exact
+  // far past f32's 2^24 integer range. Twenty simulated years in, a
+  // 30-day TTL must still flip exactly at the boundary, not an ULP early
+  // or late.
+  const double twenty_years_s = 20.0 * 365.0 * 86'400.0;  // 6.3072e8
+  const float month_s = 30.0f * 86'400.0f;                // 2.592e6, f32-exact
+  SnapshotEntry e;
+  e.measured_at_s = twenty_years_s;
+  e.ttl_s = month_s;
+  const double horizon = twenty_years_s + 2'592'000.0;
+  EXPECT_DOUBLE_EQ(e.stale_horizon_s(), horizon);
+  EXPECT_FALSE(e.stale_at(horizon - 1.0));
+  EXPECT_FALSE(e.stale_at(std::nextafter(horizon, 0.0)));
+  EXPECT_TRUE(e.stale_at(horizon));
+}
+
+TEST(SnapshotStaleness, TtlQuantisesAtFloatIntegerLimit) {
+  // ttl_s IS f32 in the 48-byte wire entry: durations beyond 2^24 s
+  // (~194 days) quantise to the nearest representable float. This is a
+  // documented format property — the TTL ladder tops out at 30 days — and
+  // the quantisation must at least be consistent: the entry goes stale at
+  // the horizon computed from the *stored* (quantised) value.
+  const float quantised = 16'777'217.0f;  // 2^24 + 1 rounds to 2^24
+  EXPECT_EQ(quantised, 16'777'216.0f);
+  SnapshotEntry e;
+  e.measured_at_s = 0.0;
+  e.ttl_s = quantised;
+  EXPECT_TRUE(e.stale_at(16'777'216.0));
+  EXPECT_FALSE(e.stale_at(16'777'215.0));
+
+  // And the stored value survives the disk roundtrip bit-exactly.
+  Record r;
+  r.prefix = *net::Prefix::parse("10.0.0.0/24");
+  r.ttl_s = quantised;
+  r.measured_at_s = 6.3072e8;
+  SnapshotBuilder b;
+  b.add(r);
+  std::string error;
+  const auto s = Snapshot::from_bytes(b.build(test_meta()), &error);
+  ASSERT_NE(s, nullptr) << error;
+  EXPECT_EQ(s->entry(0).ttl_s, quantised);
+  EXPECT_DOUBLE_EQ(s->entry(0).measured_at_s, 6.3072e8);
 }
 
 }  // namespace

@@ -150,6 +150,36 @@ TEST(GeoService, StalePrefixScanFindsExpiredEntries) {
   EXPECT_EQ(stale[0], *net::Prefix::parse("10.0.0.0/24"));
 }
 
+TEST(GeoService, StalenessBoundaryAgreesEndToEnd) {
+  // ttl == 100, measured at 0: the entry is due at EXACTLY now == 100, and
+  // every consumer must agree — the lookup's stale flag, the proactive
+  // stale_prefixes scan, and (via the queue they both feed) what
+  // plan_remeasurement gets to work with. Before the inclusive-boundary
+  // fix, an entry whose ttl equals the re-measurement cadence was never
+  // due at the cadence tick.
+  GeoService service(make_snapshot(
+      {make_record("10.0.0.0/24", 1.0, /*ttl_s=*/100.0f, /*measured_at=*/0.0)},
+      1));
+
+  // One tick before the horizon: fresh everywhere.
+  EXPECT_FALSE(service.lookup(addr("10.0.0.7"), 99.999).stale);
+  EXPECT_TRUE(service.stale_prefixes(99.999).empty());
+  EXPECT_EQ(service.remeasure_queue().size(), 0u);
+
+  // Exactly at the horizon: stale everywhere.
+  const Answer at_horizon = service.lookup(addr("10.0.0.7"), 100.0);
+  EXPECT_TRUE(at_horizon.stale);
+  EXPECT_EQ(service.remeasure_queue().size(), 1u);
+  const auto scan = service.stale_prefixes(100.0);
+  ASSERT_EQ(scan.size(), 1u);
+  EXPECT_EQ(scan[0], *net::Prefix::parse("10.0.0.0/24"));
+
+  // The queue and the scan hand the same prefix to the campaign planner.
+  const auto queued = service.remeasure_queue().drain();
+  ASSERT_EQ(queued.size(), 1u);
+  EXPECT_EQ(queued[0], scan[0]);
+}
+
 TEST(RemeasureQueue, DedupsUntilDrained) {
   RemeasureQueue q;
   const auto p1 = *net::Prefix::parse("10.0.0.0/24");
