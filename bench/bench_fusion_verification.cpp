@@ -1,0 +1,215 @@
+// Fusion verification sweep: does trust-but-verify evidence fusion beat
+// the latency-only baseline when evidence is honest, and never lose to it
+// when evidence lies?
+//
+// Sweeps hint coverage x lie rate x weather through the full fused
+// pipeline (fusion/pipeline.h) and reports per-cell median error against
+// the latency-only campaign on the same weather, plus one geofeed row
+// where 30% of operator entries are adversarial lies. Recorded to
+// $GEOLOC_BENCH_JSON (BENCH_fusion_verification.json) and gated:
+//
+//   1. adversarial floor — with 30% lying evidence (hints at lie rate 0.3,
+//      and feeds with 30% adversarial entries) the fused median error is
+//      <= the latency-only baseline: verification must filter lies faster
+//      than they poison the dataset;
+//   2. honest ceiling — at 0% lies and >= 50% hint coverage the fused
+//      median error improves on the baseline by >= 2x;
+//   3. equivalence — with zero evidence the fused pipeline's
+//      CampaignReport and compiled snapshot bytes are byte-identical to
+//      the latency-only path.
+//
+// Runs on the miniature scenario regardless of GEOLOC_SMALL: the sweep is
+// coverages x lie rates x weathers, each a full mesh campaign plus
+// per-claim targeted verification — and every gate is a shape claim, not
+// a scale claim.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "atlas/checkpoint.h"
+#include "bench_common.h"
+#include "fusion/pipeline.h"
+#include "geo/geodesy.h"
+#include "publish/snapshot.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace geoloc;
+
+std::vector<std::byte> snapshot_bytes(const std::vector<publish::Record>& r) {
+  publish::SnapshotBuilder b;
+  b.add(r);
+  publish::SnapshotMeta meta;
+  meta.created_at_s = 0.0;
+  meta.source = "bench-fusion";
+  return b.build(meta);
+}
+
+double median_error_km(const scenario::Scenario& s,
+                       const std::vector<publish::Record>& records) {
+  std::vector<double> errors;
+  errors.reserve(records.size());
+  for (std::size_t col = 0; col < records.size(); ++col) {
+    errors.push_back(geo::distance_km(
+        records[col].location,
+        s.world().host(s.targets()[col]).true_location));
+  }
+  return util::median(errors);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Fusion verification",
+      "trust-but-verify evidence fusion vs the latency-only baseline",
+      "honest evidence >= 2x median-error improvement; 30% lies never "
+      "worse than baseline; zero evidence byte-identical");
+
+  auto cfg = scenario::small_config();
+  cfg.cache_dir = "";
+  const scenario::Scenario s(cfg);
+
+  fusion::PipelineOptions opts;
+  opts.max_vps = 200;  // plenty of spares left for reassignment
+
+  const struct {
+    const char* label;
+    atlas::FaultConfig weather;
+  } weathers[] = {
+      {"calm", scenario::calm_weather()},
+      {"storm", scenario::stormy_weather()},
+  };
+  const double coverages[] = {0.25, 0.5, 1.0};
+  const double lie_rates[] = {0.0, 0.3, 1.0};
+
+  bench::WallTimer timer;
+
+  // Gate 3 first: zero evidence must leave no fingerprint on the output.
+  const fusion::LatencyCampaign calm_base = run_latency_campaign(s, opts);
+  const fusion::FusedCampaignResult calm_empty =
+      run_fused_campaign(s, fusion::EvidenceBundle{}, opts);
+  const bool bytes_identical =
+      atlas::encode_report(calm_base.report) ==
+          atlas::encode_report(calm_empty.base_report) &&
+      snapshot_bytes(calm_base.records) == snapshot_bytes(calm_empty.records);
+  std::printf("[gate] %s: zero-evidence run is byte-identical to the "
+              "latency-only pipeline\n",
+              bytes_identical ? "PASS" : "FAIL");
+  bench::emit_bench_json_fields(
+      "fusion_verification/equivalence",
+      {{"byte_identical", bytes_identical ? 1.0 : 0.0}});
+
+  util::TextTable t{"fused vs latency-only median error (km)"};
+  t.header({"weather", "coverage", "lie rate", "base km", "fused km",
+            "accepted", "rej geo", "rej act", "inconcl"});
+
+  bool adversarial_floor = true;  // gate 1 (hint rows at lie 0.3)
+  bool honest_ceiling = true;     // gate 2
+  for (const auto& w : weathers) {
+    fusion::PipelineOptions wopts = opts;
+    wopts.weather = w.weather;
+    const fusion::LatencyCampaign base = run_latency_campaign(s, wopts);
+    const double base_km = median_error_km(s, base.records);
+
+    for (const double coverage : coverages) {
+      for (const double lie_rate : lie_rates) {
+        sim::HintConfig hints;
+        hints.coverage = coverage;
+        hints.lie_rate = lie_rate;
+        hints.noise_km = 10.0;
+        fusion::EvidenceBundle evidence;
+        evidence.hints = sim::generate_hints(s.world(), s.targets(), hints,
+                                             util::RngStream(4242));
+        const fusion::FusedCampaignResult fused =
+            run_fused_campaign(s, evidence, wopts);
+        const double fused_km = median_error_km(s, fused.records);
+
+        t.row({w.label, util::TextTable::num(coverage, 2),
+               util::TextTable::num(lie_rate, 2),
+               util::TextTable::num(base_km, 1),
+               util::TextTable::num(fused_km, 1),
+               std::to_string(fused.accepted),
+               std::to_string(fused.rejected_geometric),
+               std::to_string(fused.rejected_active),
+               std::to_string(fused.inconclusive)});
+        bench::emit_bench_json_fields(
+            std::string("fusion_verification/hints-") + w.label,
+            {{"coverage", coverage},
+             {"lie_rate", lie_rate},
+             {"base_median_km", base_km},
+             {"fused_median_km", fused_km},
+             {"claims", static_cast<double>(fused.claims)},
+             {"accepted", static_cast<double>(fused.accepted)},
+             {"rejected_geometric",
+              static_cast<double>(fused.rejected_geometric)},
+             {"rejected_active", static_cast<double>(fused.rejected_active)},
+             {"inconclusive", static_cast<double>(fused.inconclusive)},
+             {"verify_pings", static_cast<double>(fused.verify_pings)}});
+
+        // Gate 1 (hints): 30% lies must never beat the baseline's median.
+        // A whisker of tolerance absorbs ties decided by sub-km jitter.
+        if (lie_rate == 0.3 && fused_km > base_km * 1.001) {
+          adversarial_floor = false;
+        }
+        // Gate 2: calm + honest + >=50% coverage must improve 2x.
+        if (w.weather.enabled == false && lie_rate == 0.0 &&
+            coverage >= 0.5 && fused_km * 2.0 > base_km) {
+          honest_ceiling = false;
+        }
+      }
+    }
+  }
+  std::printf("%s", t.render().c_str());
+
+  // The feed flavour of gate 1: operator geofeeds where 30% of entries
+  // (every feed, adversarial_lie_rate 0.3) are convincing lies.
+  sim::FeedConfig feeds;
+  feeds.coverage = 1.0;
+  feeds.stale_rate = 0.0;
+  feeds.noise_km = 8.0;
+  feeds.feed_count = 4;
+  feeds.adversarial_feeds = 4;
+  feeds.adversarial_lie_rate = 0.3;
+  const auto generated =
+      sim::generate_feeds(s.world(), s.targets(), feeds, util::RngStream(97));
+  const fusion::EvidenceBundle feed_evidence =
+      fusion::EvidenceBundle::from_generated({}, generated);
+  const fusion::FusedCampaignResult feed_fused =
+      run_fused_campaign(s, feed_evidence, opts);
+  const double base_km = median_error_km(s, calm_base.records);
+  const double feed_km = median_error_km(s, feed_fused.records);
+  std::printf("geofeeds, 30%% adversarial entries: base %.1f km, fused "
+              "%.1f km (accepted %zu / %zu claims)\n",
+              base_km, feed_km, feed_fused.accepted, feed_fused.claims);
+  bench::emit_bench_json_fields(
+      "fusion_verification/feeds-30pct-lies",
+      {{"base_median_km", base_km},
+       {"fused_median_km", feed_km},
+       {"claims", static_cast<double>(feed_fused.claims)},
+       {"accepted", static_cast<double>(feed_fused.accepted)},
+       {"rejected_geometric",
+        static_cast<double>(feed_fused.rejected_geometric)},
+       {"rejected_active", static_cast<double>(feed_fused.rejected_active)},
+       {"inconclusive", static_cast<double>(feed_fused.inconclusive)}});
+  if (feed_km > base_km * 1.001) adversarial_floor = false;
+
+  std::printf("[gate] %s: 30%% lying evidence never loses to the "
+              "latency-only baseline\n",
+              adversarial_floor ? "PASS" : "FAIL");
+  std::printf("[gate] %s: honest evidence at >=50%% coverage improves "
+              "median error >= 2x\n",
+              honest_ceiling ? "PASS" : "FAIL");
+
+  const bool ok = bytes_identical && adversarial_floor && honest_ceiling;
+  bench::emit_bench_json_fields(
+      "fusion_verification/acceptance",
+      {{"byte_identical", bytes_identical ? 1.0 : 0.0},
+       {"adversarial_floor", adversarial_floor ? 1.0 : 0.0},
+       {"honest_ceiling", honest_ceiling ? 1.0 : 0.0},
+       {"wall_ms", timer.elapsed_ms()}});
+  bench::emit_metrics_snapshot("fusion_verification");
+  return ok ? 0 : 1;
+}

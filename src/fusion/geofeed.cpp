@@ -1,0 +1,132 @@
+#include "fusion/geofeed.h"
+
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <optional>
+
+#include "obs/metrics.h"
+
+namespace geoloc::fusion {
+
+namespace {
+
+/// Full-consumption double parse: every byte of `s` must belong to the
+/// number. Trailing junk, empty fields, inf/nan spellings all fail
+/// (from_chars happily reads "nan", and NaN slides through any range
+/// check, so finiteness is tested explicitly).
+std::optional<double> parse_coord(std::string_view s) {
+  if (s.empty()) return std::nullopt;
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return std::nullopt;
+  if (!std::isfinite(v)) return std::nullopt;
+  return v;
+}
+
+/// Split on ','; returns false unless exactly `fields.size()` fields.
+template <std::size_t N>
+bool split_fields(std::string_view line, std::array<std::string_view, N>& out) {
+  std::size_t n = 0;
+  while (true) {
+    const std::size_t comma = line.find(',');
+    if (n == N) return false;
+    out[n++] = line.substr(0, comma);
+    if (comma == std::string_view::npos) break;
+    line.remove_prefix(comma + 1);
+  }
+  return n == N;
+}
+
+std::optional<GeofeedError> parse_line(std::string_view line,
+                                       GeofeedEntry& out) {
+  std::array<std::string_view, 5> f;
+  if (!split_fields(line, f)) return GeofeedError::FieldCount;
+
+  const auto prefix = net::Prefix::parse(f[0]);
+  if (!prefix) return GeofeedError::BadPrefix;
+  // Prefix::parse zeroes host bits; re-parsing the address exposes them.
+  const auto addr = net::IPv4Address::parse(
+      f[0].substr(0, f[0].find('/')));
+  if (addr && addr->value() != prefix->network().value()) {
+    return GeofeedError::HostBitsSet;
+  }
+  if (prefix->length() < 8) return GeofeedError::PrefixTooWide;
+  if (f[1].empty() || f[2].empty()) return GeofeedError::EmptyField;
+
+  const auto lat = parse_coord(f[3]);
+  if (!lat || *lat < -90.0 || *lat > 90.0) return GeofeedError::BadLatitude;
+  const auto lon = parse_coord(f[4]);
+  if (!lon || *lon < -180.0 || *lon > 180.0) {
+    return GeofeedError::BadLongitude;
+  }
+
+  out.prefix = *prefix;
+  out.country = std::string(f[1]);
+  out.city = std::string(f[2]);
+  out.location = geo::GeoPoint{*lat, *lon};
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string_view to_string(GeofeedError e) noexcept {
+  switch (e) {
+    case GeofeedError::FieldCount: return "field-count";
+    case GeofeedError::BadPrefix: return "bad-prefix";
+    case GeofeedError::HostBitsSet: return "host-bits-set";
+    case GeofeedError::PrefixTooWide: return "prefix-too-wide";
+    case GeofeedError::BadLatitude: return "bad-latitude";
+    case GeofeedError::BadLongitude: return "bad-longitude";
+    case GeofeedError::EmptyField: return "empty-field";
+  }
+  return "?";
+}
+
+GeofeedParseResult parse_geofeed(std::string_view text,
+                                 const GeofeedLimits& limits) {
+  static auto& reg = obs::Registry::instance();
+  static obs::Counter& feeds = reg.counter("fusion.geofeed.feeds");
+  static obs::Counter& lines_ok = reg.counter("fusion.geofeed.entries");
+  static obs::Counter& lines_bad = reg.counter("fusion.geofeed.defects");
+  static obs::Counter& quarantines = reg.counter("fusion.geofeed.quarantined");
+  feeds.add();
+
+  GeofeedParseResult result;
+  std::size_t line_no = 0;
+  while (!text.empty()) {
+    const std::size_t nl = text.find('\n');
+    std::string_view line = text.substr(0, nl);
+    text.remove_prefix(nl == std::string_view::npos ? text.size() : nl + 1);
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty() || line.front() == '#') continue;
+
+    if (result.data_lines() >= limits.max_lines) {
+      result.quarantined = true;
+      break;
+    }
+    GeofeedEntry entry;
+    if (const auto err = parse_line(line, entry)) {
+      result.defects.push_back(GeofeedDefect{line_no, *err});
+    } else {
+      result.entries.push_back(std::move(entry));
+    }
+  }
+
+  lines_ok.add(result.entries.size());
+  lines_bad.add(result.defects.size());
+  if (!result.quarantined && result.data_lines() >= limits.min_lines) {
+    const double bad = static_cast<double>(result.defects.size());
+    result.quarantined =
+        bad / static_cast<double>(result.data_lines()) >
+        limits.quarantine_defect_fraction;
+  }
+  if (result.quarantined) {
+    result.entries.clear();
+    quarantines.add();
+  }
+  return result;
+}
+
+}  // namespace geoloc::fusion

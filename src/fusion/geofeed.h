@@ -1,0 +1,82 @@
+// Strict geofeed ingest: RFC 8805-shaped CSV, extended with coordinates.
+//
+// A feed is operator-published text straight off the Internet, so the
+// parser trusts nothing: every field must consume its bytes completely
+// (the ZipGrid from_chars discipline — "48.2x" is a defect, not 48.2),
+// coordinates must be in range, prefixes must be real CIDR with no host
+// bits set. Each bad line becomes a *typed* defect with its line number;
+// a feed whose defect fraction crosses the quarantine threshold is
+// rejected wholesale — a mostly-garbage feed is more likely hostile or
+// corrupt than sloppy, and consuming its few "valid" lines is how poisoned
+// evidence gets in.
+//
+// Accepted line shape (comments with '#' and blank lines are skipped):
+//
+//   prefix,country,city,lat,lon
+//   192.0.2.0/24,AT,Vienna,48.208500,16.373800
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "geo/geopoint.h"
+#include "net/ipv4.h"
+
+namespace geoloc::fusion {
+
+/// Why a geofeed line was rejected.
+enum class GeofeedError : std::uint8_t {
+  FieldCount,    ///< not exactly 5 comma-separated fields
+  BadPrefix,     ///< prefix field is not a.b.c.d/len
+  HostBitsSet,   ///< prefix has bits below its mask (192.0.2.1/24)
+  PrefixTooWide, ///< shorter than /8: no operator feeds a quarter-Internet
+  BadLatitude,   ///< not a full-consumption decimal in [-90, 90]
+  BadLongitude,  ///< not a full-consumption decimal in [-180, 180]
+  EmptyField,    ///< country or city field is empty
+};
+std::string_view to_string(GeofeedError e) noexcept;
+
+/// One rejected line.
+struct GeofeedDefect {
+  std::size_t line = 0;  ///< 1-based line number in the feed text
+  GeofeedError error = GeofeedError::FieldCount;
+};
+
+/// One accepted line.
+struct GeofeedEntry {
+  net::Prefix prefix;
+  std::string country;
+  std::string city;
+  geo::GeoPoint location;
+};
+
+struct GeofeedLimits {
+  /// Quarantine when defects / (defects + entries) exceeds this, provided
+  /// at least `min_lines` data lines were seen (a single typo in a
+  /// two-line feed is noise, 40% garbage in a thousand-line feed is not).
+  double quarantine_defect_fraction = 0.3;
+  std::size_t min_lines = 10;
+  /// Hard ceiling on data lines examined; beyond it parsing stops and the
+  /// feed is quarantined (a gigabyte "feed" is an attack, not data).
+  std::size_t max_lines = 1 << 20;
+};
+
+struct GeofeedParseResult {
+  std::vector<GeofeedEntry> entries;
+  std::vector<GeofeedDefect> defects;
+  /// True when the feed as a whole must not be consulted; `entries` is
+  /// cleared so a quarantined feed cannot leak evidence through oversight.
+  bool quarantined = false;
+
+  [[nodiscard]] std::size_t data_lines() const noexcept {
+    return entries.size() + defects.size();
+  }
+};
+
+/// Parse one feed's text. Never throws; any byte sequence yields a result.
+GeofeedParseResult parse_geofeed(std::string_view text,
+                                 const GeofeedLimits& limits = {});
+
+}  // namespace geoloc::fusion

@@ -1,0 +1,64 @@
+#include "fusion/trust.h"
+
+#include "obs/metrics.h"
+#include "util/env.h"
+
+namespace geoloc::fusion {
+
+TrustConfig TrustConfig::from_env() {
+  TrustConfig c;
+  if (const int pm = util::env::int_or("GEOLOC_FUSION_QUARANTINE_PM", -1);
+      pm > 0) {
+    c.quarantine_rejection_rate = static_cast<double>(pm) / 1000.0;
+  }
+  c.min_observations = static_cast<std::uint32_t>(util::env::int_or(
+      "GEOLOC_FUSION_MIN_OBS", static_cast<int>(c.min_observations)));
+  c.probation_epochs = static_cast<std::uint32_t>(util::env::int_or(
+      "GEOLOC_FUSION_PROBATION", static_cast<int>(c.probation_epochs)));
+  return c;
+}
+
+bool TrustTracker::consult(std::string_view source) const {
+  const auto it = sources_.find(source);
+  return it == sources_.end() || !it->second.quarantined;
+}
+
+void TrustTracker::record(std::string_view source, ClaimOutcome outcome) {
+  auto it = sources_.find(source);
+  if (it == sources_.end()) {
+    it = sources_.emplace(std::string(source), SourceTrust{}).first;
+  }
+  SourceTrust& t = it->second;
+  switch (outcome) {
+    case ClaimOutcome::Accepted: ++t.accepted; break;
+    case ClaimOutcome::Rejected: ++t.rejected; break;
+    case ClaimOutcome::Inconclusive: ++t.inconclusive; break;
+  }
+  if (!t.quarantined && t.conclusive() >= config_.min_observations &&
+      t.rejection_rate() > config_.quarantine_rejection_rate) {
+    t.quarantined = true;
+    t.release_epoch = epoch_ + config_.probation_epochs;
+    ++t.quarantines;
+    static obs::Counter& quarantines =
+        obs::Registry::instance().counter("fusion.trust.quarantines");
+    quarantines.add();
+  }
+}
+
+void TrustTracker::advance_epoch() {
+  ++epoch_;
+  for (auto& [name, t] : sources_) {
+    if (t.quarantined && epoch_ >= t.release_epoch) {
+      const std::uint32_t lifetime = t.quarantines;
+      t = SourceTrust{};  // released: a clean slate, trust re-earned
+      t.quarantines = lifetime;
+    }
+  }
+}
+
+const SourceTrust* TrustTracker::find(std::string_view source) const {
+  const auto it = sources_.find(source);
+  return it == sources_.end() ? nullptr : &it->second;
+}
+
+}  // namespace geoloc::fusion

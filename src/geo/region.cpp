@@ -2,28 +2,118 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "geo/constants.h"
+#include "spatial/cell.h"
+#include "spatial/covering.h"
 
 namespace geoloc::geo {
 
 namespace {
+
+/// Per covering cell, what the cell classification proved about the
+/// constraint set: either the whole cell is infeasible (some constraint
+/// provably excludes every point of it) or only the `boundary` constraints
+/// still need a per-point test (the rest provably contain the cell).
+struct CellClass {
+  std::uint64_t token_lo = 0;
+  std::uint64_t token_hi = 0;
+  bool infeasible = false;
+  std::vector<std::uint16_t> boundary;  ///< constraint indices to test
+};
+
+/// Classify a covering of `window` against the constraint set. Cells are
+/// token-sorted (cover_disk's contract), so a sample point maps to its
+/// cell with one binary search on token_lo.
+std::vector<CellClass> classify_cells(const Disk& window,
+                                      std::span<const Disk> constraints) {
+  // A small budget keeps the classification cost (2 distance bounds per
+  // cell per constraint) well below the per-point tests it saves.
+  spatial::CoveringOptions opts;
+  opts.max_cells = 16;
+  const std::vector<spatial::CellId> cells = spatial::cover_disk(window, opts);
+  std::vector<CellClass> classes;
+  classes.reserve(cells.size());
+  for (const spatial::CellId& cell : cells) {
+    CellClass cc;
+    cc.token_lo = cell.token_lo();
+    cc.token_hi = cell.token_hi();
+    for (std::size_t k = 0; k < constraints.size(); ++k) {
+      if (!spatial::cell_may_intersect_disk(cell, constraints[k])) {
+        cc.infeasible = true;
+        cc.boundary.clear();
+        break;
+      }
+      if (!spatial::cell_contained_in_disk(cell, constraints[k])) {
+        cc.boundary.push_back(static_cast<std::uint16_t>(k));
+      }
+    }
+    classes.push_back(std::move(cc));
+  }
+  return classes;
+}
+
+/// The covering cell containing `p`, or nullptr when `p` fell outside the
+/// covered window (floating-point edge of the outermost ring): the caller
+/// then falls back to testing every constraint, which is the same test the
+/// classification would have routed anyway.
+const CellClass* cell_of(std::span<const CellClass> classes,
+                         const GeoPoint& p) {
+  const std::uint64_t token = spatial::CellId::leaf_token(p);
+  auto it = std::upper_bound(classes.begin(), classes.end(), token,
+                             [](std::uint64_t t, const CellClass& c) {
+                               return t < c.token_lo;
+                             });
+  if (it == classes.begin()) return nullptr;
+  --it;
+  return token < it->token_hi ? &*it : nullptr;
+}
 
 /// Sample a polar grid over `seed` (center + rings x sectors) and keep the
 /// points inside every disk of `constraints`. When `area_fraction` is
 /// non-null it receives the area-weighted feasible fraction of the seed
 /// disk: ring i stands for an annulus whose area grows linearly with i, so
 /// per-point weights must too (a flat count would oversample the centre).
+///
+/// With `use_cover`, the constraint tests are routed through a spatial::
+/// covering of the seed disk (classify_cells): a point in a cell some
+/// constraint provably excludes is infeasible without any distance test,
+/// and a point in a surviving cell only tests the cell's boundary
+/// constraints. The grid points, their order, and the feasible set are
+/// identical either way — the covering is a sound pre-classification, not
+/// an approximation — so both paths produce the same bytes.
 std::vector<GeoPoint> feasible_samples(const Disk& seed,
                                        std::span<const Disk> constraints,
-                                       int rings, int sectors,
+                                       int rings, int sectors, bool use_cover,
                                        double* area_fraction = nullptr) {
+  // Below this many constraints the per-point saving cannot repay the
+  // classification; the direct scan is used (identical output).
+  const bool cover = use_cover && constraints.size() >= 2;
+  const std::vector<CellClass> classes =
+      cover ? classify_cells(seed, constraints) : std::vector<CellClass>{};
+
   std::vector<GeoPoint> feasible;
   double weight_total = 0.0, weight_feasible = 0.0;
+  auto contains_all = [&](const GeoPoint& p) {
+    for (const Disk& d : constraints) {
+      if (!d.contains(p)) return false;
+    }
+    return true;
+  };
   auto test = [&](const GeoPoint& p, double weight) {
     weight_total += weight;
-    for (const Disk& d : constraints) {
-      if (!d.contains(p)) return;
+    if (cover) {
+      if (const CellClass* cc = cell_of(classes, p)) {
+        if (cc->infeasible) return;
+        for (std::uint16_t k : cc->boundary) {
+          if (!constraints[k].contains(p)) return;
+        }
+      } else if (!contains_all(p)) {
+        return;
+      }
+    } else if (!contains_all(p)) {
+      return;
     }
     weight_feasible += weight;
     feasible.push_back(p);
@@ -46,26 +136,8 @@ std::vector<GeoPoint> feasible_samples(const Disk& seed,
   return feasible;
 }
 
-}  // namespace
-
-std::vector<Disk> prune_dominated(std::span<const Disk> disks) {
-  std::vector<Disk> sorted(disks.begin(), disks.end());
-  std::sort(sorted.begin(), sorted.end(),
-            [](const Disk& a, const Disk& b) { return a.radius_km < b.radius_km; });
-  std::vector<Disk> kept;
-  for (const Disk& candidate : sorted) {
-    // A disk is redundant if any already-kept (smaller) disk lies inside it.
-    const bool redundant =
-        std::any_of(kept.begin(), kept.end(), [&](const Disk& smaller) {
-          return smaller.inside(candidate);
-        });
-    if (!redundant) kept.push_back(candidate);
-  }
-  return kept;
-}
-
-Region intersect_disks(std::span<const Disk> disks,
-                       const RegionOptions& options) {
+Region intersect_disks_impl(std::span<const Disk> disks,
+                            const RegionOptions& options, bool use_cover) {
   Region region;
   if (disks.empty()) return region;
 
@@ -83,12 +155,13 @@ Region intersect_disks(std::span<const Disk> disks,
   for (int level = 0; level <= options.refine_levels; ++level) {
     double area_fraction = 0.0;
     feasible = feasible_samples(window, kept, options.rings, options.sectors,
-                                &area_fraction);
+                                use_cover, &area_fraction);
     if (feasible.empty() && level == 0) {
       // One retry at double resolution before declaring emptiness: thin
       // lens-shaped intersections can slip between coarse samples.
       feasible = feasible_samples(window, kept, options.rings * 2,
-                                  options.sectors * 2, &area_fraction);
+                                  options.sectors * 2, use_cover,
+                                  &area_fraction);
     }
     if (feasible.empty()) return region;
 
@@ -113,6 +186,34 @@ Region intersect_disks(std::span<const Disk> disks,
   }
   region.samples = std::move(feasible);
   return region;
+}
+
+}  // namespace
+
+std::vector<Disk> prune_dominated(std::span<const Disk> disks) {
+  std::vector<Disk> sorted(disks.begin(), disks.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Disk& a, const Disk& b) { return a.radius_km < b.radius_km; });
+  std::vector<Disk> kept;
+  for (const Disk& candidate : sorted) {
+    // A disk is redundant if any already-kept (smaller) disk lies inside it.
+    const bool redundant =
+        std::any_of(kept.begin(), kept.end(), [&](const Disk& smaller) {
+          return smaller.inside(candidate);
+        });
+    if (!redundant) kept.push_back(candidate);
+  }
+  return kept;
+}
+
+Region intersect_disks(std::span<const Disk> disks,
+                       const RegionOptions& options) {
+  return intersect_disks_impl(disks, options, /*use_cover=*/true);
+}
+
+Region intersect_disks_reference(std::span<const Disk> disks,
+                                 const RegionOptions& options) {
+  return intersect_disks_impl(disks, options, /*use_cover=*/false);
 }
 
 bool region_contains(std::span<const Disk> disks, const GeoPoint& p) noexcept {

@@ -79,6 +79,7 @@ std::string_view to_string(Method m) noexcept {
     case Method::TwoStep: return "two-step";
     case Method::StreetLevel: return "street-level";
     case Method::GeoDb: return "geodb";
+    case Method::Fused: return "fused";
   }
   return "?";
 }
@@ -301,7 +302,7 @@ std::shared_ptr<const Snapshot> Snapshot::from_bytes(
       return reject("entry " + std::to_string(i) + ": host bits set");
     }
     if (static_cast<std::uint8_t>(e[5]) >
-        static_cast<std::uint8_t>(Method::GeoDb)) {
+        static_cast<std::uint8_t>(Method::Fused)) {
       return reject("entry " + std::to_string(i) + ": unknown method");
     }
     if (static_cast<std::uint8_t>(e[6]) >

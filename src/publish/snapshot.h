@@ -83,6 +83,7 @@ enum class Method : std::uint8_t {
   TwoStep,      ///< million-scale two-step VP selection (Section 5.1.4)
   StreetLevel,  ///< three-tier landmark pipeline (Section 3.2)
   GeoDb,        ///< imported from a commercial geolocation database
+  Fused,        ///< CBG fused with verified operator evidence (fusion::)
 };
 std::string_view to_string(Method m) noexcept;
 

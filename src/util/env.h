@@ -74,6 +74,33 @@
 //   GEOLOC_LONG_DEBUG=1   longitudinal driver: per-epoch policy
 //                         diagnostics on stderr (selection quality vs
 //                         ground truth; eval/longitudinal.cpp)
+//   GEOLOC_HINT_COVERAGE_PM=N   fraction of targets with an rDNS-style
+//                         hint, permille (sim/evidence.h; default 600)
+//   GEOLOC_HINT_LIE_PM=N  fraction of hints that lie, permille
+//                         (default 100)
+//   GEOLOC_HINT_NOISE_KM=N      mean radial jitter of a hint around its
+//                         hinted place, km (default 15)
+//   GEOLOC_FEED_COVERAGE_PM=N   fraction of target /24s listed in some
+//                         operator geofeed, permille (default 500)
+//   GEOLOC_FEED_STALE_PM=N      honest-feed stale-entry rate, permille
+//                         (default 50)
+//   GEOLOC_FEED_COUNT=N   operator feeds the universe splits across
+//                         (default 4)
+//   GEOLOC_FEED_ADVERSARIAL=N   how many of those feeds lie (default 0)
+//   GEOLOC_FEED_LIE_PM=N  per-entry lie rate of an adversarial feed,
+//                         permille (default 800)
+//   GEOLOC_FUSION_QUARANTINE_PM=N  rejection-rate threshold that
+//                         quarantines an evidence source, permille
+//                         (fusion/trust.h; default 400)
+//   GEOLOC_FUSION_MIN_OBS=N     conclusive verifications before a source
+//                         can be judged (default 5)
+//   GEOLOC_FUSION_PROBATION=N   epochs a quarantined source sits out
+//                         (default 2)
+//   GEOLOC_FUSION_SLACK_KM=N    geometric + active-verification slack, km
+//                         (fusion/engine.h; default 100)
+//   GEOLOC_FUSION_VERIFY_K=N    nearest VPs pinged per claim (default 4)
+//   GEOLOC_FUSION_MIN_CONCLUSIVE=N  answered verification pings needed
+//                         for an accept (default 2)
 #pragma once
 
 #include <algorithm>

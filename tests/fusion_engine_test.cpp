@@ -1,0 +1,237 @@
+// The trust-but-verify decision rules, and the evidence generators that
+// feed them. Engine tests are pure (synthetic disks and pings); generator
+// tests pin the adversarial semantics — a lying hint for a misgeolocated
+// host must agree with the host's bogus reported location.
+#include "fusion/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "fusion/geofeed.h"
+#include "geo/constants.h"
+#include "geo/geodesy.h"
+#include "sim/evidence.h"
+#include "test_scenario.h"
+
+namespace geoloc::fusion {
+namespace {
+
+const geo::GeoPoint kVienna{48.21, 16.37};
+const geo::GeoPoint kParis{48.86, 2.35};
+const geo::GeoPoint kSydney{-33.87, 151.21};
+
+EngineConfig test_config() {
+  EngineConfig c;
+  c.slack_km = 100.0;
+  c.verify_k = 4;
+  c.min_conclusive = 2;
+  return c;
+}
+
+TEST(FusionEngine, GeometryAdmitsPointsInsideAllDisksWithSlack) {
+  const std::vector<geo::Disk> disks{{kVienna, 500.0}, {kParis, 2500.0}};
+  EXPECT_TRUE(geometric_feasible(disks, kVienna, 100.0));
+  // Sydney is ~16000 km from Vienna: excluded by the first disk.
+  EXPECT_FALSE(geometric_feasible(disks, kSydney, 100.0));
+  // A point just past a disk edge survives thanks to slack...
+  const geo::GeoPoint near_edge = geo::destination(kVienna, 90.0, 560.0);
+  EXPECT_TRUE(geometric_feasible(disks, near_edge, 100.0));
+  // ...but not without it.
+  EXPECT_FALSE(geometric_feasible(disks, near_edge, 10.0));
+}
+
+TEST(FusionEngine, NoDisksMeansNoGeometryToContradict) {
+  EXPECT_TRUE(geometric_feasible({}, kSydney, 0.0));
+}
+
+/// RTT consistent with the claim: the VP is `km` away and the RTT says
+/// "at most `km` + margin".
+VerifyPing consistent_ping(const geo::GeoPoint& claim, double bearing,
+                           double km, double margin_km = 50.0) {
+  VerifyPing p;
+  p.vp_location = geo::destination(claim, bearing, km);
+  p.rtt_ms = geo::distance_to_min_rtt_ms(km + margin_km);
+  return p;
+}
+
+TEST(FusionEngine, ConsistentPingsAccept) {
+  const auto cfg = test_config();
+  const std::vector<VerifyPing> pings{consistent_ping(kVienna, 0.0, 300.0),
+                                      consistent_ping(kVienna, 120.0, 500.0),
+                                      consistent_ping(kVienna, 240.0, 800.0)};
+  int contra = -1;
+  EXPECT_EQ(verify_claim(kVienna, pings, cfg, &contra),
+            ClaimVerdict::Accepted);
+  EXPECT_EQ(contra, 0);
+}
+
+TEST(FusionEngine, OneImpossibleRttRejects) {
+  const auto cfg = test_config();
+  // Two honest-looking pings plus one VP whose RTT proves the target is
+  // within 200 km of it — and that VP is 3000 km from the claim.
+  VerifyPing impossible;
+  impossible.vp_location = geo::destination(kVienna, 45.0, 3000.0);
+  impossible.rtt_ms = geo::distance_to_min_rtt_ms(200.0);
+  const std::vector<VerifyPing> pings{consistent_ping(kVienna, 0.0, 300.0),
+                                      consistent_ping(kVienna, 180.0, 400.0),
+                                      impossible};
+  int contra = -1;
+  EXPECT_EQ(verify_claim(kVienna, pings, cfg, &contra),
+            ClaimVerdict::RejectedActive);
+  EXPECT_EQ(contra, 1);
+}
+
+TEST(FusionEngine, StarvedVerificationIsInconclusiveNeverAccepted) {
+  const auto cfg = test_config();
+  // Only one of four pings answered (weather): not enough for a verdict.
+  std::vector<VerifyPing> pings{consistent_ping(kVienna, 0.0, 300.0)};
+  for (int i = 0; i < 3; ++i) {
+    VerifyPing lost;
+    lost.vp_location = geo::destination(kVienna, 90.0 * i, 400.0);
+    pings.push_back(lost);  // rtt_ms = nullopt
+  }
+  EXPECT_EQ(verify_claim(kVienna, pings, cfg),
+            ClaimVerdict::Inconclusive);
+}
+
+TEST(FusionEngine, ContradictionOutranksStarvation) {
+  const auto cfg = test_config();
+  // A single answered ping that disproves the claim: rejection, not
+  // inconclusive — a too-small RTT cannot be weather.
+  VerifyPing impossible;
+  impossible.vp_location = geo::destination(kVienna, 45.0, 5000.0);
+  impossible.rtt_ms = geo::distance_to_min_rtt_ms(100.0);
+  const std::vector<VerifyPing> pings{impossible};
+  EXPECT_EQ(verify_claim(kVienna, pings, cfg),
+            ClaimVerdict::RejectedActive);
+}
+
+TEST(FusionEngine, SlackAbsorbsLastMileInflation) {
+  EngineConfig cfg = test_config();
+  VerifyPing p;
+  p.vp_location = geo::destination(kVienna, 10.0, 1000.0);
+  // The bound lands 60 km short of the VP's distance to the claim.
+  p.rtt_ms = geo::distance_to_min_rtt_ms(940.0);
+  const std::vector<VerifyPing> pings{p, consistent_ping(kVienna, 200.0, 300.0)};
+  cfg.slack_km = 100.0;
+  EXPECT_EQ(verify_claim(kVienna, pings, cfg), ClaimVerdict::Accepted);
+  cfg.slack_km = 10.0;
+  EXPECT_EQ(verify_claim(kVienna, pings, cfg),
+            ClaimVerdict::RejectedActive);
+}
+
+// -- generators ------------------------------------------------------------
+
+TEST(EvidenceGenerators, HintsAreDeterministicAndCoverageScales) {
+  const auto& s = geoloc::testing::small_scenario();
+  sim::HintConfig cfg;
+  cfg.coverage = 0.5;
+  cfg.lie_rate = 0.2;
+  const util::RngStream rng(1234);
+  const auto a = sim::generate_hints(s.world(), s.targets(), cfg, rng);
+  const auto b = sim::generate_hints(s.world(), s.targets(), cfg, rng);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].target, b[i].target);
+    EXPECT_EQ(a[i].location.lat_deg, b[i].location.lat_deg);
+    EXPECT_EQ(a[i].lie, b[i].lie);
+  }
+  // Coverage lands near the knob.
+  const double frac =
+      static_cast<double>(a.size()) / static_cast<double>(s.targets().size());
+  EXPECT_GT(frac, 0.3);
+  EXPECT_LT(frac, 0.7);
+
+  sim::HintConfig full = cfg;
+  full.coverage = 1.0;
+  full.lie_rate = 0.0;
+  const auto all = sim::generate_hints(s.world(), s.targets(), full, rng);
+  EXPECT_EQ(all.size(), s.targets().size());
+  for (const auto& h : all) EXPECT_FALSE(h.lie);
+}
+
+TEST(EvidenceGenerators, HonestHintsLandNearTheTruth) {
+  const auto& s = geoloc::testing::small_scenario();
+  sim::HintConfig cfg;
+  cfg.coverage = 1.0;
+  cfg.lie_rate = 0.0;
+  cfg.noise_km = 10.0;
+  const auto hints =
+      sim::generate_hints(s.world(), s.targets(), cfg, util::RngStream(7));
+  for (const auto& h : hints) {
+    const auto& host = s.world().host(h.target);
+    EXPECT_LT(geo::distance_km(h.location, host.true_location), 200.0);
+  }
+}
+
+TEST(EvidenceGenerators, LyingHintForMisgeolocatedHostTracksTheBogusLocation) {
+  // Sanitised targets exclude misgeolocated hosts, so build the condition
+  // directly: a host whose reported location is a continent away from the
+  // truth must produce lies that agree with the *reported* one — the
+  // convincing-wrong case the fusion engine has to beat.
+  sim::World world;
+  const net::Asn as = world.create_as(sim::AsCategory::Access, 0);
+  const net::Prefix prefix = world.allocate_site_prefix(as);
+  sim::Host h;
+  h.addr = prefix.address_at(1);
+  h.asn = as;
+  h.place = world.cities().front();
+  h.kind = sim::HostKind::Anchor;
+  h.true_location = kVienna;
+  h.reported_location = kVienna;
+  const sim::HostId id = world.add_host(h);
+  world.misgeolocate(id, kSydney);
+
+  sim::HintConfig cfg;
+  cfg.coverage = 1.0;
+  cfg.lie_rate = 1.0;
+  cfg.noise_km = 10.0;
+  const std::vector<sim::HostId> targets{id};
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto hints =
+        sim::generate_hints(world, targets, cfg, util::RngStream(seed));
+    ASSERT_EQ(hints.size(), 1u);
+    EXPECT_TRUE(hints[0].lie);
+    EXPECT_LT(geo::distance_km(hints[0].location, kSydney), 200.0);
+    EXPECT_GT(geo::distance_km(hints[0].location, kVienna), 10'000.0);
+  }
+}
+
+TEST(EvidenceGenerators, FeedsRoundTripThroughTheStrictParser) {
+  const auto& s = geoloc::testing::small_scenario();
+  sim::FeedConfig cfg;
+  cfg.coverage = 1.0;
+  cfg.feed_count = 3;
+  const auto feeds = sim::generate_feeds(s.world(), s.targets(), cfg,
+                                         util::RngStream(99));
+  ASSERT_EQ(feeds.size(), 3u);
+  std::size_t total = 0;
+  for (const auto& f : feeds) {
+    const fusion::GeofeedParseResult parsed = fusion::parse_geofeed(f.text);
+    EXPECT_FALSE(parsed.quarantined) << f.source;
+    EXPECT_TRUE(parsed.defects.empty()) << f.source;
+    EXPECT_EQ(parsed.entries.size(), f.entries.size()) << f.source;
+    total += parsed.entries.size();
+  }
+  EXPECT_EQ(total, s.targets().size());
+}
+
+TEST(EvidenceGenerators, AdversarialFeedsLieAtTheConfiguredRate) {
+  const auto& s = geoloc::testing::small_scenario();
+  sim::FeedConfig cfg;
+  cfg.coverage = 1.0;
+  cfg.feed_count = 2;
+  cfg.adversarial_feeds = 1;
+  cfg.adversarial_lie_rate = 1.0;
+  cfg.stale_rate = 0.0;
+  const auto feeds = sim::generate_feeds(s.world(), s.targets(), cfg,
+                                         util::RngStream(99));
+  for (const auto& e : feeds[0].entries) {
+    EXPECT_EQ(e.truth, sim::FeedEntryTruth::Adversarial);
+  }
+  for (const auto& e : feeds[1].entries) {
+    EXPECT_EQ(e.truth, sim::FeedEntryTruth::Honest);
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::fusion

@@ -1,0 +1,172 @@
+// The strict geofeed parser: accept matrix, typed-defect matrix,
+// quarantine behaviour, and a seeded-garbage fuzz pass. The parser is the
+// trust boundary between operator-published text and the fusion engine,
+// so every rejection must be typed and no byte sequence may crash it.
+#include "fusion/geofeed.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+namespace geoloc::fusion {
+namespace {
+
+TEST(GeofeedParse, AcceptsWellFormedLinesAndSkipsCommentsAndBlanks) {
+  const std::string text =
+      "# operator feed\n"
+      "\n"
+      "192.0.2.0/24,AT,Vienna,48.208500,16.373800\n"
+      "\r\n"
+      "198.51.100.0/24,US,Denver,39.739200,-104.990300\r\n"
+      "# trailing comment\n";
+  const GeofeedParseResult r = parse_geofeed(text);
+  EXPECT_FALSE(r.quarantined);
+  EXPECT_TRUE(r.defects.empty());
+  ASSERT_EQ(r.entries.size(), 2u);
+  EXPECT_EQ(r.entries[0].prefix.to_string(), "192.0.2.0/24");
+  EXPECT_EQ(r.entries[0].country, "AT");
+  EXPECT_EQ(r.entries[0].city, "Vienna");
+  EXPECT_NEAR(r.entries[0].location.lat_deg, 48.2085, 1e-9);
+  EXPECT_NEAR(r.entries[1].location.lon_deg, -104.9903, 1e-9);
+}
+
+TEST(GeofeedParse, LastLineWithoutNewlineIsParsed) {
+  const GeofeedParseResult r =
+      parse_geofeed("192.0.2.0/24,AT,Vienna,48.2,16.37");
+  ASSERT_EQ(r.entries.size(), 1u);
+}
+
+struct DefectCase {
+  const char* line;
+  GeofeedError expected;
+};
+
+TEST(GeofeedParse, EveryDefectIsTyped) {
+  const DefectCase cases[] = {
+      {"192.0.2.0/24,AT,Vienna,48.2", GeofeedError::FieldCount},
+      {"192.0.2.0/24,AT,Vienna,48.2,16.3,extra", GeofeedError::FieldCount},
+      {"not-a-prefix,AT,Vienna,48.2,16.3", GeofeedError::BadPrefix},
+      {"192.0.2.0,AT,Vienna,48.2,16.3", GeofeedError::BadPrefix},
+      {"192.0.2.0/33,AT,Vienna,48.2,16.3", GeofeedError::BadPrefix},
+      {"192.0.2.0/24x,AT,Vienna,48.2,16.3", GeofeedError::BadPrefix},
+      {"192.0.2.7/24,AT,Vienna,48.2,16.3", GeofeedError::HostBitsSet},
+      {"192.0.0.0/6,AT,Vienna,48.2,16.3", GeofeedError::PrefixTooWide},
+      {"192.0.2.0/24,,Vienna,48.2,16.3", GeofeedError::EmptyField},
+      {"192.0.2.0/24,AT,,48.2,16.3", GeofeedError::EmptyField},
+      {"192.0.2.0/24,AT,Vienna,48.2x,16.3", GeofeedError::BadLatitude},
+      {"192.0.2.0/24,AT,Vienna,,16.3", GeofeedError::BadLatitude},
+      {"192.0.2.0/24,AT,Vienna,91.0,16.3", GeofeedError::BadLatitude},
+      {"192.0.2.0/24,AT,Vienna,-90.5,16.3", GeofeedError::BadLatitude},
+      {"192.0.2.0/24,AT,Vienna,48.2,16.3 ", GeofeedError::BadLongitude},
+      {"192.0.2.0/24,AT,Vienna,48.2,181.0", GeofeedError::BadLongitude},
+      {"192.0.2.0/24,AT,Vienna,48.2,nan", GeofeedError::BadLongitude},
+  };
+  for (const DefectCase& c : cases) {
+    const GeofeedParseResult r = parse_geofeed(c.line);
+    EXPECT_TRUE(r.entries.empty()) << c.line;
+    ASSERT_EQ(r.defects.size(), 1u) << c.line;
+    EXPECT_EQ(r.defects[0].error, c.expected)
+        << c.line << " -> " << to_string(r.defects[0].error);
+    EXPECT_EQ(r.defects[0].line, 1u);
+  }
+}
+
+TEST(GeofeedParse, DefectLinesCarryTheirLineNumbers) {
+  const GeofeedParseResult r = parse_geofeed(
+      "# header\n"
+      "192.0.2.0/24,AT,Vienna,48.2,16.3\n"
+      "garbage\n"
+      "198.51.100.0/24,US,Denver,39.7,-104.9\n"
+      "192.0.2.0/24,AT,Vienna,95,16.3\n");
+  ASSERT_EQ(r.defects.size(), 2u);
+  EXPECT_EQ(r.defects[0].line, 3u);
+  EXPECT_EQ(r.defects[1].line, 5u);
+  EXPECT_EQ(r.entries.size(), 2u);
+}
+
+TEST(GeofeedParse, MostlyGarbageFeedIsQuarantinedWholesale) {
+  std::string text;
+  for (int i = 0; i < 6; ++i) {
+    text += "192.0." + std::to_string(i) + ".0/24,AT,Vienna,48.2,16.3\n";
+  }
+  for (int i = 0; i < 6; ++i) text += "garbage line " + std::to_string(i) + "\n";
+  const GeofeedParseResult r = parse_geofeed(text);
+  EXPECT_TRUE(r.quarantined);
+  // Quarantine must not leak the "valid" half.
+  EXPECT_TRUE(r.entries.empty());
+  EXPECT_EQ(r.defects.size(), 6u);
+}
+
+TEST(GeofeedParse, SmallFeedsAreNotQuarantinedByASingleTypo) {
+  const GeofeedParseResult r = parse_geofeed(
+      "192.0.2.0/24,AT,Vienna,48.2,16.3\n"
+      "garbage\n");
+  EXPECT_FALSE(r.quarantined);
+  EXPECT_EQ(r.entries.size(), 1u);
+  EXPECT_EQ(r.defects.size(), 1u);
+}
+
+TEST(GeofeedParse, LineBombIsCappedAndQuarantined) {
+  GeofeedLimits limits;
+  limits.max_lines = 100;
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    text += "10.0." + std::to_string(i % 250) + ".0/24,XX,Y,1.0,1.0\n";
+  }
+  const GeofeedParseResult r = parse_geofeed(text, limits);
+  EXPECT_TRUE(r.quarantined);
+  EXPECT_TRUE(r.entries.empty());
+}
+
+TEST(GeofeedParse, SeededGarbageNeverCrashesAndNeverMisparses) {
+  std::mt19937 rng(20230805);
+  const char alphabet[] = "0123456789./,-+eE#\r\n abcXYZ\t\0\xff";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string text;
+    const int len = static_cast<int>(rng() % 200);
+    for (int i = 0; i < len; ++i) {
+      text.push_back(alphabet[rng() % (sizeof alphabet - 1)]);
+    }
+    const GeofeedParseResult r = parse_geofeed(text);
+    // Every accepted entry must satisfy the documented invariants.
+    for (const GeofeedEntry& e : r.entries) {
+      EXPECT_GE(e.prefix.length(), 8);
+      EXPECT_LE(e.prefix.length(), 32);
+      EXPECT_GE(e.location.lat_deg, -90.0);
+      EXPECT_LE(e.location.lat_deg, 90.0);
+      EXPECT_GE(e.location.lon_deg, -180.0);
+      EXPECT_LE(e.location.lon_deg, 180.0);
+      EXPECT_FALSE(e.country.empty());
+      EXPECT_FALSE(e.city.empty());
+    }
+  }
+}
+
+TEST(GeofeedParse, MutatedValidLinesAreAcceptedOrTypedNeverMangled) {
+  std::mt19937 rng(4242);
+  const std::string base = "192.0.2.0/24,AT,Vienna,48.208500,16.373800";
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string line = base;
+    // 1-3 random single-byte mutations.
+    const int edits = 1 + static_cast<int>(rng() % 3);
+    for (int e = 0; e < edits; ++e) {
+      const std::size_t pos = rng() % line.size();
+      line[pos] = static_cast<char>(rng() % 256);
+    }
+    const GeofeedParseResult r = parse_geofeed(line);
+    // A mutation can inject '\n' (splitting the line), '#' or '\r' (making
+    // a line skippable), so the exact count varies — but a handful of
+    // single-byte edits can never fan out past the edit count + 1, and
+    // every surviving entry still obeys the invariants.
+    EXPECT_LE(r.data_lines(), static_cast<std::size_t>(edits) + 1) << line;
+    for (const GeofeedEntry& e : r.entries) {
+      EXPECT_GE(e.prefix.length(), 8);
+      EXPECT_GE(e.location.lat_deg, -90.0);
+      EXPECT_LE(e.location.lat_deg, 90.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geoloc::fusion

@@ -1,0 +1,248 @@
+// End-to-end fused campaigns: the zero-evidence equivalence guard (byte
+// identity with the latency-only path at 1 and 8 worker threads), honest
+// evidence improving published accuracy, adversarial evidence being
+// rejected, mid-campaign quarantine with probation recovery, and the
+// weather downgrade rule.
+#include "fusion/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "atlas/checkpoint.h"
+#include "geo/geodesy.h"
+#include "scenario/presets.h"
+#include "test_scenario.h"
+#include "util/parallel.h"
+#include "util/stats.h"
+
+namespace geoloc::fusion {
+namespace {
+
+PipelineOptions quick_options() {
+  PipelineOptions o;
+  o.max_vps = 200;  // keep the mesh small; spares cover reassignment
+  return o;
+}
+
+/// Run fn with the pool sized to `threads`, restoring the default after.
+template <typename Fn>
+auto at_threads(unsigned threads, Fn&& fn) {
+  util::set_thread_count(threads);
+  auto result = fn();
+  util::set_thread_count(0);
+  return result;
+}
+
+std::vector<std::byte> snapshot_bytes(const std::vector<publish::Record>& r) {
+  publish::SnapshotBuilder b;
+  b.add(r);
+  publish::SnapshotMeta meta;
+  meta.created_at_s = 0.0;
+  meta.source = "fusion-test";
+  return b.build(meta);
+}
+
+double median_error_km(const scenario::Scenario& s,
+                       const std::vector<publish::Record>& records) {
+  std::vector<double> errors;
+  for (std::size_t col = 0; col < records.size(); ++col) {
+    errors.push_back(geo::distance_km(
+        records[col].location,
+        s.world().host(s.targets()[col]).true_location));
+  }
+  return util::median(errors);
+}
+
+TEST(FusedPipeline, ZeroEvidenceIsByteIdenticalToLatencyOnly) {
+  const auto& s = geoloc::testing::small_scenario();
+  const PipelineOptions opts = quick_options();
+
+  for (const unsigned threads : {1u, 8u}) {
+    const LatencyCampaign latency =
+        at_threads(threads, [&] { return run_latency_campaign(s, opts); });
+    const FusedCampaignResult fused = at_threads(
+        threads, [&] { return run_fused_campaign(s, EvidenceBundle{}, opts); });
+
+    // The base campaign never noticed the fusion machinery existed.
+    EXPECT_EQ(atlas::encode_report(latency.report),
+              atlas::encode_report(fused.base_report))
+        << "threads=" << threads;
+    // And the published artifact is the same bytes.
+    EXPECT_EQ(snapshot_bytes(latency.records), snapshot_bytes(fused.records))
+        << "threads=" << threads;
+
+    EXPECT_EQ(fused.claims, 0u);
+    EXPECT_EQ(fused.verify_pings, 0u);
+    for (const FusionDecision& d : fused.decisions) {
+      EXPECT_FALSE(d.has_claim);
+    }
+  }
+
+  // Thread-count invariance of the fused path itself.
+  const auto r1 = at_threads(1, [&] {
+    return snapshot_bytes(run_fused_campaign(s, EvidenceBundle{}, opts).records);
+  });
+  const auto r8 = at_threads(8, [&] {
+    return snapshot_bytes(run_fused_campaign(s, EvidenceBundle{}, opts).records);
+  });
+  EXPECT_EQ(r1, r8);
+}
+
+TEST(FusedPipeline, HonestEvidenceIsVerifiedAndImprovesAccuracy) {
+  const auto& s = geoloc::testing::small_scenario();
+  const PipelineOptions opts = quick_options();
+
+  sim::HintConfig hint_cfg;
+  hint_cfg.coverage = 1.0;
+  hint_cfg.lie_rate = 0.0;
+  hint_cfg.noise_km = 10.0;
+  EvidenceBundle evidence;
+  evidence.hints = sim::generate_hints(s.world(), s.targets(), hint_cfg,
+                                       util::RngStream(555));
+
+  const LatencyCampaign latency = run_latency_campaign(s, opts);
+  const FusedCampaignResult fused = run_fused_campaign(s, evidence, opts);
+
+  EXPECT_EQ(fused.claims, s.targets().size());
+  // Honest city-level hints overwhelmingly survive both stages.
+  EXPECT_GT(fused.accepted, s.targets().size() / 2);
+  EXPECT_GT(fused.verify_pings, 0u);
+
+  const double base_err = median_error_km(s, latency.records);
+  const double fused_err = median_error_km(s, fused.records);
+  EXPECT_LT(fused_err, base_err / 2.0)
+      << "fused=" << fused_err << " base=" << base_err;
+
+  // Accepted targets publish as Method::Fused with the audit trail.
+  for (std::size_t col = 0; col < fused.decisions.size(); ++col) {
+    const auto& d = fused.decisions[col];
+    const auto& r = fused.records[col];
+    if (d.verdict == ClaimVerdict::Accepted && d.has_claim) {
+      EXPECT_EQ(r.method, publish::Method::Fused);
+      EXPECT_EQ(r.tier, core::CbgVerdict::Ok);
+      EXPECT_NE(r.provenance.find("fused/hint:rdns"), std::string::npos);
+      EXPECT_NE(r.provenance.find("cbg/campaign"), std::string::npos);
+    } else {
+      EXPECT_EQ(r.method, publish::Method::Cbg);
+    }
+  }
+
+  // The snapshot layer round-trips the new method byte.
+  const auto bytes = snapshot_bytes(fused.records);
+  std::string error;
+  const auto snap = publish::Snapshot::from_bytes(bytes, &error);
+  ASSERT_NE(snap, nullptr) << error;
+  std::size_t fused_entries = 0;
+  for (std::size_t i = 0; i < snap->size(); ++i) {
+    if (snap->entry(i).method == publish::Method::Fused) ++fused_entries;
+  }
+  EXPECT_EQ(fused_entries, fused.accepted);
+}
+
+TEST(FusedPipeline, LyingHintsAreRejectedNotPublished) {
+  const auto& s = geoloc::testing::small_scenario();
+  const PipelineOptions opts = quick_options();
+
+  sim::HintConfig hint_cfg;
+  hint_cfg.coverage = 1.0;
+  hint_cfg.lie_rate = 1.0;
+  hint_cfg.noise_km = 10.0;
+  EvidenceBundle evidence;
+  evidence.hints = sim::generate_hints(s.world(), s.targets(), hint_cfg,
+                                       util::RngStream(556));
+
+  const LatencyCampaign latency = run_latency_campaign(s, opts);
+  const FusedCampaignResult fused = run_fused_campaign(s, evidence, opts);
+
+  // The overwhelming majority of lies die in one of the two stages.
+  EXPECT_LT(fused.accepted, fused.claims / 4);
+  EXPECT_GT(fused.rejected_geometric + fused.rejected_active, 0u);
+
+  // Whatever slipped through was a near-truth lie: fused accuracy is not
+  // materially worse than latency-only.
+  const double base_err = median_error_km(s, latency.records);
+  const double fused_err = median_error_km(s, fused.records);
+  EXPECT_LE(fused_err, base_err * 1.25 + 50.0)
+      << "fused=" << fused_err << " base=" << base_err;
+}
+
+TEST(FusedPipeline, AdversarialFeedIsQuarantinedThenRecoversAfterProbation) {
+  const auto& s = geoloc::testing::small_scenario();
+  PipelineOptions opts = quick_options();
+  opts.trust.min_observations = 5;
+  opts.trust.probation_epochs = 2;
+
+  sim::FeedConfig feed_cfg;
+  feed_cfg.coverage = 1.0;
+  feed_cfg.feed_count = 2;
+  feed_cfg.adversarial_feeds = 1;
+  feed_cfg.adversarial_lie_rate = 1.0;
+  feed_cfg.stale_rate = 0.0;
+  feed_cfg.noise_km = 8.0;
+  const auto feeds = sim::generate_feeds(s.world(), s.targets(), feed_cfg,
+                                         util::RngStream(77));
+  const EvidenceBundle evidence = EvidenceBundle::from_generated({}, feeds);
+
+  TrustTracker tracker(opts.trust);
+  opts.trust_state = &tracker;
+
+  // Epoch 1: the adversarial feed burns its credibility mid-pass.
+  const FusedCampaignResult e1 = run_fused_campaign(s, evidence, opts);
+  const SourceTrust* evil = tracker.find("feed-0.example");
+  ASSERT_NE(evil, nullptr);
+  EXPECT_TRUE(evil->quarantined);
+  EXPECT_GT(e1.skipped_quarantined, 0u)
+      << "later claims of the quarantined feed must be gated";
+  const SourceTrust* good = tracker.find("feed-1.example");
+  ASSERT_NE(good, nullptr);
+  EXPECT_FALSE(good->quarantined);
+
+  // Epoch 2 (tracker at epoch 1, release at 2): fully gated.
+  const FusedCampaignResult e2 = run_fused_campaign(s, evidence, opts);
+  EXPECT_FALSE(tracker.consult("feed-0.example") &&
+               tracker.epoch() < 2);  // gated during the pass
+  EXPECT_EQ(e2.skipped_quarantined, feeds[0].entries.size());
+
+  // Epoch 3: probation over, the feed is consulted again (and promptly
+  // re-quarantined — it is still lying).
+  const FusedCampaignResult e3 = run_fused_campaign(s, evidence, opts);
+  EXPECT_GT(e3.claims, e2.claims);
+  EXPECT_GE(tracker.find("feed-0.example")->quarantines, 2u);
+}
+
+TEST(FusedPipeline, WeatherDowngradesInconclusiveVerificationsNeverAccepts) {
+  const auto& s = geoloc::testing::small_scenario();
+  PipelineOptions opts = quick_options();
+  opts.weather = scenario::stormy_weather(20231031);
+
+  sim::HintConfig hint_cfg;
+  hint_cfg.coverage = 1.0;
+  hint_cfg.lie_rate = 0.0;
+  hint_cfg.noise_km = 10.0;
+  EvidenceBundle evidence;
+  evidence.hints = sim::generate_hints(s.world(), s.targets(), hint_cfg,
+                                       util::RngStream(557));
+
+  const FusedCampaignResult fused = run_fused_campaign(s, evidence, opts);
+
+  // Under a storm some verifications starve; every one of those must have
+  // kept the latency answer, not accepted the claim.
+  EXPECT_GT(fused.inconclusive, 0u);
+  for (std::size_t col = 0; col < fused.decisions.size(); ++col) {
+    const auto& d = fused.decisions[col];
+    if (!d.has_claim) continue;
+    if (d.verdict == ClaimVerdict::Inconclusive) {
+      EXPECT_EQ(fused.records[col].method, publish::Method::Cbg);
+      EXPECT_NE(fused.records[col].provenance.find("evidence-inconclusive"),
+                std::string::npos);
+    }
+  }
+  // Accounting closes: every evaluated claim got exactly one outcome.
+  EXPECT_EQ(fused.claims, fused.accepted + fused.rejected_geometric +
+                              fused.rejected_active + fused.inconclusive);
+}
+
+}  // namespace
+}  // namespace geoloc::fusion

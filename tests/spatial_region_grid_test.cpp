@@ -1,0 +1,130 @@
+// Byte-identity of the covering-routed CBG sampling grid.
+//
+// intersect_disks routes each polar-grid point through a spatial:: covering
+// of the window disk (classify once per cell, test only boundary
+// constraints per point); intersect_disks_reference tests every constraint
+// at every point. The covering predicates are conservative proofs, never
+// approximations, so the two must agree bit-for-bit on every Region field —
+// including the exact feasible sample list and the floating-point centroid.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "geo/geodesy.h"
+#include "geo/region.h"
+
+namespace geoloc::geo {
+namespace {
+
+std::mt19937 rng(2024);
+
+GeoPoint random_point() {
+  std::uniform_real_distribution<double> lat(-85.0, 85.0);
+  std::uniform_real_distribution<double> lon(-180.0, 180.0);
+  return GeoPoint{lat(rng), lon(rng)};
+}
+
+/// Bitwise equality: NaN-free doubles compared with ==, samples in order.
+void expect_identical(const Region& a, const Region& b) {
+  ASSERT_EQ(a.empty, b.empty);
+  EXPECT_EQ(a.centroid.lat_deg, b.centroid.lat_deg);
+  EXPECT_EQ(a.centroid.lon_deg, b.centroid.lon_deg);
+  EXPECT_EQ(a.radius_km, b.radius_km);
+  EXPECT_EQ(a.area_km2, b.area_km2);
+  ASSERT_EQ(a.samples.size(), b.samples.size());
+  for (std::size_t i = 0; i < a.samples.size(); ++i) {
+    EXPECT_EQ(a.samples[i].lat_deg, b.samples[i].lat_deg);
+    EXPECT_EQ(a.samples[i].lon_deg, b.samples[i].lon_deg);
+  }
+}
+
+void expect_routed_matches_reference(std::span<const Disk> disks,
+                                     const RegionOptions& options = {}) {
+  expect_identical(intersect_disks(disks, options),
+                   intersect_disks_reference(disks, options));
+}
+
+TEST(SpatialRegionGrid, EmptyAndSingleDiskInputs) {
+  expect_routed_matches_reference({});
+  const Disk one{GeoPoint{48.2, 16.37}, 350.0};
+  expect_routed_matches_reference(std::vector<Disk>{one});
+}
+
+TEST(SpatialRegionGrid, DisjointDisksBothReportEmpty) {
+  const std::vector<Disk> disks{{GeoPoint{0.0, 0.0}, 100.0},
+                                {GeoPoint{40.0, 90.0}, 100.0}};
+  expect_routed_matches_reference(disks);
+  EXPECT_TRUE(intersect_disks(disks).empty);
+}
+
+TEST(SpatialRegionGrid, ThinLensIntersection) {
+  // Two disks whose centres are almost radius-sum apart: the feasible
+  // region is a thin lens, exercising the retry-at-double-resolution path.
+  const GeoPoint a{10.0, 20.0};
+  const GeoPoint b = destination(a, 90.0, 995.0);
+  const std::vector<Disk> disks{{a, 500.0}, {b, 500.0}};
+  expect_routed_matches_reference(disks);
+}
+
+TEST(SpatialRegionGrid, PolarAndAntimeridianWindows) {
+  {
+    const std::vector<Disk> disks{{GeoPoint{88.5, 10.0}, 600.0},
+                                  {GeoPoint{87.0, -120.0}, 700.0}};
+    expect_routed_matches_reference(disks);
+  }
+  {
+    const std::vector<Disk> disks{{GeoPoint{-5.0, 179.6}, 400.0},
+                                  {GeoPoint{-4.0, -179.2}, 450.0},
+                                  {GeoPoint{-6.0, 178.0}, 900.0}};
+    expect_routed_matches_reference(disks);
+  }
+}
+
+TEST(SpatialRegionGrid, RandomConstraintSetsAcrossSizes) {
+  for (int trial = 0; trial < 60; ++trial) {
+    const GeoPoint anchor = random_point();
+    std::uniform_int_distribution<int> n_disks(2, 12);
+    std::uniform_real_distribution<double> offset(0.0, 600.0);
+    std::uniform_real_distribution<double> bearing(0.0, 360.0);
+    std::uniform_real_distribution<double> radius(200.0, 2500.0);
+    std::vector<Disk> disks;
+    const int n = n_disks(rng);
+    for (int i = 0; i < n; ++i) {
+      disks.push_back(Disk{destination(anchor, bearing(rng), offset(rng)),
+                           radius(rng)});
+    }
+    expect_routed_matches_reference(disks);
+  }
+}
+
+TEST(SpatialRegionGrid, NonDefaultResolutionOptions) {
+  const std::vector<Disk> disks{{GeoPoint{51.5, -0.1}, 800.0},
+                                {GeoPoint{48.9, 2.35}, 700.0},
+                                {GeoPoint{52.5, 13.4}, 1200.0}};
+  for (const RegionOptions options :
+       {RegionOptions{4, 8, 0}, RegionOptions{20, 40, 2},
+        RegionOptions{12, 24, 3}}) {
+    expect_routed_matches_reference(disks, options);
+  }
+}
+
+TEST(SpatialRegionGrid, ManyConstraintsTightRegion) {
+  // A CBG-like pile of 24 disks all containing a common point; the routed
+  // grid must keep the same survivors after prune_dominated.
+  const GeoPoint truth{37.77, -122.42};
+  std::uniform_real_distribution<double> vp_off(100.0, 4000.0);
+  std::uniform_real_distribution<double> bearing(0.0, 360.0);
+  std::uniform_real_distribution<double> slack(50.0, 800.0);
+  std::vector<Disk> disks;
+  for (int i = 0; i < 24; ++i) {
+    const GeoPoint vp = destination(truth, bearing(rng), vp_off(rng));
+    disks.push_back(Disk{vp, distance_km(vp, truth) + slack(rng)});
+  }
+  expect_routed_matches_reference(disks);
+  EXPECT_FALSE(intersect_disks(disks).empty);
+}
+
+}  // namespace
+}  // namespace geoloc::geo
